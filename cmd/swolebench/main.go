@@ -1,0 +1,103 @@
+// Command swolebench regenerates the measured experiments of the paper:
+// Figure 6 (TPC-H under volcano/data-centric/hybrid/SWOLE) and Figures
+// 8-12 (the technique microbenchmarks).
+//
+// Usage:
+//
+//	swolebench -fig 6            # one figure
+//	swolebench -fig all          # everything
+//	swolebench -fig 2            # the technique summary table
+//
+// Scales come from the environment (SWOLE_SF, SWOLE_MICRO_R, SWOLE_REPS);
+// see internal/harness. Paper scales are SF=10 and R=100M — set them only
+// on hardware comparable to the paper's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/reprolab/swole/internal/harness"
+	"github.com/reprolab/swole/internal/tpch"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 6, 8, 9, 10, 11, 12, or all")
+	csv := flag.Bool("csv", false, "emit micro figures as CSV for plotting")
+	flag.Parse()
+
+	cfg := harness.FromEnv()
+	fmt.Printf("config: SF=%g micro R=%d reps=%d\n\n", cfg.SF, cfg.MicroR, cfg.Reps)
+
+	show := func(figs []harness.Figure) {
+		for _, f := range figs {
+			if *csv {
+				fmt.Printf("# %s: %s\n%s\n", f.ID, f.Title, f.CSV())
+			} else {
+				fmt.Println(f.Format())
+			}
+		}
+	}
+	run := func(name string) error {
+		switch name {
+		case "2":
+			fmt.Println(techniqueTable)
+		case "6":
+			rows, err := cfg.Fig6()
+			if err != nil {
+				return err
+			}
+			fmt.Println("Figure 6: TPC-H (runtimes; hy/dc and sw/hy are the paper's speedup columns)")
+			fmt.Println(harness.FormatFig6(rows))
+			fmt.Println("SWOLE technique per query (paper Section IV-A):")
+			for _, ex := range tpch.ExplainSwole() {
+				techs := "none (hybrid fallback)"
+				if len(ex.Techniques) > 0 {
+					parts := make([]string, len(ex.Techniques))
+					for i, t := range ex.Techniques {
+						parts[i] = t.String()
+					}
+					techs = strings.Join(parts, " + ")
+				}
+				fmt.Printf("  %-4s %-34s %s\n", ex.Query, techs, ex.Rationale)
+			}
+		case "8":
+			show(cfg.Fig8())
+		case "9":
+			show(cfg.Fig9())
+		case "10":
+			show(cfg.Fig10())
+		case "11":
+			show(cfg.Fig11())
+		case "12":
+			show(cfg.Fig12())
+		default:
+			return fmt.Errorf("unknown figure %q", name)
+		}
+		return nil
+	}
+
+	var figs []string
+	if *fig == "all" {
+		figs = []string{"2", "6", "8", "9", "10", "11", "12"}
+	} else {
+		figs = []string{*fig}
+	}
+	for _, f := range figs {
+		if err := run(f); err != nil {
+			fmt.Fprintln(os.Stderr, "swolebench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// techniqueTable is the paper's Figure 2.
+const techniqueTable = `Figure 2: Summary of SWOLE Techniques
+Section  Technique           Operators                               Heuristics
+III-A    Value Masking       All                                     Memory-Bound, Small Hash Tables
+III-B    Key Masking         Group-By Aggregation, Join, Groupjoin   Complex Aggregation, Large Hash Tables
+III-C    Access Merging      All                                     Always Better
+III-D    Positional Bitmaps  Join, Semijoin                          Always Better
+III-E    Eager Aggregation   Join, Groupjoin                         Low-Cardinality Group-By Keys`

@@ -1,0 +1,44 @@
+// Command swolegen prints the code each generation strategy emits,
+// reproducing the paper's code listings.
+//
+// Usage:
+//
+//	swolegen -fig 1       # Figure 1: data-centric, hybrid, ROF
+//	swolegen -fig 3       # Figure 3: value masking
+//	swolegen -fig 4       # Figure 4: value vs key masking (group-by)
+//	swolegen -fig 5       # Figure 5: access merging
+//	swolegen -fig all     # every listing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/reprolab/swole/internal/codegen"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "paper figure to emit: 1, 3, 4, 5, or all")
+	flag.Parse()
+
+	figs := []int{1, 3, 4, 5}
+	if *fig != "all" {
+		var n int
+		if _, err := fmt.Sscanf(*fig, "%d", &n); err != nil {
+			fmt.Fprintf(os.Stderr, "swolegen: bad figure %q\n", *fig)
+			os.Exit(1)
+		}
+		figs = []int{n}
+	}
+	for _, n := range figs {
+		listings, err := codegen.Figure(n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swolegen:", err)
+			os.Exit(1)
+		}
+		for _, l := range listings {
+			fmt.Printf("// %s\n%s\n", l.Caption, l.Code)
+		}
+	}
+}

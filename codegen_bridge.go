@@ -1,0 +1,34 @@
+package swole
+
+import (
+	"fmt"
+
+	"github.com/reprolab/swole/internal/codegen"
+	"github.com/reprolab/swole/internal/plan"
+)
+
+// codegenQuery converts a compiled single-table aggregation plan into the
+// code generator's query shape.
+func codegenQuery(p plan.Node) (codegen.Query, error) {
+	m, ok := p.(*plan.Map)
+	if !ok {
+		return codegen.Query{}, fmt.Errorf("swole: code generation supports aggregation queries")
+	}
+	agg, ok := m.Input.(*plan.Aggregate)
+	if !ok || len(agg.Aggs) != 1 || agg.Aggs[0].Func != plan.Sum || agg.Aggs[0].Arg == nil {
+		return codegen.Query{}, fmt.Errorf("swole: code generation supports a single sum aggregate")
+	}
+	scan, ok := agg.Input.(*plan.Scan)
+	if !ok {
+		return codegen.Query{}, fmt.Errorf("swole: code generation supports single-table queries")
+	}
+	q := codegen.Query{Pred: scan.Filter, Agg: agg.Aggs[0].Arg}
+	switch len(agg.GroupBy) {
+	case 0:
+	case 1:
+		q.GroupBy = agg.GroupBy[0]
+	default:
+		return codegen.Query{}, fmt.Errorf("swole: code generation supports at most one group-by key")
+	}
+	return q, nil
+}

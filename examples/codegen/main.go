@@ -1,0 +1,43 @@
+// Code generation showcase: emit the paper's Figures 1, 3, 4, and 5 code
+// listings, then generate code for a custom SQL query through the public
+// API.
+//
+//	go run ./examples/codegen
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/reprolab/swole"
+	"github.com/reprolab/swole/internal/codegen"
+)
+
+func main() {
+	for _, fig := range []int{1, 3, 4, 5} {
+		listings, err := codegen.Figure(fig)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, l := range listings {
+			fmt.Printf("// %s\n%s\n", l.Caption, l.Code)
+		}
+	}
+
+	// Custom query through the public API.
+	db := swole.NewDB()
+	if err := db.CreateTable("orders",
+		swole.IntColumn("amount", []int64{10, 20, 30}),
+		swole.IntColumn("region", []int64{1, 2, 1}),
+		swole.IntColumn("priority", []int64{0, 1, 0}),
+	); err != nil {
+		log.Fatal(err)
+	}
+	const q = "select region, sum(amount) from orders where priority = 0 group by region"
+	fmt.Println("// Custom query, key-masking strategy:")
+	code, err := db.GenerateCode(q, "key-masking")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(code)
+}

@@ -1,0 +1,61 @@
+// Cost model exploration: sweep predicate selectivity and group-by
+// cardinality, print the technique SWOLE's cost models choose at each
+// point, and compare the prediction against measured kernel runtimes —
+// a miniature of the paper's Figures 8 and 9 with the model overlaid.
+//
+//	go run ./examples/costmodel
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/reprolab/swole/internal/cost"
+	"github.com/reprolab/swole/internal/micro"
+)
+
+func main() {
+	p := cost.Default()
+	d := micro.Generate(micro.Config{NR: 1_000_000, NS: 1000, CCard: 1000, Seed: 1})
+
+	fmt.Println("Scalar aggregation (micro Q1, sum(r_a*r_b)): model choice vs measurement")
+	fmt.Printf("%-8s %-16s %12s %12s %12s\n", "sel(%)", "model picks", "datacentric", "hybrid", "masking")
+	comp := p.CompMul + p.CompAdd
+	for sel := 0; sel <= 100; sel += 20 {
+		strat, _ := p.ChooseScalarAgg(d.Cfg.NR, float64(sel)/100, comp)
+		dc := timeIt(func() { micro.Q1DataCentric(d, micro.OpMul, sel) })
+		hy := timeIt(func() { micro.Q1Hybrid(d, micro.OpMul, sel) })
+		vm := timeIt(func() { micro.Q1ValueMasking(d, micro.OpMul, sel) })
+		fmt.Printf("%-8d %-16s %12s %12s %12s\n", sel, strat, dc, hy, vm)
+	}
+
+	fmt.Println("\nGroup-by aggregation (micro Q2): model choice across hash table sizes")
+	fmt.Printf("%-10s %-8s %-16s\n", "groups", "sel(%)", "model picks")
+	for _, groups := range []int{10, 1000, 100_000, 10_000_000} {
+		for _, sel := range []int{10, 50, 90} {
+			ht := groups * 26 // approximate slot bytes
+			strat, _ := p.ChooseGroupAgg(100_000_000, float64(sel)/100, comp, 1, ht)
+			fmt.Printf("%-10d %-8d %-16s\n", groups, sel, strat)
+		}
+	}
+
+	fmt.Println("\nGroupjoin vs eager aggregation (micro Q5): crossover by |S|")
+	fmt.Printf("%-10s %-8s %-10s %14s %14s\n", "|S|", "sel(%)", "eager?", "cost(gj)", "cost(ea)")
+	for _, ns := range []int{1000, 1_000_000} {
+		for _, sel := range []int{10, 50, 90} {
+			eager, gj, ea := p.ChooseGroupjoin(ns, float64(sel)/100, 100_000_000, 1.0, float64(sel)/100, comp, ns*26)
+			fmt.Printf("%-10d %-8d %-10v %14.0f %14.0f\n", ns, sel, eager, gj, ea)
+		}
+	}
+
+	fmt.Println("\nHost calibration (optional; deterministic defaults reproduce the paper):")
+	cal := cost.Calibrate()
+	fmt.Printf("  read_cond=%.1f ht(mem)=%.1f comp(mul)=%.1f comp(div)=%.1f (units of one sequential read)\n",
+		cal.ReadCond, cal.HitMem, cal.CompMul, cal.CompDiv)
+}
+
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start).Round(10 * time.Microsecond)
+}

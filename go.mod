@@ -1,0 +1,3 @@
+module github.com/reprolab/swole
+
+go 1.22

@@ -1,0 +1,67 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks for the positional-bitmap probe and build paths, including
+// the compression tradeoff of Section III-D.
+
+var sinkByte byte
+
+func benchBitmap(n, pct int) (*Bitmap, []int32) {
+	rng := rand.New(rand.NewSource(3))
+	b := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(100) < pct {
+			b.Set(i)
+		}
+	}
+	probe := make([]int32, 1<<14)
+	for i := range probe {
+		probe[i] = int32(rng.Intn(n))
+	}
+	return b, probe
+}
+
+func BenchmarkTestBitRandom(b *testing.B) {
+	bm, probe := benchBitmap(100_000_000, 50) // paper's 100M-position size
+	b.Run("raw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkByte += bm.TestBit(int(probe[i&(len(probe)-1)]))
+		}
+	})
+	c := Compress(bm)
+	b.Run("compressed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkByte += c.TestBit(int(probe[i&(len(probe)-1)]))
+		}
+	})
+}
+
+func BenchmarkBuild(b *testing.B) {
+	cmp := make([]byte, 1024)
+	for i := range cmp {
+		cmp[i] = byte(i & 1)
+	}
+	sel := make([]int32, 1024)
+	n := 0
+	for i := range cmp {
+		if cmp[i] == 1 {
+			sel[n] = int32(i)
+			n++
+		}
+	}
+	bm := New(1 << 20)
+	b.Run("predicated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bm.SetFromCmp((i*1024)&(1<<20-1024), cmp)
+		}
+	})
+	b.Run("selection-vector", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bm.SetFromSel((i*1024)&(1<<20-1024), sel, n)
+		}
+	})
+}

@@ -1,0 +1,204 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestBasics(t *testing.T) {
+	b := New(200)
+	if b.Len() != 200 {
+		t.Fatalf("Len=%d", b.Len())
+	}
+	for i := 0; i < 200; i += 3 {
+		b.Set(i)
+	}
+	for i := 0; i < 200; i++ {
+		want := i%3 == 0
+		if b.Test(i) != want {
+			t.Fatalf("bit %d = %v, want %v", i, b.Test(i), want)
+		}
+		var wantBit byte
+		if want {
+			wantBit = 1
+		}
+		if b.TestBit(i) != wantBit {
+			t.Fatalf("TestBit(%d)=%d", i, b.TestBit(i))
+		}
+	}
+	if b.Count() != 67 {
+		t.Errorf("Count=%d, want 67", b.Count())
+	}
+}
+
+func TestSetToOverwrites(t *testing.T) {
+	b := New(64)
+	b.SetTo(5, 1)
+	if !b.Test(5) {
+		t.Fatal("SetTo(5,1) did not set")
+	}
+	b.SetTo(5, 0)
+	if b.Test(5) {
+		t.Fatal("SetTo(5,0) did not clear")
+	}
+	// Predicated rewrite of the whole word must leave neighbours alone.
+	b.Set(6)
+	b.SetTo(5, 1)
+	if !b.Test(6) {
+		t.Fatal("SetTo clobbered neighbour bit")
+	}
+}
+
+func TestSetFromCmpMatchesSetFromSel(t *testing.T) {
+	// Property: the two construction variants from Section III-D (the
+	// unconditional predicated store vs the selection-vector store) build
+	// identical bitmaps.
+	f := func(raw []byte, baseRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		base := int(baseRaw) // exercise unaligned bases
+		cmp := make([]byte, len(raw))
+		sel := make([]int32, len(raw))
+		n := 0
+		for i, v := range raw {
+			cmp[i] = v & 1
+			if cmp[i] == 1 {
+				sel[n] = int32(i)
+				n++
+			}
+		}
+		a := New(base + len(raw))
+		a.SetFromCmp(base, cmp)
+		b := New(base + len(raw))
+		b.SetFromSel(base, sel, n)
+		for i := 0; i < a.Len(); i++ {
+			if a.Test(i) != b.Test(i) {
+				return false
+			}
+		}
+		return a.Count() == b.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetFromCmpOverwritesStaleBits(t *testing.T) {
+	b := New(8)
+	b.Set(0)
+	b.Set(1)
+	b.SetFromCmp(0, []byte{0, 1, 0, 0})
+	if b.Test(0) || !b.Test(1) {
+		t.Error("SetFromCmp must store 0 lanes too (predicated store)")
+	}
+}
+
+func TestAndOrClear(t *testing.T) {
+	a := New(128)
+	b := New(128)
+	a.Set(1)
+	a.Set(100)
+	b.Set(100)
+	b.Set(101)
+
+	u := New(128)
+	u.Or(a)
+	u.Or(b)
+	if u.Count() != 3 || !u.Test(1) || !u.Test(100) || !u.Test(101) {
+		t.Errorf("Or: count=%d", u.Count())
+	}
+	a.And(b)
+	if a.Count() != 1 || !a.Test(100) {
+		t.Errorf("And: count=%d", a.Count())
+	}
+	a.Clear()
+	if a.Count() != 0 {
+		t.Error("Clear left bits set")
+	}
+}
+
+func TestCompressedRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100000)
+		b := New(n)
+		// Mix of dense runs, sparse bits, and empty regions to exercise
+		// all three block classes.
+		mode := rng.Intn(3)
+		for i := 0; i < n; i++ {
+			switch mode {
+			case 0: // sparse
+				if rng.Intn(100) == 0 {
+					b.Set(i)
+				}
+			case 1: // dense
+				if rng.Intn(100) != 0 {
+					b.Set(i)
+				}
+			case 2: // half
+				if i < n/2 {
+					b.Set(i)
+				}
+			}
+		}
+		c := Compress(b)
+		if c.Len() != b.Len() || c.Count() != b.Count() {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if c.Test(i) != b.Test(i) || c.TestBit(i) != b.TestBit(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressedSavesSpaceOnRuns(t *testing.T) {
+	n := 1 << 20
+	b := New(n) // all zero
+	c := Compress(b)
+	if c.Bytes() >= b.Bytes()/10 {
+		t.Errorf("all-zero bitmap: compressed %d vs raw %d", c.Bytes(), b.Bytes())
+	}
+	for i := 0; i < n; i++ {
+		b.Set(i)
+	}
+	c = Compress(b)
+	if c.Bytes() >= b.Bytes()/10 {
+		t.Errorf("all-one bitmap: compressed %d vs raw %d", c.Bytes(), b.Bytes())
+	}
+	if c.Count() != n {
+		t.Errorf("all-one count=%d", c.Count())
+	}
+}
+
+func TestCompressedShortTail(t *testing.T) {
+	// A bitmap whose final block is short and fully set must survive the
+	// verbatim fallback for short all-one tails.
+	n := blockWords*64 + 100
+	b := New(n)
+	for i := 0; i < n; i++ {
+		b.Set(i)
+	}
+	c := Compress(b)
+	if c.Count() != n {
+		t.Fatalf("count=%d, want %d", c.Count(), n)
+	}
+	if !c.Test(n-1) || !c.Test(blockWords*64) {
+		t.Error("tail bits lost")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	// Paper claim: 100M positions need ~12.5 MB.
+	b := New(100_000_000)
+	if mb := float64(b.Bytes()) / (1 << 20); mb < 11.5 || mb > 13.5 {
+		t.Errorf("100M-position bitmap is %.1f MB, paper says ~12.5", mb)
+	}
+}

@@ -1,0 +1,120 @@
+package bitmap
+
+import "math/bits"
+
+// Compressed is the block-compressed bitmap sketched in Section III-D:
+// "we can always compress the bitmap, either by replacing entire blocks of
+// repeated values or through more advanced techniques". Blocks of
+// blockWords words that are all-zero or all-one are elided and represented
+// by a two-bit class; mixed blocks store their words verbatim. Lookup cost
+// rises slightly (one extra indirection), which is exactly the tradeoff the
+// paper says "would need to be weighed against the increased access
+// overhead".
+type Compressed struct {
+	n       int
+	classes []byte  // per block: 0 = all zero, 1 = all one, 2 = verbatim
+	offsets []int32 // per block: index into words for verbatim blocks
+	words   []uint64
+}
+
+// blockWords is the compression granularity (512 words = 4 KiB per block).
+const blockWords = 512
+
+const (
+	blockZero byte = iota
+	blockOne
+	blockVerbatim
+)
+
+// Compress builds a compressed copy of b.
+func Compress(b *Bitmap) *Compressed {
+	nBlocks := (len(b.words) + blockWords - 1) / blockWords
+	c := &Compressed{
+		n:       b.n,
+		classes: make([]byte, nBlocks),
+		offsets: make([]int32, nBlocks),
+	}
+	for blk := 0; blk < nBlocks; blk++ {
+		lo := blk * blockWords
+		hi := lo + blockWords
+		if hi > len(b.words) {
+			hi = len(b.words)
+		}
+		allZero, allOne := true, true
+		for _, w := range b.words[lo:hi] {
+			if w != 0 {
+				allZero = false
+			}
+			if w != ^uint64(0) {
+				allOne = false
+			}
+		}
+		switch {
+		case allZero:
+			c.classes[blk] = blockZero
+		case allOne && hi-lo == blockWords:
+			// A short final block never compresses to all-one because its
+			// tail bits past n are zero; treating it verbatim is safe.
+			c.classes[blk] = blockOne
+		default:
+			c.classes[blk] = blockVerbatim
+			c.offsets[blk] = int32(len(c.words))
+			c.words = append(c.words, b.words[lo:hi]...)
+		}
+	}
+	return c
+}
+
+// Len returns the number of positions covered.
+func (c *Compressed) Len() int { return c.n }
+
+// Bytes returns the compressed size in bytes.
+func (c *Compressed) Bytes() int {
+	return len(c.classes) + 4*len(c.offsets) + 8*len(c.words)
+}
+
+// Test reports whether bit i is set.
+func (c *Compressed) Test(i int) bool {
+	word := i >> 6
+	blk := word / blockWords
+	switch c.classes[blk] {
+	case blockZero:
+		return false
+	case blockOne:
+		return true
+	default:
+		w := c.words[int(c.offsets[blk])+word%blockWords]
+		return w&(1<<(uint(i)&63)) != 0
+	}
+}
+
+// TestBit returns bit i as 0 or 1.
+func (c *Compressed) TestBit(i int) byte {
+	if c.Test(i) {
+		return 1
+	}
+	return 0
+}
+
+// Count returns the number of set bits.
+func (c *Compressed) Count() int {
+	total := 0
+	maxWords := (c.n + 63) / 64
+	for blk, class := range c.classes {
+		lo := blk * blockWords
+		hi := lo + blockWords
+		if hi > maxWords {
+			hi = maxWords
+		}
+		switch class {
+		case blockOne:
+			total += 64 * (hi - lo)
+		case blockVerbatim:
+			off := int(c.offsets[blk])
+			for w := 0; w < hi-lo; w++ {
+				total += bits.OnesCount64(c.words[off+w])
+			}
+		}
+	}
+	return total
+}

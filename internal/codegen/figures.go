@@ -1,0 +1,81 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/reprolab/swole/internal/expr"
+)
+
+// Listing is one emitted code listing of a paper figure.
+type Listing struct {
+	Caption string
+	Code    string
+}
+
+// exampleQuery builds the paper's running example:
+//
+//	select sum(a) from R where x < 13                 (Figures 1, 3)
+//	select c, sum(a) from R where x < 13 group by c   (Figure 4)
+//	select sum(a*x) from R where x < 13               (Figure 5)
+func exampleQuery(groupBy, reuseX bool) Query {
+	q := Query{
+		Pred: &expr.Cmp{Op: expr.LT, L: expr.NewCol("x"), R: &expr.Const{Val: 13}},
+		Agg:  expr.NewCol("a"),
+	}
+	if reuseX {
+		q.Agg = &expr.Arith{Op: expr.Mul, L: expr.NewCol("a"), R: expr.NewCol("x")}
+	}
+	if groupBy {
+		q.GroupBy = "c"
+	}
+	return q
+}
+
+type figSpec struct {
+	caption string
+	q       Query
+	s       Strategy
+}
+
+// Figure reproduces the code listings of paper figure n (1, 3, 4, or 5).
+func Figure(n int) ([]Listing, error) {
+	var specs []figSpec
+	switch n {
+	case 1:
+		q := exampleQuery(false, false)
+		specs = []figSpec{
+			{"Figure 1 (data-centric): single branching loop", q, DataCentric},
+			{"Figure 1 (hybrid): prepass + per-tile selection vector", q, Hybrid},
+			{"Figure 1 (ROF): full staging selection vector", q, ROF},
+		}
+	case 3:
+		specs = []figSpec{
+			{"Figure 3 (value masking): unconditional masked aggregation", exampleQuery(false, false), ValueMasking},
+		}
+	case 4:
+		q := exampleQuery(true, false)
+		specs = []figSpec{
+			{"Figure 4 top (value masking, group-by): unconditional lookup, masked value", q, ValueMasking},
+			{"Figure 4 bottom (key masking): masked key, throwaway entry", q, KeyMasking},
+		}
+	case 5:
+		q := exampleQuery(false, true)
+		specs = []figSpec{
+			{"Figure 5 top (value masking): x still read twice", q, ValueMasking},
+			{"Figure 5 bottom (access merging): predicate fused into x's single read", q, AccessMerging},
+		}
+	default:
+		return nil, fmt.Errorf("codegen: no code listing for figure %d (have 1, 3, 4, 5)", n)
+	}
+	out := make([]Listing, 0, len(specs))
+	for _, sp := range specs {
+		sp.q.Name = strings.ReplaceAll(sp.s.String(), "-", "")
+		code, err := Generate(sp.q, sp.s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Listing{Caption: sp.caption, Code: code})
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+// Package core is the reusable heart of SWOLE: given a query shape, it
+// estimates statistics, consults the cost models of internal/cost, picks a
+// technique — predicate pushdown (hybrid) or one of the paper's pullup
+// techniques (value masking, key masking, positional bitmaps, eager
+// aggregation) — and executes it over the column store with generic tiled
+// kernels. Each execution returns an Explain describing the decision, the
+// model costs, and the statistics they were based on.
+//
+// The hand-specialized kernels in internal/micro and internal/tpch are the
+// measured reproductions of the paper's figures (the paper hand-coded each
+// strategy); this package is what a downstream user calls for their own
+// queries.
+package core
+
+import (
+	"fmt"
+
+	"github.com/reprolab/swole/internal/cost"
+	"github.com/reprolab/swole/internal/expr"
+	"github.com/reprolab/swole/internal/storage"
+)
+
+// Technique identifies the physical technique chosen for an operator.
+type Technique int
+
+// Techniques SWOLE chooses among.
+const (
+	TechHybrid Technique = iota
+	TechValueMasking
+	TechKeyMasking
+	TechAccessMerging
+	TechPositionalBitmap
+	TechEagerAggregation
+	TechDataCentric
+)
+
+// String names the technique.
+func (t Technique) String() string {
+	return [...]string{
+		"hybrid", "value-masking", "key-masking", "access-merging",
+		"positional-bitmap", "eager-aggregation", "data-centric",
+	}[t]
+}
+
+// Explain records a planning decision.
+type Explain struct {
+	Technique   Technique
+	Selectivity float64 // estimated predicate selectivity
+	Groups      int     // estimated group count (group-by shapes)
+	HTBytes     int     // estimated hash table footprint
+	CompCost    float64 // estimated per-tuple computation cost
+	Costs       map[string]float64
+	Merged      []string // attributes whose accesses were merged
+}
+
+func (e Explain) String() string {
+	return fmt.Sprintf("technique=%s sel=%.3f comp=%.1f ht=%dB costs=%v merged=%v",
+		e.Technique, e.Selectivity, e.CompCost, e.HTBytes, e.Costs, e.Merged)
+}
+
+// Engine executes queries over a database with a given cost model.
+type Engine struct {
+	DB     *storage.Database
+	Params cost.Params
+}
+
+// NewEngine returns an engine with default cost parameters.
+func NewEngine(db *storage.Database) *Engine {
+	return &Engine{DB: db, Params: cost.Default()}
+}
+
+// sampleSelectivity estimates a predicate's selectivity on up to maxSample
+// rows spread across the table. The filter must already be bound.
+func sampleSelectivity(filter expr.Expr, rows, maxSample int) float64 {
+	if filter == nil {
+		return 1.0
+	}
+	if rows == 0 {
+		return 0
+	}
+	step := 1
+	if rows > maxSample {
+		step = rows / maxSample
+	}
+	n, hits := 0, 0
+	for i := 0; i < rows; i += step {
+		n++
+		if expr.Eval(filter, i) != 0 {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n)
+}
+
+// sampleGroups estimates the number of distinct keys of a bound column
+// expression; if the sample saturates, the estimate scales linearly.
+func sampleGroups(key expr.Expr, rows, maxSample int) int {
+	if rows == 0 {
+		return 1
+	}
+	step := 1
+	if rows > maxSample {
+		step = rows / maxSample
+	}
+	seen := map[int64]struct{}{}
+	n := 0
+	for i := 0; i < rows; i += step {
+		n++
+		seen[expr.Eval(key, i)] = struct{}{}
+	}
+	d := len(seen)
+	// If nearly every sampled row had a fresh key, extrapolate.
+	if d > n*3/4 {
+		return d * (rows / maxInt(n, 1))
+	}
+	return d
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// aggSlotBytes approximates ht.AggTable's per-group footprint.
+func aggSlotBytes(nAccs int) int { return 8 + 1 + 8*nAccs + 8 + 1 }

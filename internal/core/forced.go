@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/reprolab/swole/internal/expr"
+	"github.com/reprolab/swole/internal/ht"
+	"github.com/reprolab/swole/internal/vec"
+)
+
+// Forced-technique execution: run a query shape under a *chosen* strategy
+// instead of the cost model's pick. This powers strategy comparisons on
+// user queries (the public CompareStrategies API) and ablation studies.
+
+// ScalarAggForced executes a scalar aggregation under the given technique
+// (TechDataCentric, TechHybrid, or TechValueMasking).
+func (e *Engine) ScalarAggForced(q ScalarAgg, tech Technique) (int64, error) {
+	t := e.DB.Table(q.Table)
+	if t == nil {
+		return 0, errNoTable(q.Table)
+	}
+	if q.Filter != nil {
+		if err := expr.Bind(q.Filter, t); err != nil {
+			return 0, err
+		}
+	}
+	if err := expr.Bind(q.Agg, t); err != nil {
+		return 0, err
+	}
+	rows := t.Rows()
+	ev := expr.NewEvaluator()
+	var sum int64
+	switch tech {
+	case TechDataCentric:
+		// Single tuple-at-a-time loop with a branch (Figure 1, left).
+		for i := 0; i < rows; i++ {
+			if q.Filter == nil || expr.Eval(q.Filter, i) != 0 {
+				sum += expr.Eval(q.Agg, i)
+			}
+		}
+	case TechHybrid:
+		cmp := make([]byte, vec.TileSize)
+		idx := make([]int32, vec.TileSize)
+		vec.Tiles(rows, func(base, length int) {
+			evalFilter(ev, q.Filter, base, length, cmp)
+			n := vec.SelFromCmpNoBranch(cmp[:length], idx)
+			for j := 0; j < n; j++ {
+				sum += expr.Eval(q.Agg, base+int(idx[j]))
+			}
+		})
+	case TechValueMasking, TechAccessMerging:
+		cmp := make([]byte, vec.TileSize)
+		vals := make([]int64, vec.TileSize)
+		vec.Tiles(rows, func(base, length int) {
+			evalFilter(ev, q.Filter, base, length, cmp)
+			ev.EvalInt(q.Agg, base, length, vals)
+			for j := 0; j < length; j++ {
+				sum += vals[j] * int64(cmp[j])
+			}
+		})
+	default:
+		return 0, fmt.Errorf("core: technique %s does not apply to scalar aggregation", tech)
+	}
+	return sum, nil
+}
+
+// GroupAggForced executes a group-by aggregation under the given technique
+// (TechDataCentric, TechHybrid, TechValueMasking, or TechKeyMasking).
+func (e *Engine) GroupAggForced(q GroupAgg, tech Technique) (map[int64]int64, error) {
+	t := e.DB.Table(q.Table)
+	if t == nil {
+		return nil, errNoTable(q.Table)
+	}
+	for _, x := range []expr.Expr{q.Filter, q.Key, q.Agg} {
+		if x == nil {
+			continue
+		}
+		if err := expr.Bind(x, t); err != nil {
+			return nil, err
+		}
+	}
+	rows := t.Rows()
+	groups := sampleGroups(q.Key, rows, 16384)
+	tab := ht.NewAggTable(1, groups)
+	ev := expr.NewEvaluator()
+	cmp := make([]byte, vec.TileSize)
+	keys := make([]int64, vec.TileSize)
+	vals := make([]int64, vec.TileSize)
+	switch tech {
+	case TechDataCentric:
+		for i := 0; i < rows; i++ {
+			if q.Filter == nil || expr.Eval(q.Filter, i) != 0 {
+				s := tab.Lookup(expr.Eval(q.Key, i))
+				tab.Add(s, 0, expr.Eval(q.Agg, i))
+			}
+		}
+	case TechHybrid:
+		idx := make([]int32, vec.TileSize)
+		vec.Tiles(rows, func(base, length int) {
+			evalFilter(ev, q.Filter, base, length, cmp)
+			n := vec.SelFromCmpNoBranch(cmp[:length], idx)
+			for j := 0; j < n; j++ {
+				i := base + int(idx[j])
+				s := tab.Lookup(expr.Eval(q.Key, i))
+				tab.Add(s, 0, expr.Eval(q.Agg, i))
+			}
+		})
+	case TechValueMasking:
+		vec.Tiles(rows, func(base, length int) {
+			evalFilter(ev, q.Filter, base, length, cmp)
+			ev.EvalInt(q.Key, base, length, keys)
+			ev.EvalInt(q.Agg, base, length, vals)
+			for j := 0; j < length; j++ {
+				s := tab.Lookup(keys[j])
+				tab.AddMasked(s, 0, vals[j], cmp[j])
+			}
+		})
+	case TechKeyMasking:
+		vec.Tiles(rows, func(base, length int) {
+			evalFilter(ev, q.Filter, base, length, cmp)
+			ev.EvalInt(q.Key, base, length, keys)
+			ev.EvalInt(q.Agg, base, length, vals)
+			for j := 0; j < length; j++ {
+				k := keys[j]
+				if cmp[j] == 0 {
+					k = ht.NullKey
+				}
+				s := tab.Lookup(k)
+				tab.Add(s, 0, vals[j])
+			}
+		})
+	default:
+		return nil, fmt.Errorf("core: technique %s does not apply to group-by aggregation", tech)
+	}
+	out := make(map[int64]int64, tab.Len())
+	tab.ForEach(false, func(key int64, s int) { out[key] = tab.Acc(s, 0) })
+	return out, nil
+}
+
+func evalFilter(ev *expr.Evaluator, filter expr.Expr, base, length int, cmp []byte) {
+	if filter != nil {
+		ev.EvalBool(filter, base, length, cmp)
+	} else {
+		vec.Fill(cmp[:length], 1)
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/reprolab/swole/internal/expr"
+)
+
+func TestScalarAggForcedAllTechniquesAgree(t *testing.T) {
+	db := testDB(t, 20_000, 100, 10)
+	e := NewEngine(db)
+	q := ScalarAgg{Table: "r", Filter: lt("r_x", 40), Agg: expr.NewCol("r_a")}
+	want := refScalar(db, 40)
+	for _, tech := range []Technique{TechDataCentric, TechHybrid, TechValueMasking, TechAccessMerging} {
+		got, err := e.ScalarAggForced(q, tech)
+		if err != nil {
+			t.Fatalf("%s: %v", tech, err)
+		}
+		if got != want {
+			t.Errorf("%s: got %d, want %d", tech, got, want)
+		}
+	}
+	// No filter.
+	nf := ScalarAgg{Table: "r", Agg: expr.NewCol("r_a")}
+	a, _ := e.ScalarAggForced(nf, TechDataCentric)
+	b, _ := e.ScalarAggForced(nf, TechValueMasking)
+	if a != b {
+		t.Errorf("unfiltered mismatch: %d vs %d", a, b)
+	}
+}
+
+func TestGroupAggForcedAllTechniquesAgree(t *testing.T) {
+	db := testDB(t, 20_000, 100, 17)
+	e := NewEngine(db)
+	q := GroupAgg{Table: "r", Filter: lt("r_x", 65), Key: expr.NewCol("r_c"), Agg: expr.NewCol("r_a")}
+	want := refGroup(db, 65)
+	for _, tech := range []Technique{TechDataCentric, TechHybrid, TechValueMasking, TechKeyMasking} {
+		got, err := e.GroupAggForced(q, tech)
+		if err != nil {
+			t.Fatalf("%s: %v", tech, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d groups, want %d", tech, len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Errorf("%s: group %d = %d, want %d", tech, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestForcedErrors(t *testing.T) {
+	db := testDB(t, 100, 10, 5)
+	e := NewEngine(db)
+	if _, err := e.ScalarAggForced(ScalarAgg{Table: "zz", Agg: expr.NewCol("r_a")}, TechHybrid); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := e.ScalarAggForced(ScalarAgg{Table: "r", Agg: expr.NewCol("zz")}, TechHybrid); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := e.ScalarAggForced(ScalarAgg{Table: "r", Filter: lt("zz", 1), Agg: expr.NewCol("r_a")}, TechHybrid); err == nil {
+		t.Error("unknown filter column accepted")
+	}
+	if _, err := e.ScalarAggForced(ScalarAgg{Table: "r", Agg: expr.NewCol("r_a")}, TechPositionalBitmap); err == nil {
+		t.Error("inapplicable technique accepted")
+	}
+	gq := GroupAgg{Table: "r", Key: expr.NewCol("r_c"), Agg: expr.NewCol("r_a")}
+	if _, err := e.GroupAggForced(gq, TechPositionalBitmap); err == nil {
+		t.Error("inapplicable group technique accepted")
+	}
+	if _, err := e.GroupAggForced(GroupAgg{Table: "zz", Key: expr.NewCol("r_c"), Agg: expr.NewCol("r_a")}, TechHybrid); err == nil {
+		t.Error("unknown group table accepted")
+	}
+	if _, err := e.GroupAggForced(GroupAgg{Table: "r", Key: expr.NewCol("zz"), Agg: expr.NewCol("r_a")}, TechHybrid); err == nil {
+		t.Error("unknown group key accepted")
+	}
+}
+
+func TestSemiJoinAggSparseBuild(t *testing.T) {
+	// Build selectivity under 5% takes the selection-vector construction
+	// path (Section III-D option 2).
+	db := testDB(t, 20_000, 2_000, 10)
+	e := NewEngine(db)
+	got, _, err := e.SemiJoinAgg(SemiJoinAgg{
+		Probe: "r", Build: "s", FK: "r_fk", PK: "s_pk",
+		BuildFilter: lt("s_x", 2), // ~2%
+		Agg:         expr.NewCol("r_a"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, s := db.MustTable("r"), db.MustTable("s")
+	qual := make([]bool, s.Rows())
+	for i := 0; i < s.Rows(); i++ {
+		qual[i] = s.MustColumn("s_x").Get(i) < 2
+	}
+	var want int64
+	for i := 0; i < r.Rows(); i++ {
+		if qual[r.MustColumn("r_fk").Get(i)] {
+			want += r.MustColumn("r_a").Get(i)
+		}
+	}
+	if got != want {
+		t.Errorf("sparse build path: got %d, want %d", got, want)
+	}
+}
+
+func TestSemiJoinAggNoFilters(t *testing.T) {
+	db := testDB(t, 5_000, 100, 10)
+	e := NewEngine(db)
+	got, _, err := e.SemiJoinAgg(SemiJoinAgg{
+		Probe: "r", Build: "s", FK: "r_fk", PK: "s_pk", Agg: expr.NewCol("r_a"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refScalar(db, 1<<30) // everything
+	if got != want {
+		t.Errorf("got %d, want %d", got, want)
+	}
+}
+
+func TestGroupJoinAggNoFilter(t *testing.T) {
+	db := testDB(t, 5_000, 50, 10)
+	e := NewEngine(db)
+	got, ex, err := e.GroupJoinAgg(GroupJoinAgg{
+		Probe: "r", Build: "s", FK: "r_fk", PK: "s_pk", Agg: expr.NewCol("r_a"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := db.MustTable("r")
+	want := map[int64]int64{}
+	for i := 0; i < r.Rows(); i++ {
+		want[r.MustColumn("r_fk").Get(i)] += r.MustColumn("r_a").Get(i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("(%s) %d groups, want %d", ex.Technique, len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("group %d: %d vs %d", k, got[k], v)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"github.com/reprolab/swole/internal/cost"
+	"github.com/reprolab/swole/internal/expr"
+	"github.com/reprolab/swole/internal/ht"
+	"github.com/reprolab/swole/internal/vec"
+)
+
+// GroupAgg is a filtered group-by sum: select Key, sum(Agg) from Table
+// where Filter group by Key — the shape of Section III-B, micro Q2, and
+// the aggregation side of TPC-H Q1/Q13.
+type GroupAgg struct {
+	Table  string
+	Filter expr.Expr // nil selects everything
+	Key    expr.Expr // group-by key (integer-valued)
+	Agg    expr.Expr // summed expression
+}
+
+// Run plans and executes the aggregation, choosing among hybrid pushdown,
+// value masking, and key masking with the Section III-B cost models, and
+// returns the per-group sums.
+func (e *Engine) GroupAgg(q GroupAgg) (map[int64]int64, Explain, error) {
+	t := e.DB.Table(q.Table)
+	if t == nil {
+		return nil, Explain{}, errNoTable(q.Table)
+	}
+	for _, x := range []expr.Expr{q.Filter, q.Key, q.Agg} {
+		if x == nil {
+			continue
+		}
+		if err := expr.Bind(x, t); err != nil {
+			return nil, Explain{}, err
+		}
+	}
+	rows := t.Rows()
+	sel := sampleSelectivity(q.Filter, rows, 16384)
+	comp := expr.CompCost(q.Agg, e.Params)
+	groups := sampleGroups(q.Key, rows, 16384)
+	htBytes := groups * aggSlotBytes(1)
+	strat, _ := e.Params.ChooseGroupAgg(rows, sel, comp, 1, htBytes)
+
+	ex := Explain{
+		Selectivity: sel,
+		CompCost:    comp,
+		Groups:      groups,
+		HTBytes:     htBytes,
+		Costs: map[string]float64{
+			"hybrid":        e.Params.HybridGroup(rows, sel, comp, htBytes),
+			"value-masking": e.Params.ValueMaskingGroup(rows, comp+e.Params.CompMul, htBytes),
+			"key-masking":   e.Params.KeyMasking(rows, sel, comp+e.Params.CompCmp, htBytes),
+		},
+	}
+
+	ev := expr.NewEvaluator()
+	tab := ht.NewAggTable(1, groups)
+	cmp := make([]byte, vec.TileSize)
+	keys := make([]int64, vec.TileSize)
+	vals := make([]int64, vec.TileSize)
+
+	prep := func(base, length int) {
+		if q.Filter != nil {
+			ev.EvalBool(q.Filter, base, length, cmp)
+		} else {
+			vec.Fill(cmp[:length], 1)
+		}
+	}
+
+	switch strat {
+	case cost.ChooseValueMasking:
+		ex.Technique = TechValueMasking
+		vec.Tiles(rows, func(base, length int) {
+			prep(base, length)
+			ev.EvalInt(q.Key, base, length, keys)
+			ev.EvalInt(q.Agg, base, length, vals)
+			for j := 0; j < length; j++ {
+				s := tab.Lookup(keys[j])
+				tab.AddMasked(s, 0, vals[j], cmp[j])
+			}
+		})
+	case cost.ChooseKeyMasking:
+		ex.Technique = TechKeyMasking
+		vec.Tiles(rows, func(base, length int) {
+			prep(base, length)
+			ev.EvalInt(q.Key, base, length, keys)
+			ev.EvalInt(q.Agg, base, length, vals)
+			for j := 0; j < length; j++ {
+				k := keys[j]
+				if cmp[j] == 0 {
+					k = ht.NullKey
+				}
+				s := tab.Lookup(k)
+				tab.Add(s, 0, vals[j])
+			}
+		})
+	default:
+		ex.Technique = TechHybrid
+		idx := make([]int32, vec.TileSize)
+		vec.Tiles(rows, func(base, length int) {
+			prep(base, length)
+			n := vec.SelFromCmpNoBranch(cmp[:length], idx)
+			for j := 0; j < n; j++ {
+				i := base + int(idx[j])
+				s := tab.Lookup(expr.Eval(q.Key, i))
+				tab.Add(s, 0, expr.Eval(q.Agg, i))
+			}
+		})
+	}
+
+	out := make(map[int64]int64, tab.Len())
+	tab.ForEach(false, func(key int64, s int) { out[key] = tab.Acc(s, 0) })
+	return out, ex, nil
+}

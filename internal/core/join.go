@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/reprolab/swole/internal/bitmap"
+	"github.com/reprolab/swole/internal/expr"
+	"github.com/reprolab/swole/internal/ht"
+	"github.com/reprolab/swole/internal/vec"
+)
+
+// SemiJoinAgg is a filtered semijoin aggregation:
+//
+//	select sum(Agg) from Probe, Build
+//	where Probe.FK = Build.PK and ProbeFilter and BuildFilter
+//
+// with no build attributes beyond the join — the shape of Section III-D,
+// micro Q4, and TPC-H Q4. The build side's primary key must be the dense
+// row id (true for every table in the workloads), which is what makes the
+// foreign key double as the positional index.
+type SemiJoinAgg struct {
+	Probe       string
+	Build       string
+	FK          string // probe column holding build row positions
+	PK          string // build primary key (dense)
+	ProbeFilter expr.Expr
+	BuildFilter expr.Expr
+	Agg         expr.Expr // over probe columns
+}
+
+// Run executes the semijoin with SWOLE's positional bitmap (Section III-D:
+// "Always Better" in Figure 2 — the technique needs no cost decision, only
+// the choice between predicated and selection-vector construction, which
+// the value-masking model makes).
+func (e *Engine) SemiJoinAgg(q SemiJoinAgg) (int64, Explain, error) {
+	probe := e.DB.Table(q.Probe)
+	build := e.DB.Table(q.Build)
+	if probe == nil {
+		return 0, Explain{}, errNoTable(q.Probe)
+	}
+	if build == nil {
+		return 0, Explain{}, errNoTable(q.Build)
+	}
+	fkCol := probe.Column(q.FK)
+	if fkCol == nil {
+		return 0, Explain{}, fmt.Errorf("core: no column %s in %s", q.FK, q.Probe)
+	}
+	if q.ProbeFilter != nil {
+		if err := expr.Bind(q.ProbeFilter, probe); err != nil {
+			return 0, Explain{}, err
+		}
+	}
+	if q.BuildFilter != nil {
+		if err := expr.Bind(q.BuildFilter, build); err != nil {
+			return 0, Explain{}, err
+		}
+	}
+	if err := expr.Bind(q.Agg, probe); err != nil {
+		return 0, Explain{}, err
+	}
+
+	buildSel := sampleSelectivity(q.BuildFilter, build.Rows(), 16384)
+	ex := Explain{
+		Technique:   TechPositionalBitmap,
+		Selectivity: buildSel,
+		HTBytes:     (build.Rows() + 7) / 8,
+		Costs: map[string]float64{
+			"bitmap-bytes": float64((build.Rows() + 7) / 8),
+		},
+	}
+
+	// Build the positional bitmap with a sequential scan; the predicated
+	// store is chosen unless the build predicate is very selective
+	// (Section III-D options 1 and 2).
+	bm := bitmap.New(build.Rows())
+	ev := expr.NewEvaluator()
+	cmp := make([]byte, vec.TileSize)
+	if buildSel < 0.05 && q.BuildFilter != nil {
+		idx := make([]int32, vec.TileSize)
+		vec.Tiles(build.Rows(), func(base, length int) {
+			ev.EvalBool(q.BuildFilter, base, length, cmp)
+			n := vec.SelFromCmpNoBranch(cmp[:length], idx)
+			bm.SetFromSel(base, idx, n)
+		})
+	} else {
+		vec.Tiles(build.Rows(), func(base, length int) {
+			if q.BuildFilter != nil {
+				ev.EvalBool(q.BuildFilter, base, length, cmp)
+			} else {
+				vec.Fill(cmp[:length], 1)
+			}
+			bm.SetFromCmp(base, cmp[:length])
+		})
+	}
+
+	// Probe sequentially, masking with the positional bit.
+	var sum int64
+	vals := make([]int64, vec.TileSize)
+	vec.Tiles(probe.Rows(), func(base, length int) {
+		if q.ProbeFilter != nil {
+			ev.EvalBool(q.ProbeFilter, base, length, cmp)
+		} else {
+			vec.Fill(cmp[:length], 1)
+		}
+		ev.EvalInt(q.Agg, base, length, vals)
+		for j := 0; j < length; j++ {
+			pos := int(fkCol.Get(base + j))
+			m := cmp[j] & bm.TestBit(pos)
+			sum += vals[j] * int64(m)
+		}
+	})
+	return sum, ex, nil
+}
+
+// GroupJoinAgg is a groupjoin keyed by the probe's foreign key:
+//
+//	select Probe.FK, sum(Agg) from Probe, Build
+//	where Probe.FK = Build.PK and BuildFilter group by Probe.FK
+//
+// — the shape of Section III-E and micro Q5.
+type GroupJoinAgg struct {
+	Probe       string
+	Build       string
+	FK          string
+	PK          string // dense primary key
+	BuildFilter expr.Expr
+	Agg         expr.Expr // over probe columns
+}
+
+// Run chooses between the traditional groupjoin and eager aggregation
+// using the Section III-E cost models.
+func (e *Engine) GroupJoinAgg(q GroupJoinAgg) (map[int64]int64, Explain, error) {
+	probe := e.DB.Table(q.Probe)
+	build := e.DB.Table(q.Build)
+	if probe == nil {
+		return nil, Explain{}, errNoTable(q.Probe)
+	}
+	if build == nil {
+		return nil, Explain{}, errNoTable(q.Build)
+	}
+	fkCol := probe.Column(q.FK)
+	pkCol := build.Column(q.PK)
+	if fkCol == nil || pkCol == nil {
+		return nil, Explain{}, fmt.Errorf("core: missing join columns %s/%s", q.FK, q.PK)
+	}
+	if q.BuildFilter != nil {
+		if err := expr.Bind(q.BuildFilter, build); err != nil {
+			return nil, Explain{}, err
+		}
+	}
+	if err := expr.Bind(q.Agg, probe); err != nil {
+		return nil, Explain{}, err
+	}
+
+	rows := probe.Rows()
+	selS := sampleSelectivity(q.BuildFilter, build.Rows(), 16384)
+	comp := expr.CompCost(q.Agg, e.Params)
+	htBytes := build.Rows() * aggSlotBytes(1)
+	eager, gj, ea := e.Params.ChooseGroupjoin(build.Rows(), selS, rows, 1.0, selS, comp, htBytes)
+
+	ex := Explain{
+		Selectivity: selS,
+		CompCost:    comp,
+		Groups:      build.Rows(),
+		HTBytes:     htBytes,
+		Costs:       map[string]float64{"groupjoin": gj, "eager-aggregation": ea},
+	}
+
+	ev := expr.NewEvaluator()
+	tab := ht.NewAggTable(1, build.Rows())
+	vals := make([]int64, vec.TileSize)
+	if eager {
+		ex.Technique = TechEagerAggregation
+		// Unconditional aggregation of the probe side, grouped by FK.
+		vec.Tiles(rows, func(base, length int) {
+			ev.EvalInt(q.Agg, base, length, vals)
+			for j := 0; j < length; j++ {
+				s := tab.Lookup(fkCol.Get(base + j))
+				tab.Add(s, 0, vals[j])
+			}
+		})
+		// Inverted predicate deletes non-qualifying groups.
+		cmp := make([]byte, vec.TileSize)
+		vec.Tiles(build.Rows(), func(base, length int) {
+			if q.BuildFilter != nil {
+				ev.EvalBool(q.BuildFilter, base, length, cmp)
+			} else {
+				vec.Fill(cmp[:length], 1)
+			}
+			for j := 0; j < length; j++ {
+				if cmp[j] == 0 {
+					tab.Delete(pkCol.Get(base + j))
+				}
+			}
+		})
+	} else {
+		ex.Technique = TechHybrid
+		// Traditional groupjoin: build qualifying keys, probe and
+		// aggregate on match.
+		cmp := make([]byte, vec.TileSize)
+		idx := make([]int32, vec.TileSize)
+		vec.Tiles(build.Rows(), func(base, length int) {
+			if q.BuildFilter != nil {
+				ev.EvalBool(q.BuildFilter, base, length, cmp)
+			} else {
+				vec.Fill(cmp[:length], 1)
+			}
+			n := vec.SelFromCmpNoBranch(cmp[:length], idx)
+			for j := 0; j < n; j++ {
+				tab.Lookup(pkCol.Get(base + int(idx[j]))) // insert, not valid
+			}
+		})
+		vec.Tiles(rows, func(base, length int) {
+			ev.EvalInt(q.Agg, base, length, vals)
+			for j := 0; j < length; j++ {
+				if s := tab.Find(fkCol.Get(base + j)); s >= 0 {
+					tab.Add(s, 0, vals[j])
+				}
+			}
+		})
+	}
+
+	out := make(map[int64]int64, tab.Len())
+	tab.ForEach(false, func(key int64, s int) { out[key] = tab.Acc(s, 0) })
+	return out, ex, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"github.com/reprolab/swole/internal/cost"
+	"github.com/reprolab/swole/internal/expr"
+	"github.com/reprolab/swole/internal/vec"
+)
+
+// ScalarAgg is a filtered scalar sum: select sum(Agg) from Table where
+// Filter — the shape of the paper's Section II example, micro Q1/Q3, and
+// TPC-H Q6.
+type ScalarAgg struct {
+	Table  string
+	Filter expr.Expr // nil selects everything
+	Agg    expr.Expr // summed expression
+}
+
+// Run plans and executes the aggregation, returning the sum and the
+// decision record. The planner chooses between the hybrid pushdown and
+// value masking using the Section III-A cost models; when the filter and
+// aggregate share attributes, the decision is reported as access merging
+// (Section III-C: "always beneficial if it can be applied") — under the
+// generic tiled evaluator the shared attribute's second read hits the
+// tile still resident in cache, which is the interpreted analogue of the
+// fused single read the hand-specialized kernels (micro.Q3AccessMerging)
+// and the code generator emit.
+func (e *Engine) ScalarAgg(q ScalarAgg) (int64, Explain, error) {
+	t := e.DB.Table(q.Table)
+	if t == nil {
+		return 0, Explain{}, errNoTable(q.Table)
+	}
+	if q.Filter != nil {
+		if err := expr.Bind(q.Filter, t); err != nil {
+			return 0, Explain{}, err
+		}
+	}
+	if err := expr.Bind(q.Agg, t); err != nil {
+		return 0, Explain{}, err
+	}
+	rows := t.Rows()
+	sel := sampleSelectivity(q.Filter, rows, 16384)
+	comp := expr.CompCost(q.Agg, e.Params)
+	strat, _ := e.Params.ChooseScalarAgg(rows, sel, comp)
+
+	ex := Explain{
+		Selectivity: sel,
+		CompCost:    comp,
+		Costs: map[string]float64{
+			"hybrid":        e.Params.Hybrid(rows, sel, comp),
+			"value-masking": e.Params.ValueMasking(rows, comp),
+		},
+		Merged: shared(q.Filter, q.Agg),
+	}
+
+	ev := expr.NewEvaluator()
+	var sum int64
+	switch strat {
+	case cost.ChooseValueMasking:
+		ex.Technique = TechValueMasking
+		if len(ex.Merged) > 0 {
+			ex.Technique = TechAccessMerging
+		}
+		cmp := make([]byte, vec.TileSize)
+		vals := make([]int64, vec.TileSize)
+		vec.Tiles(rows, func(base, length int) {
+			if q.Filter != nil {
+				ev.EvalBool(q.Filter, base, length, cmp)
+			} else {
+				vec.Fill(cmp[:length], 1)
+			}
+			ev.EvalInt(q.Agg, base, length, vals)
+			for j := 0; j < length; j++ {
+				sum += vals[j] * int64(cmp[j])
+			}
+		})
+	default:
+		ex.Technique = TechHybrid
+		cmp := make([]byte, vec.TileSize)
+		idx := make([]int32, vec.TileSize)
+		vec.Tiles(rows, func(base, length int) {
+			if q.Filter != nil {
+				ev.EvalBool(q.Filter, base, length, cmp)
+			} else {
+				vec.Fill(cmp[:length], 1)
+			}
+			n := vec.SelFromCmpNoBranch(cmp[:length], idx)
+			// Conditional access: the aggregate is evaluated only for
+			// selected tuples.
+			for j := 0; j < n; j++ {
+				sum += expr.Eval(q.Agg, base+int(idx[j]))
+			}
+		})
+	}
+	return sum, ex, nil
+}
+
+// shared returns attributes referenced by both expressions.
+func shared(a, b expr.Expr) []string {
+	if a == nil || b == nil {
+		return nil
+	}
+	inA := map[string]bool{}
+	for _, c := range expr.Cols(a) {
+		inA[c] = true
+	}
+	var out []string
+	for _, c := range expr.Cols(b) {
+		if inA[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+type errNoTable string
+
+func (e errNoTable) Error() string { return "core: no table " + string(e) }

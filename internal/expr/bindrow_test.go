@@ -1,0 +1,145 @@
+package expr
+
+import (
+	"testing"
+
+	"github.com/reprolab/swole/internal/storage"
+)
+
+// rowSchema is a minimal SchemaSource for direct BindRow/EvalRow tests.
+type rowSchema struct {
+	names []string
+	dicts []*storage.Dict
+}
+
+func (s rowSchema) Resolve(name string) (int, *storage.Dict, bool) {
+	for i, n := range s.names {
+		if n == name {
+			return i, s.dicts[i], true
+		}
+	}
+	return 0, nil, false
+}
+
+func testSchema() rowSchema {
+	dict := storage.NewDict([]string{"apple", "banana", "cherry"})
+	return rowSchema{
+		names: []string{"a", "b", "s"},
+		dicts: []*storage.Dict{nil, nil, dict},
+	}
+}
+
+func TestEvalRowAllNodes(t *testing.T) {
+	s := testSchema()
+	appleCode, _ := s.dicts[2].Code("apple")
+	row := []int64{7, -3, appleCode}
+
+	cases := []struct {
+		e    Expr
+		want int64
+	}{
+		{NewCol("a"), 7},
+		{&Const{Val: 42}, 42},
+		{&Arith{Op: Add, L: NewCol("a"), R: NewCol("b")}, 4},
+		{&Arith{Op: Sub, L: NewCol("a"), R: NewCol("b")}, 10},
+		{&Arith{Op: Mul, L: NewCol("a"), R: NewCol("b")}, -21},
+		{&Arith{Op: Div, L: NewCol("a"), R: &Const{Val: 2}}, 3},
+		{&Cmp{Op: LT, L: NewCol("b"), R: NewCol("a")}, 1},
+		{&Cmp{Op: LE, L: NewCol("a"), R: NewCol("a")}, 1},
+		{&Cmp{Op: GT, L: NewCol("b"), R: NewCol("a")}, 0},
+		{&Cmp{Op: GE, L: NewCol("b"), R: NewCol("a")}, 0},
+		{&Cmp{Op: EQ, L: NewCol("s"), R: &StrConst{Val: "apple"}}, 1},
+		{&Cmp{Op: NE, L: NewCol("s"), R: &StrConst{Val: "banana"}}, 1},
+		{&Between{X: NewCol("a"), Lo: &Const{Val: 0}, Hi: &Const{Val: 10}}, 1},
+		{&Between{X: NewCol("b"), Lo: &Const{Val: 0}, Hi: &Const{Val: 10}}, 0},
+		{&In{X: NewCol("a"), List: []Expr{&Const{Val: 7}, &Const{Val: 9}}}, 1},
+		{&In{X: NewCol("a"), List: []Expr{&Const{Val: 9}}}, 0},
+		{&In{X: NewCol("s"), List: []Expr{&StrConst{Val: "apple"}, &StrConst{Val: "cherry"}}}, 1},
+		{&Like{X: NewCol("s"), Pattern: "app%"}, 1},
+		{&Like{X: NewCol("s"), Pattern: "app%", Negate: true}, 0},
+		{&Logic{Op: And, Args: []Expr{&Cmp{Op: GT, L: NewCol("a"), R: &Const{Val: 0}}, &Cmp{Op: LT, L: NewCol("b"), R: &Const{Val: 0}}}}, 1},
+		{&Logic{Op: Or, Args: []Expr{&Cmp{Op: LT, L: NewCol("a"), R: &Const{Val: 0}}, &Cmp{Op: LT, L: NewCol("b"), R: &Const{Val: 0}}}}, 1},
+		{&Logic{Op: Not, Args: []Expr{&Cmp{Op: LT, L: NewCol("a"), R: &Const{Val: 0}}}}, 1},
+		{&Case{Whens: []CaseWhen{{Cond: &Cmp{Op: GT, L: NewCol("a"), R: &Const{Val: 0}}, Then: NewCol("b")}}, Else: &Const{Val: 99}}, -3},
+		{&Case{Whens: []CaseWhen{{Cond: &Cmp{Op: LT, L: NewCol("a"), R: &Const{Val: 0}}, Then: NewCol("b")}}, Else: &Const{Val: 99}}, 99},
+		{&Case{Whens: []CaseWhen{{Cond: &Cmp{Op: LT, L: NewCol("a"), R: &Const{Val: 0}}, Then: NewCol("b")}}}, 0},
+	}
+	for _, c := range cases {
+		if err := BindRow(c.e, s); err != nil {
+			t.Fatalf("BindRow(%s): %v", c.e, err)
+		}
+		if got := EvalRow(c.e, row); got != c.want {
+			t.Errorf("EvalRow(%s) = %d, want %d", c.e, got, c.want)
+		}
+	}
+}
+
+func TestBindRowErrors(t *testing.T) {
+	s := testSchema()
+	bad := []Expr{
+		NewCol("zz"),
+		&Arith{Op: Add, L: NewCol("zz"), R: NewCol("a")},
+		&Arith{Op: Add, L: NewCol("a"), R: NewCol("zz")},
+		&Cmp{Op: EQ, L: NewCol("a"), R: &StrConst{Val: "x"}},   // string vs int
+		&Like{X: NewCol("a"), Pattern: "%"},                    // LIKE on int
+		&Like{X: &Const{Val: 1}, Pattern: "%"},                 // LIKE on literal
+		&In{X: NewCol("a"), List: []Expr{&StrConst{Val: "x"}}}, // string in int list
+		&Between{X: NewCol("zz"), Lo: &Const{Val: 0}, Hi: &Const{Val: 1}},
+		&Logic{Op: And, Args: []Expr{NewCol("zz")}},
+		&Case{Whens: []CaseWhen{{Cond: NewCol("zz"), Then: &Const{Val: 1}}}},
+		&Case{Whens: []CaseWhen{{Cond: &Const{Val: 1}, Then: NewCol("zz")}}},
+		&StrConst{Val: "floating"}, // never compared to a string column
+	}
+	for _, e := range bad {
+		if err := BindRow(e, s); err == nil {
+			t.Errorf("BindRow(%s) accepted", e)
+		}
+	}
+}
+
+func TestBindRejectsUnresolvedStrings(t *testing.T) {
+	tab := storage.MustNewTable("t", storage.Compress("a", []int64{1}, storage.LogInt))
+	e := &Logic{Op: And, Args: []Expr{
+		&Cmp{Op: LT, L: NewCol("a"), R: &Const{Val: 5}},
+		&StrConst{Val: "dangling"},
+	}}
+	if err := Bind(e, tab); err == nil {
+		t.Error("dangling string literal bound")
+	}
+}
+
+func TestEvalRowUnboundColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	EvalRow(NewCol("never"), []int64{1})
+}
+
+func TestColColumnAccessor(t *testing.T) {
+	tab := storage.MustNewTable("t", storage.Compress("a", []int64{1}, storage.LogInt))
+	c := NewCol("a")
+	if c.Column() != nil {
+		t.Error("unbound column non-nil")
+	}
+	if err := Bind(c, tab); err != nil {
+		t.Fatal(err)
+	}
+	if c.Column() == nil || c.Column().Name != "a" {
+		t.Error("bound column wrong")
+	}
+	qualified := &Col{Table: "t", Name: "a"}
+	if qualified.String() != "t.a" {
+		t.Errorf("qualified String = %q", qualified.String())
+	}
+}
+
+func TestArithOpStrings(t *testing.T) {
+	want := map[ArithOp]string{Add: "+", Sub: "-", Mul: "*", Div: "/"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d = %q", op, op.String())
+		}
+	}
+}

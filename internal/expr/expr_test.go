@@ -1,0 +1,349 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/reprolab/swole/internal/cost"
+	"github.com/reprolab/swole/internal/storage"
+	"github.com/reprolab/swole/internal/vec"
+)
+
+func testTable(t *testing.T) *storage.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	n := 3000
+	x := make([]int64, n)
+	y := make([]int64, n)
+	a := make([]int64, n)
+	s := make([]string, n)
+	words := []string{"PROMO BRUSHED", "STANDARD TIN", "PROMO PLATED", "ECONOMY BURNISHED"}
+	for i := 0; i < n; i++ {
+		x[i] = int64(rng.Intn(100))
+		y[i] = int64(rng.Intn(4))
+		a[i] = int64(rng.Intn(1000) - 500)
+		s[i] = words[rng.Intn(len(words))]
+	}
+	return storage.MustNewTable("r",
+		storage.Compress("x", x, storage.LogInt),
+		storage.Compress("y", y, storage.LogInt),
+		storage.Compress("a", a, storage.LogInt),
+		storage.NewStrings("s", s),
+	)
+}
+
+// evalBothWays checks scalar Eval and the vectorized evaluator agree on
+// every row, then returns the scalar results.
+func evalBothWays(t *testing.T, tab *storage.Table, e Expr, boolean bool) []int64 {
+	t.Helper()
+	if err := Bind(e, tab); err != nil {
+		t.Fatalf("Bind(%s): %v", e, err)
+	}
+	n := tab.Rows()
+	got := make([]int64, n)
+	for i := 0; i < n; i++ {
+		got[i] = Eval(e, i)
+	}
+	ev := NewEvaluator()
+	outI := make([]int64, vec.TileSize)
+	outB := make([]byte, vec.TileSize)
+	vec.Tiles(n, func(base, length int) {
+		if boolean {
+			ev.EvalBool(e, base, length, outB)
+			for j := 0; j < length; j++ {
+				if int64(outB[j]) != got[base+j] {
+					t.Fatalf("%s: row %d: vector=%d scalar=%d", e, base+j, outB[j], got[base+j])
+				}
+			}
+		} else {
+			ev.EvalInt(e, base, length, outI)
+			for j := 0; j < length; j++ {
+				if outI[j] != got[base+j] {
+					t.Fatalf("%s: row %d: vector=%d scalar=%d", e, base+j, outI[j], got[base+j])
+				}
+			}
+		}
+	})
+	return got
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	tab := testTable(t)
+	exprs := []Expr{
+		&Cmp{Op: LT, L: NewCol("x"), R: &Const{Val: 13}},
+		&Cmp{Op: GE, L: NewCol("x"), R: NewCol("y")},
+		&Logic{Op: And, Args: []Expr{
+			&Cmp{Op: LT, L: NewCol("x"), R: &Const{Val: 50}},
+			&Cmp{Op: EQ, L: NewCol("y"), R: &Const{Val: 1}},
+		}},
+		&Logic{Op: Or, Args: []Expr{
+			&Cmp{Op: EQ, L: NewCol("y"), R: &Const{Val: 0}},
+			&Cmp{Op: GT, L: NewCol("x"), R: &Const{Val: 90}},
+		}},
+		&Logic{Op: Not, Args: []Expr{&Cmp{Op: LT, L: NewCol("x"), R: &Const{Val: 13}}}},
+		&Between{X: NewCol("x"), Lo: &Const{Val: 10}, Hi: &Const{Val: 20}},
+		&In{X: NewCol("y"), List: []Expr{&Const{Val: 1}, &Const{Val: 3}}},
+	}
+	for _, e := range exprs {
+		vals := evalBothWays(t, tab, e, true)
+		ones := int64(0)
+		for _, v := range vals {
+			if v != 0 && v != 1 {
+				t.Fatalf("%s produced non-boolean %d", e, v)
+			}
+			ones += v
+		}
+		if ones == 0 || ones == int64(len(vals)) {
+			t.Logf("warning: %s is degenerate on test data (%d/%d)", e, ones, len(vals))
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	tab := testTable(t)
+	e := &Arith{Op: Add,
+		L: &Arith{Op: Mul, L: NewCol("a"), R: NewCol("x")},
+		R: &Arith{Op: Sub, L: NewCol("y"), R: &Const{Val: 7}},
+	}
+	vals := evalBothWays(t, tab, e, false)
+	// Spot-check row 0 against direct computation.
+	a := tab.MustColumn("a").Get(0)
+	x := tab.MustColumn("x").Get(0)
+	y := tab.MustColumn("y").Get(0)
+	if vals[0] != a*x+(y-7) {
+		t.Errorf("row 0: got %d, want %d", vals[0], a*x+(y-7))
+	}
+	// Division truncates toward zero like SQL integer division.
+	d := &Arith{Op: Div, L: NewCol("a"), R: &Const{Val: 3}}
+	vals = evalBothWays(t, tab, d, false)
+	if vals[1] != tab.MustColumn("a").Get(1)/3 {
+		t.Errorf("div: got %d", vals[1])
+	}
+}
+
+func TestStringEquality(t *testing.T) {
+	tab := testTable(t)
+	e := &Cmp{Op: EQ, L: NewCol("s"), R: &StrConst{Val: "ECONOMY BURNISHED"}}
+	vals := evalBothWays(t, tab, e, true)
+	col := tab.MustColumn("s")
+	for i, v := range vals {
+		want := int64(0)
+		if col.GetString(i) == "ECONOMY BURNISHED" {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("row %d: got %d, want %d", i, v, want)
+		}
+	}
+	// Absent string: EQ always false, NE always true.
+	abs := &Cmp{Op: EQ, L: NewCol("s"), R: &StrConst{Val: "NO SUCH"}}
+	for _, v := range evalBothWays(t, tab, abs, true) {
+		if v != 0 {
+			t.Fatal("EQ against absent string matched")
+		}
+	}
+	absNE := &Cmp{Op: NE, L: NewCol("s"), R: &StrConst{Val: "NO SUCH"}}
+	for _, v := range evalBothWays(t, tab, absNE, true) {
+		if v != 1 {
+			t.Fatal("NE against absent string failed")
+		}
+	}
+}
+
+func TestStringIn(t *testing.T) {
+	tab := testTable(t)
+	e := &In{X: NewCol("s"), List: []Expr{
+		&StrConst{Val: "ECONOMY BURNISHED"}, &StrConst{Val: "STANDARD TIN"}, &StrConst{Val: "NO SUCH"},
+	}}
+	vals := evalBothWays(t, tab, e, true)
+	col := tab.MustColumn("s")
+	for i, v := range vals {
+		s := col.GetString(i)
+		want := int64(0)
+		if s == "ECONOMY BURNISHED" || s == "STANDARD TIN" {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("row %d (%s): got %d, want %d", i, s, v, want)
+		}
+	}
+}
+
+func TestLike(t *testing.T) {
+	tab := testTable(t)
+	e := &Like{X: NewCol("s"), Pattern: "PROMO%"}
+	vals := evalBothWays(t, tab, e, true)
+	col := tab.MustColumn("s")
+	for i, v := range vals {
+		s := col.GetString(i)
+		want := int64(0)
+		if len(s) >= 5 && s[:5] == "PROMO" {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("row %d (%s): got %d", i, s, v)
+		}
+	}
+	neg := &Like{X: NewCol("s"), Pattern: "%TIN", Negate: true}
+	vals = evalBothWays(t, tab, neg, true)
+	for i, v := range vals {
+		s := col.GetString(i)
+		want := int64(1)
+		if len(s) >= 3 && s[len(s)-3:] == "TIN" {
+			want = 0
+		}
+		if v != want {
+			t.Fatalf("not like row %d (%s): got %d", i, s, v)
+		}
+	}
+}
+
+func TestMatchLike(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_lo", false},
+		{"hello", "%", true},
+		{"", "%", true},
+		{"", "", true},
+		{"", "_", false},
+		{"abc", "a%b%c", true},
+		{"abc", "%a%b%c%", true},
+		{"axbyc", "a%b%c", true},
+		{"acb", "a%b%c", false},
+		// The Q13 pattern shape: three wildcards.
+		{"the special packages requests", "%special%requests%", true},
+		{"the special pack", "%special%requests%", false},
+		{"specialrequests", "%special%requests%", true},
+		// Greedy backtracking.
+		{"aaa", "%a", true},
+		{"abab", "%ab", true},
+		{"abab", "ab%ab", true},
+		{"ab", "ab%ab", false},
+	}
+	for _, c := range cases {
+		if got := MatchLike(c.s, c.p); got != c.want {
+			t.Errorf("MatchLike(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestCase(t *testing.T) {
+	tab := testTable(t)
+	e := &Case{
+		Whens: []CaseWhen{
+			{Cond: &Cmp{Op: LT, L: NewCol("x"), R: &Const{Val: 20}}, Then: &Const{Val: 100}},
+			{Cond: &Cmp{Op: LT, L: NewCol("x"), R: &Const{Val: 60}}, Then: NewCol("a")},
+		},
+		Else: &Const{Val: -5},
+	}
+	vals := evalBothWays(t, tab, e, false)
+	xc, ac := tab.MustColumn("x"), tab.MustColumn("a")
+	for i, v := range vals {
+		var want int64
+		switch {
+		case xc.Get(i) < 20:
+			want = 100
+		case xc.Get(i) < 60:
+			want = ac.Get(i)
+		default:
+			want = -5
+		}
+		if v != want {
+			t.Fatalf("row %d: got %d, want %d (x=%d)", i, v, want, xc.Get(i))
+		}
+	}
+	// Without ELSE, non-matching rows yield 0.
+	noElse := &Case{Whens: []CaseWhen{
+		{Cond: &Cmp{Op: LT, L: NewCol("x"), R: &Const{Val: 0}}, Then: &Const{Val: 9}},
+	}}
+	for _, v := range evalBothWays(t, tab, noElse, false) {
+		if v != 0 {
+			t.Fatal("CASE without ELSE must default to 0")
+		}
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	tab := testTable(t)
+	if err := Bind(NewCol("nope"), tab); err == nil {
+		t.Error("unknown column bound")
+	}
+	if err := Bind(&Like{X: NewCol("x"), Pattern: "%"}, tab); err == nil {
+		t.Error("LIKE on integer column bound")
+	}
+	if err := Bind(&Cmp{Op: EQ, L: NewCol("x"), R: &StrConst{Val: "s"}}, tab); err == nil {
+		t.Error("string literal vs int column bound")
+	}
+}
+
+func TestCols(t *testing.T) {
+	e := &Logic{Op: And, Args: []Expr{
+		&Cmp{Op: LT, L: NewCol("x"), R: &Const{Val: 1}},
+		&Cmp{Op: EQ, L: &Arith{Op: Mul, L: NewCol("x"), R: NewCol("a")}, R: NewCol("y")},
+	}}
+	got := Cols(e)
+	want := []string{"x", "a", "y"}
+	if len(got) != len(want) {
+		t.Fatalf("Cols=%v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Cols[%d]=%s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCompCost(t *testing.T) {
+	p := cost.Default()
+	mul := &Arith{Op: Mul, L: NewCol("a"), R: NewCol("b")}
+	div := &Arith{Op: Div, L: NewCol("a"), R: NewCol("b")}
+	if CompCost(div, p) <= CompCost(mul, p) {
+		t.Error("division must cost more than multiplication")
+	}
+	pred := &Logic{Op: And, Args: []Expr{
+		&Cmp{Op: LT, L: NewCol("x"), R: &Const{Val: 1}},
+		&Cmp{Op: EQ, L: NewCol("y"), R: &Const{Val: 1}},
+	}}
+	if CompCost(pred, p) != 2*p.CompCmp {
+		t.Errorf("two comparisons should cost 2*CompCmp, got %v", CompCost(pred, p))
+	}
+}
+
+func TestStrings(t *testing.T) {
+	e := &Logic{Op: And, Args: []Expr{
+		&Cmp{Op: LT, L: NewCol("r_x"), R: &Const{Val: 13}},
+		&Like{X: NewCol("s"), Pattern: "a%", Negate: true},
+	}}
+	want := "(r_x < 13) and (s not like 'a%')"
+	if e.String() != want {
+		t.Errorf("String()=%q, want %q", e.String(), want)
+	}
+	c := &Case{Whens: []CaseWhen{{Cond: &Cmp{Op: EQ, L: NewCol("y"), R: &Const{Val: 1}}, Then: &Const{Val: 2}}}}
+	if c.String() != "case when y = 1 then 2 end" {
+		t.Errorf("case String()=%q", c.String())
+	}
+	b := &Between{X: NewCol("x"), Lo: &Const{Val: 1, Repr: "0.01"}, Hi: &Const{Val: 3}}
+	if b.String() != "x between 0.01 and 3" {
+		t.Errorf("between String()=%q", b.String())
+	}
+	in := &In{X: NewCol("y"), List: []Expr{&Const{Val: 1}, &StrConst{Val: "z"}}}
+	if in.String() != "y in (1, 'z')" {
+		t.Errorf("in String()=%q", in.String())
+	}
+}
+
+func TestUnboundStrConstPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	(&StrConst{Val: "x"}).Code()
+}

@@ -1,0 +1,292 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/reprolab/swole/internal/micro"
+	"github.com/reprolab/swole/internal/tpch"
+)
+
+// Fig6 regenerates the paper's Figure 6: the eight TPC-H queries under the
+// interpreted Volcano baseline (HyPer substitute), data-centric, hybrid,
+// and SWOLE.
+type Fig6Row struct {
+	Query    tpch.Query
+	Runtimes map[tpch.Strategy]time.Duration
+}
+
+// Fig6 runs the TPC-H experiment and returns one row per query.
+func (cfg Config) Fig6() ([]Fig6Row, error) {
+	d := tpch.Generate(cfg.SF)
+	rows := make([]Fig6Row, 0, len(tpch.Queries))
+	for _, q := range tpch.Queries {
+		row := Fig6Row{Query: q, Runtimes: map[tpch.Strategy]time.Duration{}}
+		for _, s := range tpch.Strategies {
+			var err error
+			row.Runtimes[s] = cfg.timeBest(func() int64 {
+				res, e := d.Run(q, s)
+				if e != nil {
+					err = e
+					return 0
+				}
+				var chk int64
+				for _, r := range res {
+					for _, v := range r {
+						chk += v
+					}
+				}
+				return chk
+			})
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s/%s: %w", q, s, err)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFig6 renders the Figure 6 table with the paper's speedup columns.
+func FormatFig6(rows []Fig6Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-5s %12s %12s %12s %12s %10s %10s\n",
+		"query", "volcano", "datacentric", "hybrid", "swole", "hy/dc", "sw/hy")
+	for _, r := range rows {
+		dc := r.Runtimes[tpch.DataCentric]
+		hy := r.Runtimes[tpch.Hybrid]
+		sw := r.Runtimes[tpch.Swole]
+		fmt.Fprintf(&sb, "%-5s %12s %12s %12s %12s %9.2fx %9.2fx\n",
+			r.Query,
+			fmtDur(r.Runtimes[tpch.Volcano]), fmtDur(dc), fmtDur(hy), fmtDur(sw),
+			ratio(dc, hy), ratio(hy, sw))
+	}
+	return sb.String()
+}
+
+func ratio(a, b time.Duration) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// microData caches one generated dataset per (R, S, card) combination
+// within a harness run.
+type microCache map[string]*micro.Data
+
+func (mc microCache) get(nr, ns, card int) *micro.Data {
+	k := fmt.Sprintf("%d/%d/%d", nr, ns, card)
+	if d, ok := mc[k]; ok {
+		return d
+	}
+	d := micro.Generate(micro.Config{NR: nr, NS: ns, CCard: card, Seed: 1})
+	mc[k] = d
+	return d
+}
+
+// Fig8 regenerates micro Q1 (value masking): runtime vs selectivity for
+// multiplication (fig8a) and division (fig8b).
+func (cfg Config) Fig8() []Figure {
+	mc := microCache{}
+	out := make([]Figure, 0, 2)
+	for _, op := range []micro.Op{micro.OpMul, micro.OpDiv} {
+		d := mc.get(cfg.MicroR, 1000, 1000)
+		id, title := "fig8a", "Micro Q1, OP = * (memory-bound)"
+		if op == micro.OpDiv {
+			id, title = "fig8b", "Micro Q1, OP = / (compute-bound)"
+		}
+		fig := Figure{ID: id, Title: title, XLabel: "sel(%)"}
+		strategies := []struct {
+			name string
+			fn   func(*micro.Data, micro.Op, int) int64
+		}{
+			{"datacentric", micro.Q1DataCentric},
+			{"hybrid", micro.Q1Hybrid},
+			{"rof", micro.Q1ROF},
+			{"value-masking", micro.Q1ValueMasking},
+		}
+		for _, s := range strategies {
+			series := Series{Name: s.name}
+			for _, sel := range defaultSels() {
+				dur := cfg.timeBest(func() int64 { return s.fn(d, op, sel) })
+				series.Points = append(series.Points, Point{X: float64(sel), Runtime: dur})
+			}
+			fig.Series = append(fig.Series, series)
+		}
+		out = append(out, fig)
+	}
+	return out
+}
+
+// fig9Cards returns the group-key cardinalities for Figure 9, scaled so
+// the largest stays at the paper's 1:10 ratio to R.
+func (cfg Config) fig9Cards() []int {
+	cards := []int{10, 1000, 100_000, 10_000_000}
+	maxCard := cfg.MicroR / 10
+	out := make([]int, 0, len(cards))
+	for _, c := range cards {
+		if c > maxCard {
+			c = maxCard
+		}
+		if len(out) == 0 || out[len(out)-1] != c {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Fig9 regenerates micro Q2 (key masking): one sub-figure per group-key
+// cardinality.
+func (cfg Config) Fig9() []Figure {
+	mc := microCache{}
+	labels := []string{"a", "b", "c", "d"}
+	var out []Figure
+	for i, card := range cfg.fig9Cards() {
+		d := mc.get(cfg.MicroR, 1000, card)
+		fig := Figure{
+			ID:     "fig9" + labels[i%len(labels)],
+			Title:  fmt.Sprintf("Micro Q2, |r_c| = %d", card),
+			XLabel: "sel(%)",
+		}
+		strategies := []struct {
+			name string
+			fn   func(*micro.Data, int) int64
+		}{
+			{"datacentric", func(d *micro.Data, sel int) int64 { return int64(micro.Q2DataCentric(d, sel).Len()) }},
+			{"hybrid", func(d *micro.Data, sel int) int64 { return int64(micro.Q2Hybrid(d, sel).Len()) }},
+			{"value-masking", func(d *micro.Data, sel int) int64 { return int64(micro.Q2ValueMasking(d, sel).Len()) }},
+			{"key-masking", func(d *micro.Data, sel int) int64 { return int64(micro.Q2KeyMasking(d, sel).Len()) }},
+		}
+		for _, s := range strategies {
+			series := Series{Name: s.name}
+			for _, sel := range defaultSels() {
+				dur := cfg.timeBest(func() int64 { return s.fn(d, sel) })
+				series.Points = append(series.Points, Point{X: float64(sel), Runtime: dur})
+			}
+			fig.Series = append(fig.Series, series)
+		}
+		out = append(out, fig)
+	}
+	return out
+}
+
+// Fig10 regenerates micro Q3 (access merging): one sub-figure per reused
+// attribute count.
+func (cfg Config) Fig10() []Figure {
+	mc := microCache{}
+	var out []Figure
+	for i, col := range []micro.Col{micro.ColA, micro.ColY} {
+		d := mc.get(cfg.MicroR, 1000, 1000)
+		fig := Figure{
+			ID:     "fig10" + string(rune('a'+i)),
+			Title:  fmt.Sprintf("Micro Q3, COL = %s", col),
+			XLabel: "sel(%)",
+		}
+		strategies := []struct {
+			name string
+			fn   func(*micro.Data, micro.Col, int) int64
+		}{
+			{"datacentric", micro.Q3DataCentric},
+			{"hybrid", micro.Q3Hybrid},
+			{"value-masking", micro.Q3ValueMasking},
+			{"access-merging", micro.Q3AccessMerging},
+		}
+		for _, s := range strategies {
+			series := Series{Name: s.name}
+			for _, sel := range defaultSels() {
+				dur := cfg.timeBest(func() int64 { return s.fn(d, col, sel) })
+				series.Points = append(series.Points, Point{X: float64(sel), Runtime: dur})
+			}
+			fig.Series = append(fig.Series, series)
+		}
+		out = append(out, fig)
+	}
+	return out
+}
+
+// Fig11 regenerates micro Q4 (positional bitmaps): four panels fixing one
+// side's selectivity at 10% or 90% while sweeping the other. |S| follows
+// the paper's 1M, capped at half of R.
+func (cfg Config) Fig11() []Figure {
+	ns := 1_000_000
+	if ns > cfg.MicroR/2 {
+		ns = cfg.MicroR / 2
+	}
+	mc := microCache{}
+	d := mc.get(cfg.MicroR, ns, 1000)
+	panels := []struct {
+		id, title string
+		fixProbe  bool
+		fixed     int
+	}{
+		{"fig11a", "Micro Q4, probe sel fixed 10%, sweep build", true, 10},
+		{"fig11b", "Micro Q4, probe sel fixed 90%, sweep build", true, 90},
+		{"fig11c", "Micro Q4, build sel fixed 10%, sweep probe", false, 10},
+		{"fig11d", "Micro Q4, build sel fixed 90%, sweep probe", false, 90},
+	}
+	strategies := []struct {
+		name string
+		fn   func(*micro.Data, int, int) int64
+	}{
+		{"datacentric", micro.Q4DataCentric},
+		{"hybrid", micro.Q4Hybrid},
+		{"positional-bitmap", micro.Q4Bitmap},
+	}
+	var out []Figure
+	for _, p := range panels {
+		fig := Figure{ID: p.id, Title: p.title, XLabel: "sel(%)"}
+		for _, s := range strategies {
+			series := Series{Name: s.name}
+			for _, sel := range defaultSels() {
+				sel1, sel2 := p.fixed, sel
+				if !p.fixProbe {
+					sel1, sel2 = sel, p.fixed
+				}
+				dur := cfg.timeBest(func() int64 { return s.fn(d, sel1, sel2) })
+				series.Points = append(series.Points, Point{X: float64(sel), Runtime: dur})
+			}
+			fig.Series = append(fig.Series, series)
+		}
+		out = append(out, fig)
+	}
+	return out
+}
+
+// Fig12 regenerates micro Q5 (eager aggregation): |S| = 1K and 1M (the
+// latter capped at half of R).
+func (cfg Config) Fig12() []Figure {
+	sizes := []int{1000, 1_000_000}
+	if sizes[1] > cfg.MicroR/2 {
+		sizes[1] = cfg.MicroR / 2
+	}
+	mc := microCache{}
+	strategies := []struct {
+		name string
+		fn   func(*micro.Data, int) int64
+	}{
+		{"datacentric", func(d *micro.Data, sel int) int64 { return int64(micro.Q5DataCentric(d, sel).Len()) }},
+		{"hybrid", func(d *micro.Data, sel int) int64 { return int64(micro.Q5Hybrid(d, sel).Len()) }},
+		{"eager-aggregation", func(d *micro.Data, sel int) int64 { return int64(micro.Q5EagerAggregation(d, sel).Len()) }},
+	}
+	var out []Figure
+	for i, ns := range sizes {
+		d := mc.get(cfg.MicroR, ns, 1000)
+		fig := Figure{
+			ID:     "fig12" + string(rune('a'+i)),
+			Title:  fmt.Sprintf("Micro Q5, |S| = %d", ns),
+			XLabel: "sel(%)",
+		}
+		for _, s := range strategies {
+			series := Series{Name: s.name}
+			for _, sel := range defaultSels() {
+				dur := cfg.timeBest(func() int64 { return s.fn(d, sel) })
+				series.Points = append(series.Points, Point{X: float64(sel), Runtime: dur})
+			}
+			fig.Series = append(fig.Series, series)
+		}
+		out = append(out, fig)
+	}
+	return out
+}

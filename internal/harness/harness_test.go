@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/reprolab/swole/internal/tpch"
+)
+
+// tiny returns a configuration small enough for unit tests; timings are
+// not asserted, only structure.
+func tiny() Config { return Config{SF: 0.002, MicroR: 20_000, Reps: 1} }
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv("SWOLE_SF", "0.5")
+	t.Setenv("SWOLE_MICRO_R", "123")
+	t.Setenv("SWOLE_REPS", "7")
+	cfg := FromEnv()
+	if cfg.SF != 0.5 || cfg.MicroR != 123 || cfg.Reps != 7 {
+		t.Errorf("FromEnv = %+v", cfg)
+	}
+	t.Setenv("SWOLE_SF", "garbage")
+	t.Setenv("SWOLE_MICRO_R", "-1")
+	os.Unsetenv("SWOLE_REPS")
+	cfg = FromEnv()
+	if cfg.SF != Default().SF || cfg.MicroR != Default().MicroR || cfg.Reps != Default().Reps {
+		t.Errorf("bad env not defaulted: %+v", cfg)
+	}
+}
+
+func TestFig6Structure(t *testing.T) {
+	rows, err := tiny().Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(tpch.Queries) {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for _, r := range rows {
+		for _, s := range tpch.Strategies {
+			if r.Runtimes[s] <= 0 {
+				t.Errorf("%s/%s: no runtime", r.Query, s)
+			}
+		}
+	}
+	text := FormatFig6(rows)
+	for _, want := range []string{"Q1", "Q19", "volcano", "sw/hy"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("FormatFig6 missing %q", want)
+		}
+	}
+}
+
+func TestMicroFigureStructure(t *testing.T) {
+	cfg := tiny()
+	cases := []struct {
+		name   string
+		figs   []Figure
+		series int
+		nfigs  int
+	}{
+		{"fig8", cfg.Fig8(), 4, 2},
+		{"fig9", cfg.Fig9(), 4, 3}, // 10, 1000, capped 2000 (dedup)
+		{"fig10", cfg.Fig10(), 4, 2},
+		{"fig11", cfg.Fig11(), 3, 4},
+		{"fig12", cfg.Fig12(), 3, 2},
+	}
+	for _, c := range cases {
+		if len(c.figs) != c.nfigs {
+			t.Errorf("%s: %d sub-figures, want %d", c.name, len(c.figs), c.nfigs)
+		}
+		for _, f := range c.figs {
+			if len(f.Series) != c.series {
+				t.Errorf("%s/%s: %d series, want %d", c.name, f.ID, len(f.Series), c.series)
+			}
+			for _, s := range f.Series {
+				if len(s.Points) != len(defaultSels()) {
+					t.Errorf("%s/%s/%s: %d points", c.name, f.ID, s.Name, len(s.Points))
+				}
+				for _, p := range s.Points {
+					if p.Runtime <= 0 {
+						t.Errorf("%s/%s/%s: zero runtime at x=%v", c.name, f.ID, s.Name, p.X)
+					}
+				}
+			}
+			text := f.Format()
+			if !strings.Contains(text, f.ID) || !strings.Contains(text, "sel(%)") {
+				t.Errorf("%s: bad format:\n%s", f.ID, text)
+			}
+		}
+	}
+}
+
+func TestFig9CardsCapped(t *testing.T) {
+	cfg := Config{MicroR: 20_000}
+	cards := cfg.fig9Cards()
+	for _, c := range cards {
+		if c > cfg.MicroR/10 {
+			t.Errorf("card %d exceeds cap", c)
+		}
+	}
+	for i := 1; i < len(cards); i++ {
+		if cards[i] <= cards[i-1] {
+			t.Errorf("cards not strictly increasing: %v", cards)
+		}
+	}
+	// Full scale keeps the paper's four cardinalities.
+	big := Config{MicroR: 100_000_000}
+	if got := big.fig9Cards(); len(got) != 4 || got[3] != 10_000_000 {
+		t.Errorf("full-scale cards = %v", got)
+	}
+}
+
+func TestSeriesByName(t *testing.T) {
+	f := Figure{Series: []Series{{Name: "a"}, {Name: "b"}}}
+	if f.SeriesByName("b") == nil || f.SeriesByName("zz") != nil {
+		t.Error("SeriesByName broken")
+	}
+}
+
+func TestRatioAndFmtDur(t *testing.T) {
+	if ratio(2*time.Second, time.Second) != 2 || ratio(time.Second, 0) != 0 {
+		t.Error("ratio broken")
+	}
+	if fmtDur(1500*time.Microsecond) != "1.50ms" {
+		t.Errorf("fmtDur = %s", fmtDur(1500*time.Microsecond))
+	}
+}

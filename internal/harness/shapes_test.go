@@ -1,0 +1,164 @@
+package harness
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"github.com/reprolab/swole/internal/tpch"
+)
+
+// TestPaperShapes verifies the qualitative claims of EXPERIMENTS.md by
+// actually measuring at a moderate scale. Timing assertions are inherently
+// machine-sensitive, so the test only runs when SWOLE_SHAPES=1 is set
+// (it is part of the EXPERIMENTS.md regeneration procedure, not of the
+// default `go test ./...`).
+func TestPaperShapes(t *testing.T) {
+	if os.Getenv("SWOLE_SHAPES") != "1" {
+		t.Skip("set SWOLE_SHAPES=1 to run the measured shape checks")
+	}
+	cfg := Config{SF: 0.05, MicroR: 1_000_000, Reps: 3}
+
+	t.Run("Fig6", func(t *testing.T) {
+		rows, err := cfg.Fig6()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			vol := r.Runtimes[tpch.Volcano]
+			dc := r.Runtimes[tpch.DataCentric]
+			hy := r.Runtimes[tpch.Hybrid]
+			sw := r.Runtimes[tpch.Swole]
+			// Sanity check role: hand-coded kernels beat the interpreter.
+			if vol < dc {
+				t.Errorf("%s: volcano (%v) beat data-centric (%v)", r.Query, vol, dc)
+			}
+			// SWOLE never loses badly to hybrid (20% measurement slack).
+			if float64(sw) > 1.2*float64(hy) {
+				t.Errorf("%s: swole (%v) lost to hybrid (%v)", r.Query, sw, hy)
+			}
+			// The headline: Q4's bitmap semijoin wins by a large factor.
+			if r.Query == tpch.Q4 && float64(sw) > 0.5*float64(hy) {
+				t.Errorf("Q4: swole (%v) should be >=2x faster than hybrid (%v)", sw, hy)
+			}
+		}
+	})
+
+	t.Run("Fig8a", func(t *testing.T) {
+		figs := cfg.Fig8()
+		mul := figs[0]
+		dc := mul.SeriesByName("datacentric")
+		vm := mul.SeriesByName("value-masking")
+		hy := mul.SeriesByName("hybrid")
+		// Branch-misprediction hump: mid-sweep slower than both ends.
+		mid := at(dc, 50)
+		if mid <= at(dc, 0) || mid <= at(dc, 100) {
+			t.Errorf("data-centric hump missing: 0%%=%v 50%%=%v 100%%=%v", at(dc, 0), mid, at(dc, 100))
+		}
+		// Value masking is flat: max/min under 1.5.
+		lo, hi := minMax(vm)
+		if float64(hi) > 1.5*float64(lo) {
+			t.Errorf("value masking not flat: min=%v max=%v", lo, hi)
+		}
+		// VM beats hybrid in the upper half of the sweep.
+		if at(vm, 90) > at(hy, 90) {
+			t.Errorf("VM (%v) should beat hybrid (%v) at 90%%", at(vm, 90), at(hy, 90))
+		}
+	})
+
+	t.Run("Fig8b", func(t *testing.T) {
+		div := cfg.Fig8()[1]
+		vm := div.SeriesByName("value-masking")
+		hy := div.SeriesByName("hybrid")
+		// Compute-bound: hybrid wins at low selectivity by a wide margin.
+		if at(hy, 10) > at(vm, 10) {
+			t.Errorf("hybrid (%v) should beat VM (%v) at 10%% for division", at(hy, 10), at(vm, 10))
+		}
+	})
+
+	t.Run("Fig9", func(t *testing.T) {
+		figs := cfg.Fig9()
+		big := figs[len(figs)-1] // largest cardinality panel
+		km := big.SeriesByName("key-masking")
+		vm := big.SeriesByName("value-masking")
+		hy := big.SeriesByName("hybrid")
+		// KM never behind VM on the big table at moderate+ selectivity.
+		for _, sel := range []float64{50, 90, 100} {
+			if float64(at(km, sel)) > 1.2*float64(at(vm, sel)) {
+				t.Errorf("KM (%v) behind VM (%v) at %v%%", at(km, sel), at(vm, sel), sel)
+			}
+		}
+		// Hybrid wins at low selectivity on the big table (Voodoo
+		// contradiction).
+		if at(hy, 10) > at(km, 10) {
+			t.Errorf("hybrid (%v) should beat KM (%v) at 10%% on a big table", at(hy, 10), at(km, 10))
+		}
+	})
+
+	t.Run("Fig10", func(t *testing.T) {
+		for _, fig := range cfg.Fig10() {
+			am := fig.SeriesByName("access-merging")
+			vm := fig.SeriesByName("value-masking")
+			if at(am, 50) > at(vm, 50) {
+				t.Errorf("%s: merging (%v) should beat masking (%v)", fig.ID, at(am, 50), at(vm, 50))
+			}
+		}
+	})
+
+	t.Run("Fig11", func(t *testing.T) {
+		for _, fig := range cfg.Fig11() {
+			bm := fig.SeriesByName("positional-bitmap")
+			hy := fig.SeriesByName("hybrid")
+			if at(bm, 50) > at(hy, 50) {
+				t.Errorf("%s: bitmap (%v) should beat hybrid (%v) at 50%%", fig.ID, at(bm, 50), at(hy, 50))
+			}
+		}
+	})
+
+	t.Run("Fig12", func(t *testing.T) {
+		small := cfg.Fig12()[0]
+		ea := small.SeriesByName("eager-aggregation")
+		lo, hi := minMax(ea)
+		if float64(hi) > 1.5*float64(lo) {
+			t.Errorf("EA not flat: min=%v max=%v", lo, hi)
+		}
+	})
+}
+
+func at(s *Series, x float64) time.Duration {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Runtime
+		}
+	}
+	return 0
+}
+
+func minMax(s *Series) (lo, hi time.Duration) {
+	lo, hi = time.Duration(1<<62), 0
+	for _, p := range s.Points {
+		if p.Runtime < lo {
+			lo = p.Runtime
+		}
+		if p.Runtime > hi {
+			hi = p.Runtime
+		}
+	}
+	return
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := Figure{
+		ID:     "figX",
+		XLabel: "sel(%)",
+		Series: []Series{
+			{Name: "a", Points: []Point{{X: 0, Runtime: time.Millisecond}, {X: 10, Runtime: 2 * time.Millisecond}}},
+			{Name: "b", Points: []Point{{X: 0, Runtime: 3 * time.Millisecond}}},
+		},
+	}
+	got := f.CSV()
+	want := "x,a,b\n0,1.000,3.000\n10,2.000,\n"
+	if got != want {
+		t.Errorf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}

@@ -1,0 +1,44 @@
+// Package ht implements the open-addressing hash tables used by every
+// strategy in this repository: AggTable for group-by aggregation (including
+// the reserved throwaway entry required by SWOLE's key masking and the
+// validity bookkeeping required by value masking, paper Section III-B),
+// JoinTable for equijoin build sides, and SetTable for semijoins.
+//
+// All tables use 64-bit keys with a Murmur3-style finalizer hash and linear
+// probing over power-of-two capacities. Multi-attribute keys are packed into
+// a single int64 by the callers (all group-by and join keys in the paper's
+// workloads are small dictionary codes or dense surrogate keys).
+package ht
+
+import "math"
+
+// NullKey is the reserved key used by key masking (Section III-B): tuples
+// filtered by a pulled-up predicate have their group-by key masked to
+// NullKey, which maps to a dedicated throwaway entry that stays cached.
+const NullKey int64 = math.MinInt64
+
+// hash64 is the 64-bit finalizer from MurmurHash3, a strong cheap mixer.
+func hash64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// slot states for tables that support deletion.
+const (
+	slotEmpty byte = iota
+	slotFull
+	slotTombstone
+)
+
+// nextPow2 returns the smallest power of two >= n (minimum 8).
+func nextPow2(n int) int {
+	c := 8
+	for c < n {
+		c <<= 1
+	}
+	return c
+}

@@ -1,0 +1,84 @@
+package ht
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks pinning the cost model's ht_lookup / ht_null / ht_insert /
+// ht_delete terms: lookups across table sizes (cache classes) and the
+// throwaway fast path key masking relies on.
+
+var sinkSlot int
+
+func benchTable(keys int) (*AggTable, []int64) {
+	t := NewAggTable(1, keys)
+	probe := make([]int64, 1<<14)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < keys; i++ {
+		t.Add(t.Lookup(int64(i)), 0, 1)
+	}
+	for i := range probe {
+		probe[i] = int64(rng.Intn(keys))
+	}
+	return t, probe
+}
+
+func BenchmarkAggLookupByCacheClass(b *testing.B) {
+	for _, keys := range []int{64, 8192, 262144, 2 << 20} {
+		t, probe := benchTable(keys)
+		b.Run(size(keys), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkSlot += t.Lookup(probe[i&(len(probe)-1)])
+			}
+		})
+	}
+}
+
+func BenchmarkThrowawayLookup(b *testing.B) {
+	t, _ := benchTable(2 << 20)
+	b.Run("null-key", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkSlot += t.Lookup(NullKey) // cached throwaway, no hash
+		}
+	})
+}
+
+func BenchmarkAggInsertDeleteChurn(b *testing.B) {
+	t := NewAggTable(1, 1024)
+	for i := 0; i < b.N; i++ {
+		k := int64(i & 4095)
+		t.Add(t.Lookup(k), 0, 1)
+		if i&7 == 0 {
+			t.Delete(k)
+		}
+	}
+}
+
+func BenchmarkSetProbe(b *testing.B) {
+	s := NewSetTable(1 << 20)
+	for i := 0; i < 1<<20; i++ {
+		s.Insert(int64(i * 3))
+	}
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		if s.Contains(int64(i & (1<<21 - 1))) {
+			hits++
+		}
+	}
+	sinkSlot += hits
+}
+
+func size(keys int) string {
+	switch {
+	case keys < 1<<10:
+		return "L1"
+	case keys < 1<<15:
+		return "L2"
+	case keys < 1<<19:
+		return "LLC"
+	default:
+		return "mem"
+	}
+}

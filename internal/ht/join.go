@@ -1,0 +1,164 @@
+package ht
+
+// JoinTable maps a unique 64-bit join key to the build-side row that carries
+// it. Every join in the paper's workloads is a foreign-key/primary-key join,
+// so keys on the build side are unique; duplicate inserts keep the first row
+// and report false.
+type JoinTable struct {
+	keys  []int64
+	rows  []int32
+	state []byte
+	len   int
+	mask  uint64
+
+	// Probes counts total probe steps, exposed for cost-model validation.
+	Probes uint64
+}
+
+// NewJoinTable returns a join table with room for about hint keys.
+func NewJoinTable(hint int) *JoinTable {
+	capacity := nextPow2(hint * 2)
+	return &JoinTable{
+		keys:  make([]int64, capacity),
+		rows:  make([]int32, capacity),
+		state: make([]byte, capacity),
+		mask:  uint64(capacity - 1),
+	}
+}
+
+// Len returns the number of keys in the table.
+func (t *JoinTable) Len() int { return t.len }
+
+// Cap returns the slot capacity.
+func (t *JoinTable) Cap() int { return len(t.keys) }
+
+// SlotBytes returns the approximate size of one slot for cache-class
+// placement by the cost model.
+func (t *JoinTable) SlotBytes() int { return 8 + 4 + 1 }
+
+// Insert adds key -> row, reporting whether the key was new.
+func (t *JoinTable) Insert(key int64, row int32) bool {
+	if t.len >= len(t.keys)*3/4 {
+		t.grow()
+	}
+	i := hash64(uint64(key)) & t.mask
+	for {
+		t.Probes++
+		if t.state[i] == slotEmpty {
+			t.state[i] = slotFull
+			t.keys[i] = key
+			t.rows[i] = row
+			t.len++
+			return true
+		}
+		if t.keys[i] == key {
+			return false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Probe returns the build row matching key and whether a match exists.
+func (t *JoinTable) Probe(key int64) (int32, bool) {
+	i := hash64(uint64(key)) & t.mask
+	for {
+		t.Probes++
+		if t.state[i] == slotEmpty {
+			return 0, false
+		}
+		if t.keys[i] == key {
+			return t.rows[i], true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *JoinTable) grow() {
+	oldKeys, oldRows, oldState := t.keys, t.rows, t.state
+	capacity := len(t.keys) * 2
+	t.keys = make([]int64, capacity)
+	t.rows = make([]int32, capacity)
+	t.state = make([]byte, capacity)
+	t.mask = uint64(capacity - 1)
+	t.len = 0
+	for i := range oldKeys {
+		if oldState[i] == slotFull {
+			t.Insert(oldKeys[i], oldRows[i])
+		}
+	}
+}
+
+// SetTable is a set of 64-bit keys, the hash-based semijoin structure that
+// positional bitmaps replace in SWOLE (Section III-D).
+type SetTable struct {
+	keys  []int64
+	state []byte
+	len   int
+	mask  uint64
+
+	// Probes counts total probe steps, exposed for cost-model validation.
+	Probes uint64
+}
+
+// NewSetTable returns a set with room for about hint keys.
+func NewSetTable(hint int) *SetTable {
+	capacity := nextPow2(hint * 2)
+	return &SetTable{
+		keys:  make([]int64, capacity),
+		state: make([]byte, capacity),
+		mask:  uint64(capacity - 1),
+	}
+}
+
+// Len returns the number of keys in the set.
+func (t *SetTable) Len() int { return t.len }
+
+// Insert adds key, reporting whether it was new.
+func (t *SetTable) Insert(key int64) bool {
+	if t.len >= len(t.keys)*3/4 {
+		t.grow()
+	}
+	i := hash64(uint64(key)) & t.mask
+	for {
+		t.Probes++
+		if t.state[i] == slotEmpty {
+			t.state[i] = slotFull
+			t.keys[i] = key
+			t.len++
+			return true
+		}
+		if t.keys[i] == key {
+			return false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Contains reports whether key is in the set.
+func (t *SetTable) Contains(key int64) bool {
+	i := hash64(uint64(key)) & t.mask
+	for {
+		t.Probes++
+		if t.state[i] == slotEmpty {
+			return false
+		}
+		if t.keys[i] == key {
+			return true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *SetTable) grow() {
+	oldKeys, oldState := t.keys, t.state
+	capacity := len(t.keys) * 2
+	t.keys = make([]int64, capacity)
+	t.state = make([]byte, capacity)
+	t.mask = uint64(capacity - 1)
+	t.len = 0
+	for i := range oldKeys {
+		if oldState[i] == slotFull {
+			t.Insert(oldKeys[i])
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package micro
+
+import "testing"
+
+// refQX computes the extension query directly.
+func refQX(d *Data, sel int) map[int64]int64 {
+	qual := make([]bool, d.Cfg.NS)
+	for i := range d.SX {
+		qual[d.SPK[i]] = int(d.SX[i]) < sel
+	}
+	out := map[int64]int64{}
+	for i := range d.FK {
+		if qual[d.FK[i]] {
+			out[int64(d.C[i])] += int64(d.A[i]) * int64(d.B[i])
+		}
+	}
+	return out
+}
+
+func TestQXBothStrategiesAgree(t *testing.T) {
+	for _, ns := range []int{50, 1000} {
+		d := testData(t, 20_000, ns, 13)
+		for _, sel := range []int{0, 25, 75, 100} {
+			want := refQX(d, sel)
+			if got := AggToMap(QXGroupjoinStyle(d, sel)); !mapsEqual(got, want) {
+				t.Errorf("groupjoin-style (ns=%d, sel=%d): %d groups vs %d", ns, sel, len(got), len(want))
+			}
+			if got := AggToMap(QXEagerAggregation(d, sel)); !mapsEqual(got, want) {
+				t.Errorf("eager extension (ns=%d, sel=%d): %d groups vs %d", ns, sel, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestPackFkC(t *testing.T) {
+	// The packed key must be injective, including negative group keys.
+	seen := map[int64][2]int32{}
+	for _, fk := range []int32{0, 1, 1 << 20, 1<<31 - 1} {
+		for _, c := range []int32{0, 1, -1, 1<<31 - 1, -(1 << 31)} {
+			k := packFkC(fk, c)
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("collision: (%d,%d) and (%d,%d)", fk, c, prev[0], prev[1])
+			}
+			seen[k] = [2]int32{fk, c}
+			// Unpacking must invert packing.
+			if int32(k>>32) != fk || int32(uint32(k)) != c {
+				t.Fatalf("unpack(%d,%d) failed", fk, c)
+			}
+		}
+	}
+}

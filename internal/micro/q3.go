@@ -1,0 +1,124 @@
+package micro
+
+import "github.com/reprolab/swole/internal/vec"
+
+// Micro Q3 (Figure 10): select sum(r_x * [COL]) from R
+//                       where r_x < [SEL] and r_y = 1
+//
+// r_x appears in both the predicate and the aggregation; with COL = r_y
+// both predicate attributes are reused. Access merging (Section III-C)
+// fuses the predicate with the reuse so each attribute is read once.
+
+// Q3DataCentric branches per tuple; selected tuples re-read r_x (and the
+// chosen column) conditionally.
+func Q3DataCentric(d *Data, col Col, sel int) int64 {
+	c := int8(sel)
+	var sum int64
+	if col == ColA {
+		for i := range d.X {
+			if d.X[i] < c && d.Y[i] == 1 {
+				sum += int64(d.X[i]) * int64(d.A[i])
+			}
+		}
+	} else {
+		for i := range d.X {
+			if d.X[i] < c && d.Y[i] == 1 {
+				sum += int64(d.X[i]) * int64(d.Y[i])
+			}
+		}
+	}
+	return sum
+}
+
+// Q3Hybrid uses the prepass and selection vector; the aggregation performs
+// conditional reads, touching r_x a second time.
+func Q3Hybrid(d *Data, col Col, sel int) int64 {
+	var cmp, tmp [vec.TileSize]byte
+	var idx [vec.TileSize]int32
+	var sum int64
+	vec.Tiles(len(d.X), func(base, length int) {
+		q2Prepass(d, base, length, sel, cmp[:], tmp[:])
+		n := vec.SelFromCmpNoBranch(cmp[:length], idx[:])
+		x := d.X[base : base+length]
+		other := d.A[base : base+length]
+		if col == ColY {
+			other = d.Y[base : base+length]
+		}
+		sum += vec.SumProdSel(x, other, idx[:], n)
+	})
+	return sum
+}
+
+// Q3ValueMasking pulls the predicate up (Figure 5, top): sequential
+// accesses throughout, but r_x is still read twice — once for the
+// selection and again for the aggregation.
+func Q3ValueMasking(d *Data, col Col, sel int) int64 {
+	var cmp, tmp [vec.TileSize]byte
+	var sum int64
+	vec.Tiles(len(d.X), func(base, length int) {
+		q2Prepass(d, base, length, sel, cmp[:], tmp[:])
+		x := d.X[base : base+length]
+		other := d.A[base : base+length]
+		if col == ColY {
+			other = d.Y[base : base+length]
+		}
+		sum += triProdMasked(x, other, cmp[:length])
+	})
+	return sum
+}
+
+// triProdMasked sums x[i]*other[i]*cmp[i], re-reading x (the value-masking
+// form of Figure 5 top, where tmp[j] = a[i+j] * x[i+j] * cmp[j]).
+func triProdMasked(x, other []int8, cmp []byte) int64 {
+	var sum int64
+	_ = other[len(x)-1]
+	_ = cmp[len(x)-1]
+	for i := range x {
+		sum += int64(x[i]) * int64(other[i]) * int64(cmp[i])
+	}
+	return sum
+}
+
+// Q3AccessMerging fuses the predicate into the reused attribute's read
+// (Figure 5, bottom): tmp[j] = x[j] * (x[j] < SEL [&& y[j] = 1]), so each
+// attribute is accessed exactly once. With COL = r_y, the y comparison is
+// likewise fused into y's single read as y*(y==1).
+func Q3AccessMerging(d *Data, col Col, sel int) int64 {
+	c := int8(sel)
+	var tmp [vec.TileSize]int64
+	var sum int64
+	if col == ColA {
+		// Fuse pred(x) into x's read; y's conjunct is a separate
+		// sequential pass that scales tmp by (y == 1).
+		vec.Tiles(len(d.X), func(base, length int) {
+			x := d.X[base : base+length]
+			y := d.Y[base : base+length]
+			a := d.A[base : base+length]
+			for j := 0; j < length; j++ {
+				m := int64(b2i(x[j] < c))
+				tmp[j] = int64(x[j]) * m * int64(b2i(y[j] == 1))
+			}
+			sum += vec.SumProdTmp(a, tmp[:length])
+		})
+		return sum
+	}
+	// COL = r_y: both reused attributes carry their own predicate.
+	vec.Tiles(len(d.X), func(base, length int) {
+		x := d.X[base : base+length]
+		y := d.Y[base : base+length]
+		for j := 0; j < length; j++ {
+			xv := int64(x[j]) * int64(b2i(x[j] < c))
+			yv := int64(y[j]) * int64(b2i(y[j] == 1))
+			sum += xv * yv
+		}
+	})
+	return sum
+}
+
+func b2i(b bool) byte {
+	var v byte
+	if b {
+		v = 1
+	}
+	return v
+}

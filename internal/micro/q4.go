@@ -1,0 +1,95 @@
+package micro
+
+import (
+	"github.com/reprolab/swole/internal/bitmap"
+	"github.com/reprolab/swole/internal/ht"
+	"github.com/reprolab/swole/internal/vec"
+)
+
+// Micro Q4 (Figure 11): select sum(r_a * r_b) from R, S
+//                       where r_fk = s_pk and r_x < [SEL1] and s_x < [SEL2]
+//
+// No S attribute survives the join, so this is a semijoin: the existing
+// strategies build a hash table of qualifying s_pk values and probe it per
+// selected R tuple; SWOLE builds a positional bitmap over S with a purely
+// sequential scan and probes it through the foreign-key index
+// (Section III-D).
+
+// Q4DataCentric builds a hash set from S with a branching scan, then
+// branches per R tuple and probes on selection.
+func Q4DataCentric(d *Data, sel1, sel2 int) int64 {
+	set := ht.NewSetTable(d.Cfg.NS)
+	c2 := int8(sel2)
+	for i := range d.SX {
+		if d.SX[i] < c2 {
+			set.Insert(int64(d.SPK[i]))
+		}
+	}
+	c1 := int8(sel1)
+	var sum int64
+	for i := range d.X {
+		if d.X[i] < c1 && d.Y[i] == 1 {
+			if set.Contains(int64(d.FK[i])) {
+				sum += int64(d.A[i]) * int64(d.B[i])
+			}
+		}
+	}
+	return sum
+}
+
+// Q4Hybrid applies the prepass to both scans and drives the hash probes
+// from selection vectors.
+func Q4Hybrid(d *Data, sel1, sel2 int) int64 {
+	set := ht.NewSetTable(d.Cfg.NS)
+	var cmp, tmp [vec.TileSize]byte
+	var idx [vec.TileSize]int32
+	vec.Tiles(len(d.SX), func(base, length int) {
+		vec.CmpConstLT(d.SX[base:base+length], int8(sel2), cmp[:])
+		n := vec.SelFromCmpNoBranch(cmp[:length], idx[:])
+		pk := d.SPK[base : base+length]
+		for j := 0; j < n; j++ {
+			set.Insert(int64(pk[idx[j]]))
+		}
+	})
+	var sum int64
+	vec.Tiles(len(d.X), func(base, length int) {
+		q2Prepass(d, base, length, sel1, cmp[:], tmp[:])
+		n := vec.SelFromCmpNoBranch(cmp[:length], idx[:])
+		fk := d.FK[base : base+length]
+		a := d.A[base : base+length]
+		b := d.B[base : base+length]
+		for j := 0; j < n; j++ {
+			i := idx[j]
+			if set.Contains(int64(fk[i])) {
+				sum += int64(a[i]) * int64(b[i])
+			}
+		}
+	})
+	return sum
+}
+
+// Q4Bitmap is SWOLE's positional-bitmap semijoin: the build side writes
+// the predicate result sequentially into a bitmap indexed by tuple
+// position; the probe side tests the bit at the foreign-key position and
+// masks the aggregation with it, keeping every access either sequential or
+// confined to the cache-resident bitmap.
+func Q4Bitmap(d *Data, sel1, sel2 int) int64 {
+	bm := bitmap.New(d.Cfg.NS)
+	var cmp, tmp [vec.TileSize]byte
+	vec.Tiles(len(d.SX), func(base, length int) {
+		vec.CmpConstLT(d.SX[base:base+length], int8(sel2), cmp[:])
+		bm.SetFromCmp(base, cmp[:length])
+	})
+	var sum int64
+	vec.Tiles(len(d.X), func(base, length int) {
+		q2Prepass(d, base, length, sel1, cmp[:], tmp[:])
+		fk := d.FK[base : base+length]
+		a := d.A[base : base+length]
+		b := d.B[base : base+length]
+		for j := 0; j < length; j++ {
+			m := cmp[j] & bm.TestBit(int(fk[j]))
+			sum += int64(a[j]) * int64(b[j]) * int64(m)
+		}
+	})
+	return sum
+}

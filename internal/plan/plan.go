@@ -1,0 +1,289 @@
+// Package plan defines the logical query plans shared by every execution
+// engine in this repository: the interpreted Volcano baseline, the generic
+// strategy executors, and the code generator. Plans are deliberately close
+// to the paper's operator vocabulary: scans with predicates, equijoins and
+// semijoins on key columns (all joins in the workloads are FK/PK joins),
+// the groupjoin operator of Section III-E, hash aggregation, and the
+// scaffolding (map/sort) needed to reproduce full TPC-H answers.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/reprolab/swole/internal/expr"
+)
+
+// Node is a logical plan operator.
+type Node interface {
+	// Inputs returns child operators.
+	Inputs() []Node
+	// Describe returns a one-line description for plan printing.
+	Describe() string
+}
+
+// Scan reads a base table, optionally filtering.
+type Scan struct {
+	Table  string
+	Filter expr.Expr // nil means no predicate
+}
+
+// Inputs implements Node.
+func (s *Scan) Inputs() []Node { return nil }
+
+// Describe implements Node.
+func (s *Scan) Describe() string {
+	if s.Filter == nil {
+		return "scan " + s.Table
+	}
+	return "scan " + s.Table + " where " + s.Filter.String()
+}
+
+// Filter drops rows whose predicate evaluates to 0.
+type Filter struct {
+	Input Node
+	Pred  expr.Expr
+}
+
+// Inputs implements Node.
+func (f *Filter) Inputs() []Node { return []Node{f.Input} }
+
+// Describe implements Node.
+func (f *Filter) Describe() string { return "filter " + f.Pred.String() }
+
+// NamedExpr is an expression with an output column name.
+type NamedExpr struct {
+	Expr expr.Expr
+	As   string
+}
+
+// Map projects each input row to the given expressions.
+type Map struct {
+	Input Node
+	Exprs []NamedExpr
+}
+
+// Inputs implements Node.
+func (m *Map) Inputs() []Node { return []Node{m.Input} }
+
+// Describe implements Node.
+func (m *Map) Describe() string {
+	parts := make([]string, len(m.Exprs))
+	for i, e := range m.Exprs {
+		parts[i] = e.Expr.String() + " as " + e.As
+	}
+	return "map " + strings.Join(parts, ", ")
+}
+
+// Join is a hash equijoin between a probe side (typically the fact table
+// carrying the foreign key) and a build side whose key is unique. Semi
+// makes it a semijoin: build attributes do not appear beyond the join
+// (Section III-D). Residual, if set, is evaluated over the concatenated
+// row, expressing conditions such as TPC-H Q19's disjunction that reference
+// both sides.
+type Join struct {
+	Probe    Node
+	Build    Node
+	ProbeKey string
+	BuildKey string
+	Semi     bool
+	Residual expr.Expr
+}
+
+// Inputs implements Node.
+func (j *Join) Inputs() []Node { return []Node{j.Probe, j.Build} }
+
+// Describe implements Node.
+func (j *Join) Describe() string {
+	kind := "join"
+	if j.Semi {
+		kind = "semijoin"
+	}
+	s := fmt.Sprintf("%s %s = %s", kind, j.ProbeKey, j.BuildKey)
+	if j.Residual != nil {
+		s += " and " + j.Residual.String()
+	}
+	return s
+}
+
+// AggFunc is an aggregate function.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	Sum AggFunc = iota
+	Count
+	Avg
+	Min
+	Max
+)
+
+// String returns the SQL spelling.
+func (f AggFunc) String() string {
+	return [...]string{"sum", "count", "avg", "min", "max"}[f]
+}
+
+// AggSpec is one aggregate: Func applied to Arg (Arg may be nil for
+// count(*)). Avg finalizes as a fixed-point value scaled by
+// storage.DecimalOne.
+type AggSpec struct {
+	Func AggFunc
+	Arg  expr.Expr
+	As   string
+}
+
+// String renders the aggregate.
+func (a AggSpec) String() string {
+	arg := "*"
+	if a.Arg != nil {
+		arg = a.Arg.String()
+	}
+	return fmt.Sprintf("%s(%s) as %s", a.Func, arg, a.As)
+}
+
+// Aggregate is a hash (or scalar, when GroupBy is empty) aggregation.
+type Aggregate struct {
+	Input   Node
+	GroupBy []string
+	Aggs    []AggSpec
+}
+
+// Inputs implements Node.
+func (a *Aggregate) Inputs() []Node { return []Node{a.Input} }
+
+// Describe implements Node.
+func (a *Aggregate) Describe() string {
+	parts := make([]string, len(a.Aggs))
+	for i, g := range a.Aggs {
+		parts[i] = g.String()
+	}
+	s := "agg " + strings.Join(parts, ", ")
+	if len(a.GroupBy) > 0 {
+		s += " group by " + strings.Join(a.GroupBy, ", ")
+	}
+	return s
+}
+
+// GroupJoin fuses a join and a group-by on the same key (Moerkotte &
+// Neumann's groupjoin, paper Section III-E): build-side keys are unique,
+// probe rows aggregate directly into the build-side hash table. Outer keeps
+// unmatched build rows with zero aggregates, the left-outer-groupjoin shape
+// of TPC-H Q13. Probe-side rows may additionally be filtered by a residual
+// predicate before aggregating.
+type GroupJoin struct {
+	Build    Node
+	Probe    Node
+	BuildKey string
+	ProbeKey string
+	Aggs     []AggSpec // evaluated over probe rows
+	Outer    bool
+}
+
+// Inputs implements Node.
+func (g *GroupJoin) Inputs() []Node { return []Node{g.Build, g.Probe} }
+
+// Describe implements Node.
+func (g *GroupJoin) Describe() string {
+	parts := make([]string, len(g.Aggs))
+	for i, a := range g.Aggs {
+		parts[i] = a.String()
+	}
+	kind := "groupjoin"
+	if g.Outer {
+		kind = "outer groupjoin"
+	}
+	return fmt.Sprintf("%s %s = %s: %s", kind, g.BuildKey, g.ProbeKey, strings.Join(parts, ", "))
+}
+
+// SortKey is one ORDER BY key.
+type SortKey struct {
+	Col  string
+	Desc bool
+}
+
+// Sort orders rows and optionally limits the output.
+type Sort struct {
+	Input Node
+	Keys  []SortKey
+	Limit int // 0 means no limit
+}
+
+// Inputs implements Node.
+func (s *Sort) Inputs() []Node { return []Node{s.Input} }
+
+// Describe implements Node.
+func (s *Sort) Describe() string {
+	parts := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		parts[i] = k.Col
+		if k.Desc {
+			parts[i] += " desc"
+		}
+	}
+	d := "sort " + strings.Join(parts, ", ")
+	if s.Limit > 0 {
+		d += fmt.Sprintf(" limit %d", s.Limit)
+	}
+	return d
+}
+
+// Format renders the plan tree with indentation.
+func Format(n Node) string {
+	var sb strings.Builder
+	var rec func(Node, int)
+	rec = func(n Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.Describe())
+		sb.WriteByte('\n')
+		for _, c := range n.Inputs() {
+			rec(c, depth+1)
+		}
+	}
+	rec(n, 0)
+	return sb.String()
+}
+
+// Validate checks structural invariants of a plan tree.
+func Validate(n Node) error {
+	switch x := n.(type) {
+	case *Scan:
+		if x.Table == "" {
+			return fmt.Errorf("plan: scan without table")
+		}
+	case *Filter:
+		if x.Pred == nil {
+			return fmt.Errorf("plan: filter without predicate")
+		}
+	case *Map:
+		if len(x.Exprs) == 0 {
+			return fmt.Errorf("plan: map without expressions")
+		}
+	case *Join:
+		if x.ProbeKey == "" || x.BuildKey == "" {
+			return fmt.Errorf("plan: join without keys")
+		}
+	case *GroupJoin:
+		if x.ProbeKey == "" || x.BuildKey == "" {
+			return fmt.Errorf("plan: groupjoin without keys")
+		}
+		if len(x.Aggs) == 0 {
+			return fmt.Errorf("plan: groupjoin without aggregates")
+		}
+	case *Aggregate:
+		if len(x.Aggs) == 0 && len(x.GroupBy) == 0 {
+			return fmt.Errorf("plan: empty aggregate")
+		}
+	case *Sort:
+		if len(x.Keys) == 0 && x.Limit == 0 {
+			return fmt.Errorf("plan: sort without keys or limit")
+		}
+	case nil:
+		return fmt.Errorf("plan: nil node")
+	}
+	for _, c := range n.Inputs() {
+		if err := Validate(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/reprolab/swole/internal/expr"
+)
+
+func scan(t string) *Scan { return &Scan{Table: t} }
+
+func pred() expr.Expr {
+	return &expr.Cmp{Op: expr.LT, L: expr.NewCol("x"), R: &expr.Const{Val: 13}}
+}
+
+func TestDescribe(t *testing.T) {
+	cases := []struct {
+		n    Node
+		want string
+	}{
+		{scan("r"), "scan r"},
+		{&Scan{Table: "r", Filter: pred()}, "scan r where x < 13"},
+		{&Filter{Input: scan("r"), Pred: pred()}, "filter x < 13"},
+		{&Map{Input: scan("r"), Exprs: []NamedExpr{{Expr: expr.NewCol("x"), As: "y"}}}, "map x as y"},
+		{&Join{Probe: scan("r"), Build: scan("s"), ProbeKey: "fk", BuildKey: "pk"}, "join fk = pk"},
+		{&Join{Probe: scan("r"), Build: scan("s"), ProbeKey: "fk", BuildKey: "pk", Semi: true}, "semijoin fk = pk"},
+		{&Join{Probe: scan("r"), Build: scan("s"), ProbeKey: "fk", BuildKey: "pk", Residual: pred()}, "join fk = pk and x < 13"},
+		{&GroupJoin{Build: scan("s"), Probe: scan("r"), BuildKey: "pk", ProbeKey: "fk",
+			Aggs: []AggSpec{{Func: Sum, Arg: expr.NewCol("a"), As: "s"}}}, "groupjoin pk = fk: sum(a) as s"},
+		{&GroupJoin{Build: scan("s"), Probe: scan("r"), BuildKey: "pk", ProbeKey: "fk", Outer: true,
+			Aggs: []AggSpec{{Func: Count, As: "c"}}}, "outer groupjoin pk = fk: count(*) as c"},
+		{&Aggregate{Input: scan("r"), GroupBy: []string{"g"},
+			Aggs: []AggSpec{{Func: Avg, Arg: expr.NewCol("a"), As: "av"}}}, "agg avg(a) as av group by g"},
+		{&Sort{Input: scan("r"), Keys: []SortKey{{Col: "a", Desc: true}, {Col: "b"}}, Limit: 5}, "sort a desc, b limit 5"},
+	}
+	for _, c := range cases {
+		if got := c.n.Describe(); got != c.want {
+			t.Errorf("Describe = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestAggFuncStrings(t *testing.T) {
+	want := map[AggFunc]string{Sum: "sum", Count: "count", Avg: "avg", Min: "min", Max: "max"}
+	for f, s := range want {
+		if f.String() != s {
+			t.Errorf("%d = %q", f, f.String())
+		}
+	}
+}
+
+func TestFormatIndents(t *testing.T) {
+	n := &Aggregate{
+		Input: &Join{Probe: scan("r"), Build: scan("s"), ProbeKey: "fk", BuildKey: "pk"},
+		Aggs:  []AggSpec{{Func: Sum, Arg: expr.NewCol("a"), As: "s"}},
+	}
+	text := Format(n)
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines: %v", lines)
+	}
+	if !strings.HasPrefix(lines[1], "  join") || !strings.HasPrefix(lines[2], "    scan r") {
+		t.Errorf("bad indentation:\n%s", text)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Sort{
+		Input: &Aggregate{Input: scan("r"), Aggs: []AggSpec{{Func: Count, As: "c"}}},
+		Keys:  []SortKey{{Col: "c"}},
+	}
+	if err := Validate(good); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	bad := []Node{
+		&Scan{},
+		&Filter{Input: scan("r")},
+		&Map{Input: scan("r")},
+		&Join{Probe: scan("r"), Build: scan("s")},
+		&GroupJoin{Build: scan("s"), Probe: scan("r"), BuildKey: "pk", ProbeKey: "fk"},
+		&Aggregate{Input: scan("r")},
+		&Sort{Input: scan("r")},
+		// Invalid node nested under a valid one.
+		&Filter{Input: &Scan{}, Pred: pred()},
+	}
+	for i, n := range bad {
+		if err := Validate(n); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+}
+
+func TestInputs(t *testing.T) {
+	j := &Join{Probe: scan("r"), Build: scan("s"), ProbeKey: "fk", BuildKey: "pk"}
+	if len(j.Inputs()) != 2 || len(scan("r").Inputs()) != 0 {
+		t.Error("Inputs wrong")
+	}
+	g := &GroupJoin{Build: scan("s"), Probe: scan("r"), BuildKey: "pk", ProbeKey: "fk",
+		Aggs: []AggSpec{{Func: Count, As: "c"}}}
+	if len(g.Inputs()) != 2 {
+		t.Error("groupjoin inputs")
+	}
+}

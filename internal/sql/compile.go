@@ -1,0 +1,253 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/reprolab/swole/internal/expr"
+	"github.com/reprolab/swole/internal/plan"
+	"github.com/reprolab/swole/internal/storage"
+)
+
+// Compile parses a SELECT statement and builds a logical plan against db.
+// Supported shapes: single-table queries, and two-table queries joined by
+// one equality over a registered foreign key (the FK side becomes the
+// probe, following the repository's join convention).
+func Compile(src string, db *storage.Database) (plan.Node, error) {
+	s, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return compileStmt(s, db)
+}
+
+// Parse exposes the bare parser for tests and tooling; most callers want
+// Compile.
+func Parse(src string) error {
+	_, err := parse(src)
+	return err
+}
+
+func compileStmt(s *stmt, db *storage.Database) (plan.Node, error) {
+	if len(s.tables) == 0 || len(s.tables) > 2 {
+		return nil, fmt.Errorf("sql: %d tables unsupported (1 or 2)", len(s.tables))
+	}
+	owners := map[string]string{} // column -> table
+	for _, tn := range s.tables {
+		t := db.Table(tn)
+		if t == nil {
+			return nil, fmt.Errorf("sql: no table %s", tn)
+		}
+		for _, c := range t.Columns {
+			if prev, dup := owners[c.Name]; dup {
+				return nil, fmt.Errorf("sql: column %s exists in both %s and %s", c.Name, prev, tn)
+			}
+			owners[c.Name] = tn
+		}
+	}
+
+	var root plan.Node
+	if len(s.tables) == 1 {
+		root = &plan.Scan{Table: s.tables[0], Filter: s.where}
+	} else {
+		node, err := compileJoin(s, db, owners)
+		if err != nil {
+			return nil, err
+		}
+		root = node
+	}
+
+	root, outCols, err := compileSelect(s, root, owners)
+	if err != nil {
+		return nil, err
+	}
+
+	if len(s.orderBy) > 0 || s.limit > 0 {
+		keys := make([]plan.SortKey, len(s.orderBy))
+		for i, o := range s.orderBy {
+			if !contains(outCols, o.col) {
+				return nil, fmt.Errorf("sql: ORDER BY column %s not in select list", o.col)
+			}
+			keys[i] = plan.SortKey{Col: o.col, Desc: o.desc}
+		}
+		root = &plan.Sort{Input: root, Keys: keys, Limit: s.limit}
+	}
+	return root, nil
+}
+
+// compileJoin splits the WHERE conjuncts of a two-table query into
+// per-table filters, the join equality, and a residual.
+func compileJoin(s *stmt, db *storage.Database, owners map[string]string) (plan.Node, error) {
+	t1, t2 := s.tables[0], s.tables[1]
+	var f1, f2, residual []expr.Expr
+	var joinL, joinR string
+
+	conjuncts := flattenAnd(s.where)
+	for _, c := range conjuncts {
+		// Join equality?
+		if eq, ok := c.(*expr.Cmp); ok && eq.Op == expr.EQ {
+			lc, lok := eq.L.(*expr.Col)
+			rc, rok := eq.R.(*expr.Col)
+			if lok && rok && owners[lc.Name] != "" && owners[rc.Name] != "" && owners[lc.Name] != owners[rc.Name] && joinL == "" {
+				if owners[lc.Name] == t1 {
+					joinL, joinR = lc.Name, rc.Name
+				} else {
+					joinL, joinR = rc.Name, lc.Name
+				}
+				continue
+			}
+		}
+		switch tablesOf(c, owners) {
+		case t1:
+			f1 = append(f1, c)
+		case t2:
+			f2 = append(f2, c)
+		default:
+			residual = append(residual, c)
+		}
+	}
+	if joinL == "" {
+		return nil, fmt.Errorf("sql: two-table query requires an equality join condition")
+	}
+
+	// Orient the join: the registered foreign key side probes.
+	probe, build := t1, t2
+	probeKey, buildKey := joinL, joinR
+	if db.FK(t2, joinR, t1, joinL) != nil {
+		probe, build = t2, t1
+		probeKey, buildKey = joinR, joinL
+		f1, f2 = f2, f1
+	} else if db.FK(t1, joinL, t2, joinR) == nil {
+		return nil, fmt.Errorf("sql: no foreign key registered between %s.%s and %s.%s", t1, joinL, t2, joinR)
+	}
+
+	j := &plan.Join{
+		Probe:    &plan.Scan{Table: probe, Filter: andAll(f1)},
+		Build:    &plan.Scan{Table: build, Filter: andAll(f2)},
+		ProbeKey: probeKey,
+		BuildKey: buildKey,
+		Residual: andAll(residual),
+	}
+	return j, nil
+}
+
+// compileSelect adds aggregation/projection and returns the output column
+// names.
+func compileSelect(s *stmt, input plan.Node, owners map[string]string) (plan.Node, []string, error) {
+	hasAgg := false
+	for _, it := range s.items {
+		if it.agg != "" {
+			hasAgg = true
+		}
+	}
+	names := make([]string, len(s.items))
+	for i, it := range s.items {
+		switch {
+		case it.as != "":
+			names[i] = it.as
+		case it.agg != "":
+			names[i] = fmt.Sprintf("%s_%d", it.agg, i)
+		default:
+			if c, ok := it.arg.(*expr.Col); ok {
+				names[i] = c.Name
+			} else {
+				names[i] = fmt.Sprintf("col_%d", i)
+			}
+		}
+	}
+
+	if !hasAgg {
+		if len(s.groupBy) > 0 {
+			return nil, nil, fmt.Errorf("sql: GROUP BY without aggregates")
+		}
+		exprs := make([]plan.NamedExpr, len(s.items))
+		for i, it := range s.items {
+			exprs[i] = plan.NamedExpr{Expr: it.arg, As: names[i]}
+		}
+		return &plan.Map{Input: input, Exprs: exprs}, names, nil
+	}
+
+	funcs := map[string]plan.AggFunc{
+		"sum": plan.Sum, "count": plan.Count, "avg": plan.Avg,
+		"min": plan.Min, "max": plan.Max,
+	}
+	agg := &plan.Aggregate{Input: input, GroupBy: s.groupBy}
+	for i, it := range s.items {
+		if it.agg == "" {
+			c, ok := it.arg.(*expr.Col)
+			if !ok || !contains(s.groupBy, c.Name) {
+				return nil, nil, fmt.Errorf("sql: non-aggregate select item %q must be a GROUP BY column", names[i])
+			}
+			continue
+		}
+		spec := plan.AggSpec{Func: funcs[it.agg], As: names[i]}
+		if !it.star {
+			spec.Arg = it.arg
+		}
+		agg.Aggs = append(agg.Aggs, spec)
+	}
+	// Project in SELECT order (the Aggregate node emits keys first).
+	exprs := make([]plan.NamedExpr, len(s.items))
+	for i, it := range s.items {
+		if it.agg == "" {
+			c := it.arg.(*expr.Col)
+			exprs[i] = plan.NamedExpr{Expr: expr.NewCol(c.Name), As: names[i]}
+		} else {
+			exprs[i] = plan.NamedExpr{Expr: expr.NewCol(names[i]), As: names[i]}
+		}
+	}
+	return &plan.Map{Input: agg, Exprs: exprs}, names, nil
+}
+
+// flattenAnd splits nested conjunctions into a list.
+func flattenAnd(e expr.Expr) []expr.Expr {
+	if e == nil {
+		return nil
+	}
+	if l, ok := e.(*expr.Logic); ok && l.Op == expr.And {
+		var out []expr.Expr
+		for _, a := range l.Args {
+			out = append(out, flattenAnd(a)...)
+		}
+		return out
+	}
+	return []expr.Expr{e}
+}
+
+func andAll(list []expr.Expr) expr.Expr {
+	switch len(list) {
+	case 0:
+		return nil
+	case 1:
+		return list[0]
+	default:
+		return &expr.Logic{Op: expr.And, Args: list}
+	}
+}
+
+// tablesOf returns the single table whose columns e references, or "" if
+// it references several (or none).
+func tablesOf(e expr.Expr, owners map[string]string) string {
+	t := ""
+	for _, c := range expr.Cols(e) {
+		o := owners[c]
+		if o == "" {
+			return ""
+		}
+		if t == "" {
+			t = o
+		} else if t != o {
+			return ""
+		}
+	}
+	return t
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if strings.EqualFold(v, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dict is an order-preserving string dictionary: code i corresponds to the
+// i-th smallest distinct value, so comparisons on codes mirror comparisons
+// on strings.
+type Dict struct {
+	values []string
+	codes  map[string]int64
+}
+
+// NewDict builds a dictionary over a fixed vocabulary (deduplicated and
+// lexicographically ordered). Generators use this so that code widths do
+// not depend on which values happen to appear at a given scale factor.
+func NewDict(vocab []string) *Dict {
+	d, _ := BuildDict(vocab)
+	return d
+}
+
+// Encode returns the codes for vals, which must all be in the dictionary.
+func (d *Dict) Encode(vals []string) ([]int64, error) {
+	out := make([]int64, len(vals))
+	for i, v := range vals {
+		c, ok := d.codes[v]
+		if !ok {
+			return nil, fmt.Errorf("storage: value %q not in dictionary", v)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// BuildDict deduplicates vals, assigns lexicographically ordered codes, and
+// returns the dictionary together with the encoded values.
+func BuildDict(vals []string) (*Dict, []int64) {
+	distinct := map[string]struct{}{}
+	for _, v := range vals {
+		distinct[v] = struct{}{}
+	}
+	values := make([]string, 0, len(distinct))
+	for v := range distinct {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	d := &Dict{values: values, codes: make(map[string]int64, len(values))}
+	for i, v := range values {
+		d.codes[v] = int64(i)
+	}
+	encoded := make([]int64, len(vals))
+	for i, v := range vals {
+		encoded[i] = d.codes[v]
+	}
+	return d, encoded
+}
+
+// Len returns the number of distinct values.
+func (d *Dict) Len() int { return len(d.values) }
+
+// Value decodes a code back to its string.
+func (d *Dict) Value(code int) string { return d.values[code] }
+
+// Code returns the code for s and whether s occurs in the dictionary.
+func (d *Dict) Code(s string) (int64, bool) {
+	c, ok := d.codes[s]
+	return c, ok
+}
+
+// MatchPred evaluates an arbitrary string predicate once per *distinct*
+// value and returns a code-indexed 0/1 table. This is how string-matching
+// predicates (e.g. TPC-H Q13's NOT LIKE, Q14's PROMO%, Q19's lists) become
+// O(1) code lookups at scan time: the precomputed lookup table of Data
+// Blocks applied to dictionary codes.
+func (d *Dict) MatchPred(pred func(string) bool) []byte {
+	out := make([]byte, len(d.values))
+	for i, v := range d.values {
+		if pred(v) {
+			out[i] = 1
+		}
+	}
+	return out
+}

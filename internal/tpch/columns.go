@@ -1,0 +1,198 @@
+package tpch
+
+import "github.com/reprolab/swole/internal/storage"
+
+// fullVocab returns the complete vocabulary for dictionary stability.
+func partTypeVocab() []string {
+	out := make([]string, 0, len(typeSyl1)*len(typeSyl2)*len(typeSyl3))
+	for _, a := range typeSyl1 {
+		for _, b := range typeSyl2 {
+			for _, c := range typeSyl3 {
+				out = append(out, a+" "+b+" "+c)
+			}
+		}
+	}
+	return out
+}
+
+func brandVocab() []string {
+	out := make([]string, 0, 25)
+	for m := 1; m <= 5; m++ {
+		for n := 1; n <= 5; n++ {
+			out = append(out, "Brand#"+string(rune('0'+m))+string(rune('0'+n)))
+		}
+	}
+	return out
+}
+
+func containerVocab() []string {
+	out := make([]string, 0, len(containers1)*len(containers2))
+	for _, a := range containers1 {
+		for _, b := range containers2 {
+			out = append(out, a+" "+b)
+		}
+	}
+	return out
+}
+
+// buildColumns encodes the string columns, fills the typed slices the hand
+// kernels use, and assembles the column-store Database with its
+// foreign-key indexes.
+func (d *Data) buildColumns(regionStrs, nationStrs, custSegStrs, partTypeStrs,
+	partBrandStrs, partContStrs, orderPrioStrs, orderCommentStrs,
+	liFlagStrs, liStatusStrs, liInstrStrs, liModeStrs []string) {
+
+	mustStr := func(name string, vocab, vals []string) *storage.Column {
+		c, err := storage.NewStringsDict(name, storage.NewDict(vocab), vals)
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+	i8codes := func(c *storage.Column) []int8 {
+		out := make([]int8, c.Len())
+		for i := range out {
+			out[i] = int8(c.Get(i))
+		}
+		return out
+	}
+	i16codes := func(c *storage.Column) []int16 {
+		out := make([]int16, c.Len())
+		for i := range out {
+			out[i] = int16(c.Get(i))
+		}
+		return out
+	}
+	i32codes := func(c *storage.Column) []int32 {
+		out := make([]int32, c.Len())
+		for i := range out {
+			out[i] = int32(c.Get(i))
+		}
+		return out
+	}
+	dense := func(name string, n int) *storage.Column {
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(i)
+		}
+		return storage.Compress(name, vals, storage.LogInt)
+	}
+	wide8 := func(name string, vals []int8, log storage.Logical) *storage.Column {
+		out := make([]int64, len(vals))
+		for i, v := range vals {
+			out[i] = int64(v)
+		}
+		return storage.Compress(name, out, log)
+	}
+	wide32 := func(name string, vals []int32, log storage.Logical) *storage.Column {
+		out := make([]int64, len(vals))
+		for i, v := range vals {
+			out[i] = int64(v)
+		}
+		return storage.Compress(name, out, log)
+	}
+
+	db := storage.NewDatabase()
+
+	// region
+	rName := mustStr("r_name", regionNames, regionStrs)
+	d.Region.Name = i8codes(rName)
+	d.Region.NameDict = rName.Dict
+	db.AddTable(storage.MustNewTable("region", dense("r_regionkey", regionRows), rName))
+
+	// nation
+	nName := mustStr("n_name", nationNames, nationStrs)
+	d.Nation.Name = i8codes(nName)
+	d.Nation.NameDict = nName.Dict
+	db.AddTable(storage.MustNewTable("nation",
+		dense("n_nationkey", nationRows), nName,
+		wide8("n_regionkey", d.Nation.RegionKey, storage.LogInt)))
+
+	// supplier
+	db.AddTable(storage.MustNewTable("supplier",
+		dense("s_suppkey", len(d.Supplier.NationKey)),
+		wide8("s_nationkey", d.Supplier.NationKey, storage.LogInt)))
+
+	// customer
+	cSeg := mustStr("c_mktsegment", segments, custSegStrs)
+	d.Customer.MktSegment = i8codes(cSeg)
+	d.Customer.SegDict = cSeg.Dict
+	db.AddTable(storage.MustNewTable("customer",
+		dense("c_custkey", len(custSegStrs)), cSeg,
+		wide8("c_nationkey", d.Customer.NationKey, storage.LogInt)))
+
+	// part
+	pType := mustStr("p_type", partTypeVocab(), partTypeStrs)
+	pBrand := mustStr("p_brand", brandVocab(), partBrandStrs)
+	pCont := mustStr("p_container", containerVocab(), partContStrs)
+	d.Part.Type = i16codes(pType)
+	d.Part.Brand = i8codes(pBrand)
+	d.Part.Container = i8codes(pCont)
+	d.Part.TypeDict = pType.Dict
+	d.Part.BrandDict = pBrand.Dict
+	d.Part.ContDict = pCont.Dict
+	db.AddTable(storage.MustNewTable("part",
+		dense("p_partkey", len(partTypeStrs)), pType, pBrand, pCont,
+		wide8("p_size", d.Part.Size, storage.LogInt)))
+
+	// orders
+	oPrio := mustStr("o_orderpriority", priorities, orderPrioStrs)
+	oComment := storage.NewStrings("o_comment", orderCommentStrs)
+	d.Orders.OrderPriority = i8codes(oPrio)
+	d.Orders.PrioDict = oPrio.Dict
+	d.Orders.Comment = i32codes(oComment)
+	d.Orders.CommentDict = oComment.Dict
+	db.AddTable(storage.MustNewTable("orders",
+		dense("o_orderkey", len(d.Orders.CustKey)),
+		wide32("o_custkey", d.Orders.CustKey, storage.LogInt),
+		wide32("o_orderdate", d.Orders.OrderDate, storage.LogDate),
+		oPrio,
+		wide8("o_shippriority", d.Orders.ShipPriority, storage.LogInt),
+		oComment))
+
+	// lineitem
+	li := &d.Lineitem
+	lFlag := mustStr("l_returnflag", []string{"A", "N", "R"}, liFlagStrs)
+	lStatus := mustStr("l_linestatus", []string{"F", "O"}, liStatusStrs)
+	lInstr := mustStr("l_shipinstruct", shipInstructs, liInstrStrs)
+	lMode := mustStr("l_shipmode", shipModes, liModeStrs)
+	li.ReturnFlag = i8codes(lFlag)
+	li.LineStatus = i8codes(lStatus)
+	li.ShipInstruct = i8codes(lInstr)
+	li.ShipMode = i8codes(lMode)
+	li.FlagDict = lFlag.Dict
+	li.StatusDict = lStatus.Dict
+	li.InstructDict = lInstr.Dict
+	li.ModeDict = lMode.Dict
+	db.AddTable(storage.MustNewTable("lineitem",
+		wide32("l_orderkey", li.OrderKey, storage.LogInt),
+		wide32("l_partkey", li.PartKey, storage.LogInt),
+		wide32("l_suppkey", li.SuppKey, storage.LogInt),
+		wide8("l_quantity", li.Quantity, storage.LogInt),
+		wide32("l_extendedprice", li.ExtendedPrice, storage.LogDecimal),
+		wide8("l_discount", li.Discount, storage.LogDecimal),
+		wide8("l_tax", li.Tax, storage.LogDecimal),
+		lFlag, lStatus,
+		wide32("l_shipdate", li.ShipDate, storage.LogDate),
+		wide32("l_commitdate", li.CommitDate, storage.LogDate),
+		wide32("l_receiptdate", li.ReceiptDate, storage.LogDate),
+		lInstr, lMode))
+
+	// Foreign-key indexes: referential integrity checking mandates them
+	// (Section III-D), and they are the only auxiliary structures allowed
+	// by the paper's methodology.
+	for _, fk := range [][4]string{
+		{"nation", "n_regionkey", "region", "r_regionkey"},
+		{"supplier", "s_nationkey", "nation", "n_nationkey"},
+		{"customer", "c_nationkey", "nation", "n_nationkey"},
+		{"orders", "o_custkey", "customer", "c_custkey"},
+		{"lineitem", "l_orderkey", "orders", "o_orderkey"},
+		{"lineitem", "l_partkey", "part", "p_partkey"},
+		{"lineitem", "l_suppkey", "supplier", "s_suppkey"},
+	} {
+		if err := db.AddFKIndex(fk[0], fk[1], fk[2], fk[3]); err != nil {
+			panic(err)
+		}
+	}
+	d.DB = db
+}

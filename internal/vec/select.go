@@ -1,0 +1,55 @@
+package vec
+
+// This file implements selection-vector construction, the second inner loop
+// of the hybrid strategy in the paper's Figure 1. Two variants are provided,
+// following Ross (PODS 2002): a branching implementation, which is superior
+// for very low or very high selectivities, and the predicated "no-branch"
+// implementation, which replaces the control dependency with a data
+// dependency to avoid branch mispredictions at intermediate selectivities.
+
+// SelFromCmpNoBranch appends the indexes of set lanes in cmp to sel using
+// the predicated technique shown in Figure 1 (hybrid, second inner loop):
+//
+//	idx[k] = j; k += cmp[j];
+//
+// sel must have capacity for len(cmp) entries. It returns the number of
+// selected indexes.
+func SelFromCmpNoBranch(cmp []byte, sel []int32) int {
+	_ = sel[len(cmp)-1]
+	k := 0
+	for j := range cmp {
+		sel[k] = int32(j)
+		k += int(cmp[j])
+	}
+	return k
+}
+
+// SelFromCmpBranch appends the indexes of set lanes in cmp to sel using a
+// conditional branch. Faster than the no-branch variant when the branch is
+// predictable (selectivity near 0% or 100%).
+func SelFromCmpBranch(cmp []byte, sel []int32) int {
+	k := 0
+	for j := range cmp {
+		if cmp[j] != 0 {
+			sel[k] = int32(j)
+			k++
+		}
+	}
+	return k
+}
+
+// SelFromCmpOffset is the ROF variant: it appends *global* tuple indexes
+// (base+j) for set lanes of cmp into sel starting at position k, stopping
+// early if sel fills up. It returns the new fill level and how many lanes of
+// cmp were consumed. ROF uses this to fill one full selection vector across
+// tile boundaries before moving to the next pipeline stage (Section II-A3).
+func SelFromCmpOffset(cmp []byte, base int, sel []int32, k int) (fill, consumed int) {
+	for j := range cmp {
+		if k == len(sel) {
+			return k, j
+		}
+		sel[k] = int32(base + j)
+		k += int(cmp[j])
+	}
+	return k, len(cmp)
+}

@@ -1,0 +1,332 @@
+// Package volcano implements a tuple-at-a-time interpreted iterator engine
+// (Graefe's Volcano model). In this repository it plays the role HyPer
+// v0.5 plays in the paper's evaluation: a generic engine that executes the
+// same logical plans and serves as a sanity check that the hand-specialized
+// strategy kernels are correct (every strategy implementation is verified
+// against Volcano's answers) and reasonable (they must all beat it, since
+// interpretation overhead stands in for full-system overhead).
+package volcano
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/reprolab/swole/internal/expr"
+	"github.com/reprolab/swole/internal/plan"
+	"github.com/reprolab/swole/internal/storage"
+)
+
+// Field describes one column of an intermediate row.
+type Field struct {
+	Name string
+	Dict *storage.Dict
+	Log  storage.Logical
+}
+
+// Fields is an intermediate row schema. It implements expr.SchemaSource.
+type Fields []Field
+
+// Resolve implements expr.SchemaSource.
+func (f Fields) Resolve(name string) (int, *storage.Dict, bool) {
+	for i, fd := range f {
+		if fd.Name == name {
+			return i, fd.Dict, true
+		}
+	}
+	return 0, nil, false
+}
+
+// Index returns the position of name, or -1.
+func (f Fields) Index(name string) int {
+	for i, fd := range f {
+		if fd.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Row is one widened intermediate tuple.
+type Row []int64
+
+// Result is a fully materialized query answer.
+type Result struct {
+	Fields Fields
+	Rows   []Row
+}
+
+// iterator is the classic Volcano interface.
+type iterator interface {
+	open() error
+	next() (Row, bool, error)
+	close()
+}
+
+// Run executes a logical plan and materializes the answer.
+func Run(n plan.Node, db *storage.Database) (*Result, error) {
+	if err := plan.Validate(n); err != nil {
+		return nil, err
+	}
+	it, fields, err := build(n, db)
+	if err != nil {
+		return nil, err
+	}
+	if err := it.open(); err != nil {
+		return nil, err
+	}
+	defer it.close()
+	res := &Result{Fields: fields}
+	for {
+		row, ok, err := it.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return res, nil
+		}
+		res.Rows = append(res.Rows, row)
+	}
+}
+
+func build(n plan.Node, db *storage.Database) (iterator, Fields, error) {
+	switch x := n.(type) {
+	case *plan.Scan:
+		return buildScan(x, db)
+	case *plan.Filter:
+		return buildFilter(x, db)
+	case *plan.Map:
+		return buildMap(x, db)
+	case *plan.Join:
+		return buildJoin(x, db)
+	case *plan.GroupJoin:
+		return buildGroupJoin(x, db)
+	case *plan.Aggregate:
+		return buildAggregate(x, db)
+	case *plan.Sort:
+		return buildSort(x, db)
+	}
+	return nil, nil, fmt.Errorf("volcano: unsupported node %T", n)
+}
+
+// ---------------------------------------------------------------- scan
+
+type scanIter struct {
+	table  *storage.Table
+	filter expr.Expr
+	row    int
+	out    Row
+}
+
+func buildScan(s *plan.Scan, db *storage.Database) (iterator, Fields, error) {
+	t := db.Table(s.Table)
+	if t == nil {
+		return nil, nil, fmt.Errorf("volcano: no table %s", s.Table)
+	}
+	if s.Filter != nil {
+		if err := expr.Bind(s.Filter, t); err != nil {
+			return nil, nil, err
+		}
+	}
+	fields := make(Fields, len(t.Columns))
+	for i, c := range t.Columns {
+		fields[i] = Field{Name: c.Name, Dict: c.Dict, Log: c.Log}
+	}
+	return &scanIter{table: t, filter: s.Filter}, fields, nil
+}
+
+func (it *scanIter) open() error {
+	it.row = 0
+	it.out = make(Row, len(it.table.Columns))
+	return nil
+}
+
+func (it *scanIter) next() (Row, bool, error) {
+	for it.row < it.table.Rows() {
+		r := it.row
+		it.row++
+		if it.filter != nil && expr.Eval(it.filter, r) == 0 {
+			continue
+		}
+		out := make(Row, len(it.table.Columns))
+		for i, c := range it.table.Columns {
+			out[i] = c.Get(r)
+		}
+		return out, true, nil
+	}
+	return nil, false, nil
+}
+
+func (it *scanIter) close() {}
+
+// ---------------------------------------------------------------- filter
+
+type filterIter struct {
+	in   iterator
+	pred expr.Expr
+}
+
+func buildFilter(f *plan.Filter, db *storage.Database) (iterator, Fields, error) {
+	in, fields, err := build(f.Input, db)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := expr.BindRow(f.Pred, fields); err != nil {
+		return nil, nil, err
+	}
+	return &filterIter{in: in, pred: f.Pred}, fields, nil
+}
+
+func (it *filterIter) open() error { return it.in.open() }
+
+func (it *filterIter) next() (Row, bool, error) {
+	for {
+		row, ok, err := it.in.next()
+		if !ok || err != nil {
+			return nil, false, err
+		}
+		if expr.EvalRow(it.pred, row) != 0 {
+			return row, true, nil
+		}
+	}
+}
+
+func (it *filterIter) close() { it.in.close() }
+
+// ---------------------------------------------------------------- map
+
+type mapIter struct {
+	in    iterator
+	exprs []plan.NamedExpr
+}
+
+func buildMap(m *plan.Map, db *storage.Database) (iterator, Fields, error) {
+	in, fields, err := build(m.Input, db)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(Fields, len(m.Exprs))
+	for i, ne := range m.Exprs {
+		if err := expr.BindRow(ne.Expr, fields); err != nil {
+			return nil, nil, err
+		}
+		out[i] = Field{Name: ne.As, Log: inferLog(ne.Expr, fields)}
+		if c, ok := ne.Expr.(*expr.Col); ok {
+			if idx := fields.Index(c.Name); idx >= 0 {
+				out[i].Dict = fields[idx].Dict
+			}
+		}
+	}
+	return &mapIter{in: in, exprs: m.Exprs}, out, nil
+}
+
+func inferLog(e expr.Expr, fields Fields) storage.Logical {
+	if c, ok := e.(*expr.Col); ok {
+		if idx := fields.Index(c.Name); idx >= 0 {
+			return fields[idx].Log
+		}
+	}
+	return storage.LogInt
+}
+
+func (it *mapIter) open() error { return it.in.open() }
+
+func (it *mapIter) next() (Row, bool, error) {
+	row, ok, err := it.in.next()
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	out := make(Row, len(it.exprs))
+	for i, ne := range it.exprs {
+		out[i] = expr.EvalRow(ne.Expr, row)
+	}
+	return out, true, nil
+}
+
+func (it *mapIter) close() { it.in.close() }
+
+// ---------------------------------------------------------------- sort
+
+type sortIter struct {
+	in     iterator
+	keys   []plan.SortKey
+	limit  int
+	fields Fields
+	rows   []Row
+	pos    int
+}
+
+func buildSort(s *plan.Sort, db *storage.Database) (iterator, Fields, error) {
+	in, fields, err := build(s.Input, db)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, k := range s.Keys {
+		if fields.Index(k.Col) < 0 {
+			return nil, nil, fmt.Errorf("volcano: sort key %s not in schema", k.Col)
+		}
+	}
+	return &sortIter{in: in, keys: s.Keys, limit: s.Limit, fields: fields}, fields, nil
+}
+
+func (it *sortIter) open() error {
+	if err := it.in.open(); err != nil {
+		return err
+	}
+	defer it.in.close()
+	it.rows = nil
+	it.pos = 0
+	for {
+		row, ok, err := it.in.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		it.rows = append(it.rows, row)
+	}
+	idx := make([]int, len(it.keys))
+	for i, k := range it.keys {
+		idx[i] = it.fields.Index(k.Col)
+	}
+	sort.SliceStable(it.rows, func(a, b int) bool {
+		for i, k := range it.keys {
+			av, bv := it.rows[a][idx[i]], it.rows[b][idx[i]]
+			if av == bv {
+				continue
+			}
+			if k.Desc {
+				return av > bv
+			}
+			return av < bv
+		}
+		return false
+	})
+	if it.limit > 0 && len(it.rows) > it.limit {
+		it.rows = it.rows[:it.limit]
+	}
+	return nil
+}
+
+func (it *sortIter) next() (Row, bool, error) {
+	if it.pos >= len(it.rows) {
+		return nil, false, nil
+	}
+	row := it.rows[it.pos]
+	it.pos++
+	return row, true, nil
+}
+
+func (it *sortIter) close() {}
+
+// ---------------------------------------------------------------- key packing
+
+// packKey encodes multi-column group keys into a map key.
+func packKey(buf []byte, row Row, idx []int) string {
+	buf = buf[:0]
+	for _, i := range idx {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(row[i]))
+	}
+	return string(buf)
+}

@@ -1,0 +1,175 @@
+package swole
+
+import (
+	"sort"
+
+	"github.com/reprolab/swole/internal/core"
+	"github.com/reprolab/swole/internal/expr"
+	"github.com/reprolab/swole/internal/plan"
+	"github.com/reprolab/swole/internal/sql"
+	"github.com/reprolab/swole/internal/storage"
+	"github.com/reprolab/swole/internal/volcano"
+)
+
+// Explain describes the technique SWOLE chose for a query and the cost
+// model evidence behind the choice.
+type Explain struct {
+	// Technique is one of: hybrid, value-masking, key-masking,
+	// access-merging, positional-bitmap, eager-aggregation, or
+	// "interpreter-fallback" when the query shape is outside the SWOLE
+	// executor's vocabulary.
+	Technique string
+	// Selectivity is the sampled predicate selectivity.
+	Selectivity float64
+	// Groups is the estimated group count for group-by shapes.
+	Groups int
+	// HTBytes is the estimated hash table (or bitmap) footprint.
+	HTBytes int
+	// Costs holds the per-alternative cost model evaluations.
+	Costs map[string]float64
+	// Merged lists attributes whose accesses were merged.
+	Merged []string
+}
+
+func fromCore(ex core.Explain) Explain {
+	return Explain{
+		Technique:   ex.Technique.String(),
+		Selectivity: ex.Selectivity,
+		Groups:      ex.Groups,
+		HTBytes:     ex.HTBytes,
+		Costs:       ex.Costs,
+		Merged:      ex.Merged,
+	}
+}
+
+// QuerySwole executes a SQL statement with the access-aware SWOLE
+// executor. Supported shapes (the paper's operator vocabulary): filtered
+// scalar and single-key group-by aggregation over one table, semijoin
+// aggregation, and groupjoin aggregation over a registered foreign key.
+// Other statements fall back to the interpreted engine, reported in the
+// Explain as "interpreter-fallback".
+func (d *DB) QuerySwole(q string) (*Result, Explain, error) {
+	p, err := sql.Compile(q, d.db)
+	if err != nil {
+		return nil, Explain{}, err
+	}
+	if res, ex, ok, err := d.trySwole(p); err != nil {
+		return nil, Explain{}, err
+	} else if ok {
+		return res, ex, nil
+	}
+	vres, err := volcano.Run(p, d.db)
+	if err != nil {
+		return nil, Explain{}, err
+	}
+	return &Result{res: vres}, Explain{Technique: "interpreter-fallback"}, nil
+}
+
+// trySwole pattern-matches the plan against the SWOLE executor shapes.
+func (d *DB) trySwole(p plan.Node) (*Result, Explain, bool, error) {
+	m, ok := p.(*plan.Map)
+	if !ok {
+		return nil, Explain{}, false, nil
+	}
+	agg, ok := m.Input.(*plan.Aggregate)
+	if !ok || len(agg.Aggs) != 1 {
+		return nil, Explain{}, false, nil
+	}
+	spec := agg.Aggs[0]
+	switch {
+	case spec.Func == plan.Sum && spec.Arg != nil:
+		// sum(expr) passes through.
+	case spec.Func == plan.Count && spec.Arg == nil:
+		// count(*) is sum(1).
+		spec.Arg = &expr.Const{Val: 1}
+	default:
+		return nil, Explain{}, false, nil
+	}
+
+	switch input := agg.Input.(type) {
+	case *plan.Scan:
+		if len(agg.GroupBy) == 0 {
+			sum, ex, err := d.engine.ScalarAgg(core.ScalarAgg{
+				Table: input.Table, Filter: input.Filter, Agg: spec.Arg,
+			})
+			if err != nil {
+				return nil, Explain{}, false, err
+			}
+			return scalarResult(spec.As, sum), fromCore(ex), true, nil
+		}
+		if len(agg.GroupBy) == 1 {
+			groups, ex, err := d.engine.GroupAgg(core.GroupAgg{
+				Table: input.Table, Filter: input.Filter,
+				Key: expr.NewCol(agg.GroupBy[0]), Agg: spec.Arg,
+			})
+			if err != nil {
+				return nil, Explain{}, false, err
+			}
+			return groupResult(agg.GroupBy[0], spec.As, groups), fromCore(ex), true, nil
+		}
+	case *plan.Join:
+		probe, pok := input.Probe.(*plan.Scan)
+		build, bok := input.Build.(*plan.Scan)
+		if !pok || !bok || input.Residual != nil || input.Semi {
+			return nil, Explain{}, false, nil
+		}
+		// The aggregate must touch only probe columns for the join to be
+		// a semijoin in disguise.
+		if !colsSubset(expr.Cols(spec.Arg), d.db.MustTable(probe.Table)) {
+			return nil, Explain{}, false, nil
+		}
+		if len(agg.GroupBy) == 0 {
+			sum, ex, err := d.engine.SemiJoinAgg(core.SemiJoinAgg{
+				Probe: probe.Table, Build: build.Table,
+				FK: input.ProbeKey, PK: input.BuildKey,
+				ProbeFilter: probe.Filter, BuildFilter: build.Filter,
+				Agg: spec.Arg,
+			})
+			if err != nil {
+				return nil, Explain{}, false, err
+			}
+			return scalarResult(spec.As, sum), fromCore(ex), true, nil
+		}
+		if len(agg.GroupBy) == 1 && agg.GroupBy[0] == input.ProbeKey && probe.Filter == nil {
+			groups, ex, err := d.engine.GroupJoinAgg(core.GroupJoinAgg{
+				Probe: probe.Table, Build: build.Table,
+				FK: input.ProbeKey, PK: input.BuildKey,
+				BuildFilter: build.Filter, Agg: spec.Arg,
+			})
+			if err != nil {
+				return nil, Explain{}, false, err
+			}
+			return groupResult(agg.GroupBy[0], spec.As, groups), fromCore(ex), true, nil
+		}
+	}
+	return nil, Explain{}, false, nil
+}
+
+func colsSubset(cols []string, t *storage.Table) bool {
+	for _, c := range cols {
+		if t.Column(c) == nil {
+			return false
+		}
+	}
+	return true
+}
+
+func scalarResult(name string, v int64) *Result {
+	return &Result{res: &volcano.Result{
+		Fields: volcano.Fields{{Name: name}},
+		Rows:   []volcano.Row{{v}},
+	}}
+}
+
+func groupResult(keyName, aggName string, groups map[int64]int64) *Result {
+	keys := make([]int64, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	res := &volcano.Result{Fields: volcano.Fields{{Name: keyName}, {Name: aggName}}}
+	for _, k := range keys {
+		res.Rows = append(res.Rows, volcano.Row{k, groups[k]})
+	}
+	return &Result{res: res}
+}

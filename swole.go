@@ -1,0 +1,172 @@
+// Package swole is an access-aware in-memory OLAP query engine, a faithful
+// open-source reproduction of "Getting Swole: Generating Access-Aware Code
+// with Predicate Pullups" (Crotty, Galakatos, Kraska; ICDE 2020).
+//
+// SWOLE inverts the oldest heuristic in query optimization: instead of
+// pushing predicates down to filter early, it pulls them up and masks,
+// converting conditional and random data accesses into sequential ones at
+// the cost of bounded wasted work. The package offers:
+//
+//   - a column store with dictionary encoding, null suppression and
+//     fixed-point decimals (Table, IntColumn, StringColumn, ...)
+//   - a SQL frontend (Query) executed on an interpreted engine, and a
+//     SWOLE executor (QuerySwole) that recognizes the paper's operator
+//     shapes, consults the cost models, and applies value masking, key
+//     masking, access merging, positional bitmaps, or eager aggregation
+//   - the code generator (GenerateCode) that emits the Go source each
+//     strategy would produce
+//   - built-in workloads (LoadTPCH, LoadMicro) reproducing the paper's
+//     evaluation
+//
+// See README.md for a walkthrough and DESIGN.md for the system inventory.
+package swole
+
+import (
+	"fmt"
+
+	"github.com/reprolab/swole/internal/core"
+	"github.com/reprolab/swole/internal/plan"
+	"github.com/reprolab/swole/internal/sql"
+	"github.com/reprolab/swole/internal/storage"
+	"github.com/reprolab/swole/internal/volcano"
+)
+
+// DB is an in-memory column-store database.
+type DB struct {
+	db     *storage.Database
+	engine *core.Engine
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	db := storage.NewDatabase()
+	return &DB{db: db, engine: core.NewEngine(db)}
+}
+
+// Column is a column under construction; create with IntColumn,
+// DecimalColumn, DateColumn, or StringColumn.
+type Column struct {
+	col *storage.Column
+	err error
+}
+
+// IntColumn builds an integer column, choosing the narrowest physical
+// width that holds the values (null suppression).
+func IntColumn(name string, vals []int64) Column {
+	return Column{col: storage.Compress(name, vals, storage.LogInt)}
+}
+
+// DecimalColumn builds a fixed-point decimal column; values are scaled by
+// 100 (two fractional digits), e.g. 1.50 is stored as 150.
+func DecimalColumn(name string, scaledVals []int64) Column {
+	return Column{col: storage.Compress(name, scaledVals, storage.LogDecimal)}
+}
+
+// DateColumn builds a date column from "YYYY-MM-DD" strings.
+func DateColumn(name string, dates []string) Column {
+	vals := make([]int64, len(dates))
+	for i, s := range dates {
+		d, err := storage.ParseDate(s)
+		if err != nil {
+			return Column{err: err}
+		}
+		vals[i] = int64(d)
+	}
+	return Column{col: storage.Compress(name, vals, storage.LogDate)}
+}
+
+// StringColumn builds a dictionary-encoded string column.
+func StringColumn(name string, vals []string) Column {
+	return Column{col: storage.NewStrings(name, vals)}
+}
+
+// CreateTable registers a table with the given columns, which must share
+// one length.
+func (d *DB) CreateTable(name string, cols ...Column) error {
+	sc := make([]*storage.Column, len(cols))
+	for i, c := range cols {
+		if c.err != nil {
+			return c.err
+		}
+		if c.col == nil {
+			return fmt.Errorf("swole: column %d of table %s is uninitialized", i, name)
+		}
+		sc[i] = c.col
+	}
+	t, err := storage.NewTable(name, sc...)
+	if err != nil {
+		return err
+	}
+	d.db.AddTable(t)
+	return nil
+}
+
+// AddForeignKey declares and verifies a foreign key from child.fk to
+// parent.pk, building the positional index SWOLE's bitmap joins use.
+func (d *DB) AddForeignKey(child, fk, parent, pk string) error {
+	return d.db.AddFKIndex(child, fk, parent, pk)
+}
+
+// Result is a materialized query answer.
+type Result struct {
+	res *volcano.Result
+}
+
+// Columns returns the output column names.
+func (r *Result) Columns() []string {
+	out := make([]string, len(r.res.Fields))
+	for i, f := range r.res.Fields {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Rows returns the raw int64 rows (dictionary codes, day numbers, and
+// fixed-point values unrendered).
+func (r *Result) Rows() [][]int64 {
+	out := make([][]int64, len(r.res.Rows))
+	for i, row := range r.res.Rows {
+		out[i] = row
+	}
+	return out
+}
+
+// NumRows returns the row count.
+func (r *Result) NumRows() int { return len(r.res.Rows) }
+
+// String renders the result as a table, decoding strings, dates and
+// decimals.
+func (r *Result) String() string { return r.res.Format(0) }
+
+// StringLimit renders at most n rows.
+func (r *Result) StringLimit(n int) string { return r.res.Format(n) }
+
+// Query parses and executes a SQL statement on the interpreted reference
+// engine (predicate pushdown, tuple at a time). Use QuerySwole for the
+// access-aware executor.
+func (d *DB) Query(q string) (*Result, error) {
+	p, err := sql.Compile(q, d.db)
+	if err != nil {
+		return nil, err
+	}
+	res, err := volcano.Run(p, d.db)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{res: res}, nil
+}
+
+// ExplainPlan returns the logical plan of a SQL statement.
+func (d *DB) ExplainPlan(q string) (string, error) {
+	p, err := sql.Compile(q, d.db)
+	if err != nil {
+		return "", err
+	}
+	return plan.Format(p), nil
+}
+
+// Plan compiles a SQL statement to its logical plan node (advanced use:
+// custom execution or code generation).
+func (d *DB) Plan(q string) (plan.Node, error) {
+	return sql.Compile(q, d.db)
+}
