@@ -7,10 +7,11 @@
 //	swolebench -fig 6            # one figure
 //	swolebench -fig all          # everything
 //	swolebench -fig 2            # the technique summary table
+//	swolebench -fig scaling -workers 8   # morsel scaling sweep, 1..8 workers
 //
-// Scales come from the environment (SWOLE_SF, SWOLE_MICRO_R, SWOLE_REPS);
-// see internal/harness. Paper scales are SF=10 and R=100M — set them only
-// on hardware comparable to the paper's.
+// Scales come from the environment (SWOLE_SF, SWOLE_MICRO_R, SWOLE_REPS,
+// SWOLE_WORKERS); see internal/harness. Paper scales are SF=10 and R=100M —
+// set them only on hardware comparable to the paper's.
 package main
 
 import (
@@ -24,12 +25,16 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 6, 8, 9, 10, 11, 12, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 6, 8, 9, 10, 11, 12, scaling, or all")
 	csv := flag.Bool("csv", false, "emit micro figures as CSV for plotting")
+	workers := flag.Int("workers", 0, "max morsel workers the scaling figure sweeps to (0 = SWOLE_WORKERS or NumCPU)")
 	flag.Parse()
 
 	cfg := harness.FromEnv()
-	fmt.Printf("config: SF=%g micro R=%d reps=%d\n\n", cfg.SF, cfg.MicroR, cfg.Reps)
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	fmt.Printf("config: SF=%g micro R=%d reps=%d workers=%d\n\n", cfg.SF, cfg.MicroR, cfg.Reps, cfg.Workers)
 
 	show := func(figs []harness.Figure) {
 		for _, f := range figs {
@@ -73,6 +78,8 @@ func main() {
 			show(cfg.Fig11())
 		case "12":
 			show(cfg.Fig12())
+		case "scaling":
+			show(cfg.FigScaling())
 		default:
 			return fmt.Errorf("unknown figure %q", name)
 		}
@@ -81,7 +88,7 @@ func main() {
 
 	var figs []string
 	if *fig == "all" {
-		figs = []string{"2", "6", "8", "9", "10", "11", "12"}
+		figs = []string{"2", "6", "8", "9", "10", "11", "12", "scaling"}
 	} else {
 		figs = []string{*fig}
 	}

@@ -110,6 +110,20 @@ func (b *Bitmap) Or(other *Bitmap) {
 	}
 }
 
+// MergeOr returns the union of the given bitmaps, which must all cover the
+// same length — the merge phase of morsel-parallel bitmap construction:
+// each worker sets bits for the build-side morsels it claimed in a private
+// bitmap, and the partials are OR-ed once all workers finish. Every
+// position is written by exactly one worker (morsels partition the build
+// range), so the union is identical to a sequential construction.
+func MergeOr(parts ...*Bitmap) *Bitmap {
+	out := New(parts[0].n)
+	for _, p := range parts {
+		out.Or(p)
+	}
+	return out
+}
+
 // Clear unsets every bit.
 func (b *Bitmap) Clear() {
 	for i := range b.words {

@@ -202,3 +202,34 @@ func TestBytes(t *testing.T) {
 		t.Errorf("100M-position bitmap is %.1f MB, paper says ~12.5", mb)
 	}
 }
+
+func TestMergeOr(t *testing.T) {
+	// Three "workers" set disjoint morsel-aligned ranges; the merge must
+	// equal a sequential construction.
+	const n = 3*128 + 17
+	want := New(n)
+	parts := make([]*Bitmap, 3)
+	for w := range parts {
+		parts[w] = New(n)
+	}
+	for i := 0; i < n; i++ {
+		if i%3 == 0 || i%7 == 0 {
+			want.Set(i)
+			parts[(i/128)%3].Set(i)
+		}
+	}
+	got := MergeOr(parts...)
+	if got.Len() != n {
+		t.Fatalf("merged length %d, want %d", got.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if got.Test(i) != want.Test(i) {
+			t.Fatalf("bit %d: merged %v, sequential %v", i, got.Test(i), want.Test(i))
+		}
+	}
+	// Single partial merges to an identical copy.
+	solo := MergeOr(want)
+	if solo.Count() != want.Count() {
+		t.Errorf("single-part merge count %d, want %d", solo.Count(), want.Count())
+	}
+}

@@ -13,11 +13,16 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
+	"time"
 
 	"github.com/reprolab/swole/internal/cost"
+	"github.com/reprolab/swole/internal/exec"
 	"github.com/reprolab/swole/internal/expr"
 	"github.com/reprolab/swole/internal/storage"
+	"github.com/reprolab/swole/internal/vec"
 )
 
 // Technique identifies the physical technique chosen for an operator.
@@ -51,22 +56,110 @@ type Explain struct {
 	CompCost    float64 // estimated per-tuple computation cost
 	Costs       map[string]float64
 	Merged      []string // attributes whose accesses were merged
+
+	// Workers is the number of morsel workers the executor ran on; the
+	// cost models were evaluated with Params.ForWorkers(Workers).
+	Workers int
+	// ScanTime is the wall time of the parallel scan phases (build and
+	// probe passes included, for join shapes).
+	ScanTime time.Duration
+	// MergeTime is the wall time of the final single-threaded merge of
+	// per-worker partial states.
+	MergeTime time.Duration
 }
 
 func (e Explain) String() string {
-	return fmt.Sprintf("technique=%s sel=%.3f comp=%.1f ht=%dB costs=%v merged=%v",
-		e.Technique, e.Selectivity, e.CompCost, e.HTBytes, e.Costs, e.Merged)
+	return fmt.Sprintf("technique=%s sel=%.3f comp=%.1f ht=%dB workers=%d scan=%s merge=%s costs=%v merged=%v",
+		e.Technique, e.Selectivity, e.CompCost, e.HTBytes, e.Workers,
+		e.ScanTime, e.MergeTime, e.Costs, e.Merged)
 }
 
 // Engine executes queries over a database with a given cost model.
 type Engine struct {
 	DB     *storage.Database
 	Params cost.Params
+
+	// Workers is the number of morsel workers the executor dispatches
+	// kernels on; 0 (the default) selects runtime.NumCPU(). Results are
+	// identical at every worker count: each worker aggregates into
+	// private partial state and the merges are exact int64 sums.
+	Workers int
+	// MorselRows overrides the executor's morsel length in rows; 0 keeps
+	// exec.DefaultMorselRows. Exposed for tests and experiments.
+	MorselRows int
 }
 
-// NewEngine returns an engine with default cost parameters.
+// NewEngine returns an engine with default cost parameters and one morsel
+// worker per CPU.
 func NewEngine(db *storage.Database) *Engine {
 	return &Engine{DB: db, Params: cost.Default()}
+}
+
+// workers resolves the configured worker count.
+func (e *Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// pool returns a morsel pool for this engine's configuration.
+func (e *Engine) pool() *exec.Pool {
+	return &exec.Pool{Workers: e.workers(), MorselRows: e.MorselRows}
+}
+
+// workerState is the private scratch one morsel worker evaluates tiles
+// with: an expression evaluator plus the tile buffers the kernels in this
+// package share. Workers never exchange scratch, so the tiled kernels run
+// exactly as in the sequential engine.
+type workerState struct {
+	ev   *expr.Evaluator
+	cmp  []byte
+	idx  []int32
+	keys []int64
+	vals []int64
+}
+
+// newWorkerStates allocates one scratch set per worker.
+func newWorkerStates(n int) []workerState {
+	ws := make([]workerState, n)
+	for i := range ws {
+		ws[i] = workerState{
+			ev:   expr.NewEvaluator(),
+			cmp:  make([]byte, vec.TileSize),
+			idx:  make([]int32, vec.TileSize),
+			keys: make([]int64, vec.TileSize),
+			vals: make([]int64, vec.TileSize),
+		}
+	}
+	return ws
+}
+
+// fillCmp evaluates the (possibly nil) filter for one tile into s.cmp.
+func (s *workerState) fillCmp(filter expr.Expr, base, length int) {
+	if filter != nil {
+		s.ev.EvalBool(filter, base, length, s.cmp)
+	} else {
+		vec.Fill(s.cmp[:length], 1)
+	}
+}
+
+// Sentinel errors for query-shape failures. They are wrapped with %w so
+// that callers — including ones draining errors surfaced from parallel
+// workers — can test with errors.Is.
+var (
+	// ErrNoTable reports a query referencing an unknown table.
+	ErrNoTable = errors.New("no such table")
+	// ErrNoColumn reports a query referencing an unknown column.
+	ErrNoColumn = errors.New("no such column")
+)
+
+func errNoTable(name string) error {
+	return fmt.Errorf("core: table %q: %w", name, ErrNoTable)
+}
+
+func errNoColumn(table, column string) error {
+	return fmt.Errorf("core: table %q column %q: %w", table, column, ErrNoColumn)
 }
 
 // sampleSelectivity estimates a predicate's selectivity on up to maxSample

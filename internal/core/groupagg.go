@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"github.com/reprolab/swole/internal/cost"
 	"github.com/reprolab/swole/internal/expr"
 	"github.com/reprolab/swole/internal/ht"
@@ -18,8 +20,18 @@ type GroupAgg struct {
 }
 
 // Run plans and executes the aggregation, choosing among hybrid pushdown,
-// value masking, and key masking with the Section III-B cost models, and
-// returns the per-group sums.
+// value masking, and key masking with the Section III-B cost models
+// evaluated with each worker's bandwidth share, and returns the per-group
+// sums.
+//
+// Execution is morsel-parallel with per-worker hash tables: each worker
+// aggregates the morsels it claims into a private ht.AggTable (masked
+// tuples still hit that worker's throwaway entry under key masking, and
+// per-group validity flags are maintained per worker under value
+// masking), and the merge phase folds the partial tables into the result
+// map. A group is emitted iff some worker saw a valid tuple for it, and
+// partial sums of rejected tuples are zero under masking, so the merged
+// result is identical to the sequential one.
 func (e *Engine) GroupAgg(q GroupAgg) (map[int64]int64, Explain, error) {
 	t := e.DB.Table(q.Table)
 	if t == nil {
@@ -34,80 +46,106 @@ func (e *Engine) GroupAgg(q GroupAgg) (map[int64]int64, Explain, error) {
 		}
 	}
 	rows := t.Rows()
+	workers := e.workers()
+	params := e.Params.ForWorkers(workers)
 	sel := sampleSelectivity(q.Filter, rows, 16384)
-	comp := expr.CompCost(q.Agg, e.Params)
+	comp := expr.CompCost(q.Agg, params)
 	groups := sampleGroups(q.Key, rows, 16384)
 	htBytes := groups * aggSlotBytes(1)
-	strat, _ := e.Params.ChooseGroupAgg(rows, sel, comp, 1, htBytes)
+	strat, _ := params.ChooseGroupAgg(rows, sel, comp, 1, htBytes)
 
 	ex := Explain{
 		Selectivity: sel,
 		CompCost:    comp,
 		Groups:      groups,
 		HTBytes:     htBytes,
+		Workers:     workers,
 		Costs: map[string]float64{
-			"hybrid":        e.Params.HybridGroup(rows, sel, comp, htBytes),
-			"value-masking": e.Params.ValueMaskingGroup(rows, comp+e.Params.CompMul, htBytes),
-			"key-masking":   e.Params.KeyMasking(rows, sel, comp+e.Params.CompCmp, htBytes),
+			"hybrid":        params.HybridGroup(rows, sel, comp, htBytes),
+			"value-masking": params.ValueMaskingGroup(rows, comp+params.CompMul, htBytes),
+			"key-masking":   params.KeyMasking(rows, sel, comp+params.CompCmp, htBytes),
 		},
 	}
 
-	ev := expr.NewEvaluator()
-	tab := ht.NewAggTable(1, groups)
-	cmp := make([]byte, vec.TileSize)
-	keys := make([]int64, vec.TileSize)
-	vals := make([]int64, vec.TileSize)
-
-	prep := func(base, length int) {
-		if q.Filter != nil {
-			ev.EvalBool(q.Filter, base, length, cmp)
-		} else {
-			vec.Fill(cmp[:length], 1)
-		}
+	pool := e.pool()
+	states := newWorkerStates(workers)
+	tabs := make([]*ht.AggTable, workers)
+	for i := range tabs {
+		tabs[i] = ht.NewAggTable(1, groups)
 	}
 
+	start := time.Now()
 	switch strat {
 	case cost.ChooseValueMasking:
 		ex.Technique = TechValueMasking
-		vec.Tiles(rows, func(base, length int) {
-			prep(base, length)
-			ev.EvalInt(q.Key, base, length, keys)
-			ev.EvalInt(q.Agg, base, length, vals)
-			for j := 0; j < length; j++ {
-				s := tab.Lookup(keys[j])
-				tab.AddMasked(s, 0, vals[j], cmp[j])
-			}
+		pool.Run(rows, func(w, base, length int) {
+			s, tab := &states[w], tabs[w]
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.fillCmp(q.Filter, b, tl)
+				s.ev.EvalInt(q.Key, b, tl, s.keys)
+				s.ev.EvalInt(q.Agg, b, tl, s.vals)
+				for j := 0; j < tl; j++ {
+					slot := tab.Lookup(s.keys[j])
+					tab.AddMasked(slot, 0, s.vals[j], s.cmp[j])
+				}
+			})
 		})
 	case cost.ChooseKeyMasking:
 		ex.Technique = TechKeyMasking
-		vec.Tiles(rows, func(base, length int) {
-			prep(base, length)
-			ev.EvalInt(q.Key, base, length, keys)
-			ev.EvalInt(q.Agg, base, length, vals)
-			for j := 0; j < length; j++ {
-				k := keys[j]
-				if cmp[j] == 0 {
-					k = ht.NullKey
+		pool.Run(rows, func(w, base, length int) {
+			s, tab := &states[w], tabs[w]
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.fillCmp(q.Filter, b, tl)
+				s.ev.EvalInt(q.Key, b, tl, s.keys)
+				s.ev.EvalInt(q.Agg, b, tl, s.vals)
+				for j := 0; j < tl; j++ {
+					k := s.keys[j]
+					if s.cmp[j] == 0 {
+						k = ht.NullKey
+					}
+					slot := tab.Lookup(k)
+					tab.Add(slot, 0, s.vals[j])
 				}
-				s := tab.Lookup(k)
-				tab.Add(s, 0, vals[j])
-			}
+			})
 		})
 	default:
 		ex.Technique = TechHybrid
-		idx := make([]int32, vec.TileSize)
-		vec.Tiles(rows, func(base, length int) {
-			prep(base, length)
-			n := vec.SelFromCmpNoBranch(cmp[:length], idx)
-			for j := 0; j < n; j++ {
-				i := base + int(idx[j])
-				s := tab.Lookup(expr.Eval(q.Key, i))
-				tab.Add(s, 0, expr.Eval(q.Agg, i))
-			}
+		pool.Run(rows, func(w, base, length int) {
+			s, tab := &states[w], tabs[w]
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.fillCmp(q.Filter, b, tl)
+				n := vec.SelFromCmpNoBranch(s.cmp[:tl], s.idx)
+				for j := 0; j < n; j++ {
+					i := b + int(s.idx[j])
+					slot := tab.Lookup(expr.Eval(q.Key, i))
+					tab.Add(slot, 0, expr.Eval(q.Agg, i))
+				}
+			})
 		})
 	}
+	ex.ScanTime = time.Since(start)
 
-	out := make(map[int64]int64, tab.Len())
-	tab.ForEach(false, func(key int64, s int) { out[key] = tab.Acc(s, 0) })
+	start = time.Now()
+	out := mergeTables(tabs)
+	ex.MergeTime = time.Since(start)
 	return out, ex, nil
+}
+
+// mergeTables folds per-worker partial aggregation tables into one result
+// map. Only valid groups are visited, and a rejected tuple's masked
+// contribution is zero, so summing per key across workers reproduces the
+// sequential result exactly.
+func mergeTables(tabs []*ht.AggTable) map[int64]int64 {
+	n := 0
+	for _, tab := range tabs {
+		n += tab.Len()
+	}
+	out := make(map[int64]int64, n)
+	for _, tab := range tabs {
+		tab.ForEach(false, func(key int64, s int) { out[key] += tab.Acc(s, 0) })
+	}
+	return out
 }

@@ -1,9 +1,10 @@
 package core
 
 import (
-	"fmt"
+	"time"
 
 	"github.com/reprolab/swole/internal/bitmap"
+	"github.com/reprolab/swole/internal/exec"
 	"github.com/reprolab/swole/internal/expr"
 	"github.com/reprolab/swole/internal/ht"
 	"github.com/reprolab/swole/internal/vec"
@@ -32,6 +33,12 @@ type SemiJoinAgg struct {
 // "Always Better" in Figure 2 — the technique needs no cost decision, only
 // the choice between predicated and selection-vector construction, which
 // the value-masking model makes).
+//
+// Both passes are morsel-parallel. Build-side workers set bits in private
+// positional bitmaps that are OR-merged once the scan finishes (morsels
+// partition the build range, so each position is written by exactly one
+// worker); probe-side workers then read the merged bitmap — immutable from
+// here on — and accumulate masked partial sums.
 func (e *Engine) SemiJoinAgg(q SemiJoinAgg) (int64, Explain, error) {
 	probe := e.DB.Table(q.Probe)
 	build := e.DB.Table(q.Build)
@@ -43,7 +50,7 @@ func (e *Engine) SemiJoinAgg(q SemiJoinAgg) (int64, Explain, error) {
 	}
 	fkCol := probe.Column(q.FK)
 	if fkCol == nil {
-		return 0, Explain{}, fmt.Errorf("core: no column %s in %s", q.FK, q.Probe)
+		return 0, Explain{}, errNoColumn(q.Probe, q.FK)
 	}
 	if q.ProbeFilter != nil {
 		if err := expr.Bind(q.ProbeFilter, probe); err != nil {
@@ -59,56 +66,76 @@ func (e *Engine) SemiJoinAgg(q SemiJoinAgg) (int64, Explain, error) {
 		return 0, Explain{}, err
 	}
 
+	workers := e.workers()
 	buildSel := sampleSelectivity(q.BuildFilter, build.Rows(), 16384)
 	ex := Explain{
 		Technique:   TechPositionalBitmap,
 		Selectivity: buildSel,
 		HTBytes:     (build.Rows() + 7) / 8,
+		Workers:     workers,
 		Costs: map[string]float64{
 			"bitmap-bytes": float64((build.Rows() + 7) / 8),
 		},
 	}
 
-	// Build the positional bitmap with a sequential scan; the predicated
-	// store is chosen unless the build predicate is very selective
-	// (Section III-D options 1 and 2).
-	bm := bitmap.New(build.Rows())
-	ev := expr.NewEvaluator()
-	cmp := make([]byte, vec.TileSize)
+	// Build per-worker positional bitmaps with a sequential scan; the
+	// predicated store is chosen unless the build predicate is very
+	// selective (Section III-D options 1 and 2).
+	pool := e.pool()
+	states := newWorkerStates(workers)
+	bms := make([]*bitmap.Bitmap, workers)
+	for i := range bms {
+		bms[i] = bitmap.New(build.Rows())
+	}
+	start := time.Now()
 	if buildSel < 0.05 && q.BuildFilter != nil {
-		idx := make([]int32, vec.TileSize)
-		vec.Tiles(build.Rows(), func(base, length int) {
-			ev.EvalBool(q.BuildFilter, base, length, cmp)
-			n := vec.SelFromCmpNoBranch(cmp[:length], idx)
-			bm.SetFromSel(base, idx, n)
+		pool.Run(build.Rows(), func(w, base, length int) {
+			s, bm := &states[w], bms[w]
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.ev.EvalBool(q.BuildFilter, b, tl, s.cmp)
+				n := vec.SelFromCmpNoBranch(s.cmp[:tl], s.idx)
+				bm.SetFromSel(b, s.idx, n)
+			})
 		})
 	} else {
-		vec.Tiles(build.Rows(), func(base, length int) {
-			if q.BuildFilter != nil {
-				ev.EvalBool(q.BuildFilter, base, length, cmp)
-			} else {
-				vec.Fill(cmp[:length], 1)
-			}
-			bm.SetFromCmp(base, cmp[:length])
+		pool.Run(build.Rows(), func(w, base, length int) {
+			s, bm := &states[w], bms[w]
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.fillCmp(q.BuildFilter, b, tl)
+				bm.SetFromCmp(b, s.cmp[:tl])
+			})
 		})
 	}
+	ex.ScanTime = time.Since(start)
+
+	start = time.Now()
+	bm := bitmap.MergeOr(bms...)
+	ex.MergeTime = time.Since(start)
 
 	// Probe sequentially, masking with the positional bit.
-	var sum int64
-	vals := make([]int64, vec.TileSize)
-	vec.Tiles(probe.Rows(), func(base, length int) {
-		if q.ProbeFilter != nil {
-			ev.EvalBool(q.ProbeFilter, base, length, cmp)
-		} else {
-			vec.Fill(cmp[:length], 1)
-		}
-		ev.EvalInt(q.Agg, base, length, vals)
-		for j := 0; j < length; j++ {
-			pos := int(fkCol.Get(base + j))
-			m := cmp[j] & bm.TestBit(pos)
-			sum += vals[j] * int64(m)
-		}
+	parts := exec.NewPartials(workers)
+	start = time.Now()
+	pool.Run(probe.Rows(), func(w, base, length int) {
+		s := &states[w]
+		var sum int64
+		vec.Tiles(length, func(tb, tl int) {
+			b := base + tb
+			s.fillCmp(q.ProbeFilter, b, tl)
+			s.ev.EvalInt(q.Agg, b, tl, s.vals)
+			for j := 0; j < tl; j++ {
+				pos := int(fkCol.Get(b + j))
+				m := s.cmp[j] & bm.TestBit(pos)
+				sum += s.vals[j] * int64(m)
+			}
+		})
+		parts.Add(w, sum)
 	})
+	ex.ScanTime += time.Since(start)
+	start = time.Now()
+	sum := parts.Sum()
+	ex.MergeTime += time.Since(start)
 	return sum, ex, nil
 }
 
@@ -128,7 +155,17 @@ type GroupJoinAgg struct {
 }
 
 // Run chooses between the traditional groupjoin and eager aggregation
-// using the Section III-E cost models.
+// using the Section III-E cost models evaluated with each worker's
+// bandwidth share.
+//
+// Both paths are morsel-parallel. Eager aggregation aggregates the probe
+// side unconditionally into per-worker tables while the inverted build
+// predicate marks non-qualifying positions in per-worker bitmaps (the
+// parallel form of the sequential path's deletes); the merge folds the
+// tables, skipping marked keys. The traditional path inserts qualifying
+// build keys into per-worker key tables, merges them into one table that
+// probe workers consult read-only (ht.AggTable.Contains), and aggregates
+// matches into per-worker tables merged at the end.
 func (e *Engine) GroupJoinAgg(q GroupJoinAgg) (map[int64]int64, Explain, error) {
 	probe := e.DB.Table(q.Probe)
 	build := e.DB.Table(q.Build)
@@ -139,9 +176,12 @@ func (e *Engine) GroupJoinAgg(q GroupJoinAgg) (map[int64]int64, Explain, error) 
 		return nil, Explain{}, errNoTable(q.Build)
 	}
 	fkCol := probe.Column(q.FK)
+	if fkCol == nil {
+		return nil, Explain{}, errNoColumn(q.Probe, q.FK)
+	}
 	pkCol := build.Column(q.PK)
-	if fkCol == nil || pkCol == nil {
-		return nil, Explain{}, fmt.Errorf("core: missing join columns %s/%s", q.FK, q.PK)
+	if pkCol == nil {
+		return nil, Explain{}, errNoColumn(q.Build, q.PK)
 	}
 	if q.BuildFilter != nil {
 		if err := expr.Bind(q.BuildFilter, build); err != nil {
@@ -153,74 +193,140 @@ func (e *Engine) GroupJoinAgg(q GroupJoinAgg) (map[int64]int64, Explain, error) 
 	}
 
 	rows := probe.Rows()
+	workers := e.workers()
+	params := e.Params.ForWorkers(workers)
 	selS := sampleSelectivity(q.BuildFilter, build.Rows(), 16384)
-	comp := expr.CompCost(q.Agg, e.Params)
+	comp := expr.CompCost(q.Agg, params)
 	htBytes := build.Rows() * aggSlotBytes(1)
-	eager, gj, ea := e.Params.ChooseGroupjoin(build.Rows(), selS, rows, 1.0, selS, comp, htBytes)
+	eager, gj, ea := params.ChooseGroupjoin(build.Rows(), selS, rows, 1.0, selS, comp, htBytes)
 
 	ex := Explain{
 		Selectivity: selS,
 		CompCost:    comp,
 		Groups:      build.Rows(),
 		HTBytes:     htBytes,
+		Workers:     workers,
 		Costs:       map[string]float64{"groupjoin": gj, "eager-aggregation": ea},
 	}
 
-	ev := expr.NewEvaluator()
-	tab := ht.NewAggTable(1, build.Rows())
-	vals := make([]int64, vec.TileSize)
+	pool := e.pool()
+	states := newWorkerStates(workers)
+	var out map[int64]int64
 	if eager {
 		ex.Technique = TechEagerAggregation
-		// Unconditional aggregation of the probe side, grouped by FK.
-		vec.Tiles(rows, func(base, length int) {
-			ev.EvalInt(q.Agg, base, length, vals)
-			for j := 0; j < length; j++ {
-				s := tab.Lookup(fkCol.Get(base + j))
-				tab.Add(s, 0, vals[j])
-			}
-		})
-		// Inverted predicate deletes non-qualifying groups.
-		cmp := make([]byte, vec.TileSize)
-		vec.Tiles(build.Rows(), func(base, length int) {
-			if q.BuildFilter != nil {
-				ev.EvalBool(q.BuildFilter, base, length, cmp)
-			} else {
-				vec.Fill(cmp[:length], 1)
-			}
-			for j := 0; j < length; j++ {
-				if cmp[j] == 0 {
-					tab.Delete(pkCol.Get(base + j))
+		// Unconditional aggregation of the probe side, grouped by FK,
+		// into per-worker tables.
+		tabs := make([]*ht.AggTable, workers)
+		for i := range tabs {
+			tabs[i] = ht.NewAggTable(1, build.Rows())
+		}
+		start := time.Now()
+		pool.Run(rows, func(w, base, length int) {
+			s, tab := &states[w], tabs[w]
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.ev.EvalInt(q.Agg, b, tl, s.vals)
+				for j := 0; j < tl; j++ {
+					slot := tab.Lookup(fkCol.Get(b + j))
+					tab.Add(slot, 0, s.vals[j])
 				}
-			}
+			})
 		})
+		// Inverted predicate marks non-qualifying groups — the parallel
+		// analogue of the sequential path's hash table deletes, recorded
+		// positionally in per-worker bitmaps.
+		fails := make([]*bitmap.Bitmap, workers)
+		for i := range fails {
+			fails[i] = bitmap.New(build.Rows())
+		}
+		pool.Run(build.Rows(), func(w, base, length int) {
+			s, fail := &states[w], fails[w]
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.fillCmp(q.BuildFilter, b, tl)
+				for j := 0; j < tl; j++ {
+					fail.OrBit(int(pkCol.Get(b+j)), s.cmp[j]^1)
+				}
+			})
+		})
+		ex.ScanTime = time.Since(start)
+
+		start = time.Now()
+		fail := bitmap.MergeOr(fails...)
+		n := 0
+		for _, tab := range tabs {
+			n += tab.Len()
+		}
+		out = make(map[int64]int64, n)
+		for _, tab := range tabs {
+			tab.ForEach(false, func(key int64, s int) {
+				// Keys without a build row in [0, |Build|) mirror the
+				// sequential path: nothing ever deletes them.
+				if key >= 0 && key < int64(fail.Len()) && fail.Test(int(key)) {
+					return
+				}
+				out[key] += tab.Acc(s, 0)
+			})
+		}
+		ex.MergeTime = time.Since(start)
 	} else {
 		ex.Technique = TechHybrid
 		// Traditional groupjoin: build qualifying keys, probe and
-		// aggregate on match.
-		cmp := make([]byte, vec.TileSize)
-		idx := make([]int32, vec.TileSize)
-		vec.Tiles(build.Rows(), func(base, length int) {
-			if q.BuildFilter != nil {
-				ev.EvalBool(q.BuildFilter, base, length, cmp)
-			} else {
-				vec.Fill(cmp[:length], 1)
-			}
-			n := vec.SelFromCmpNoBranch(cmp[:length], idx)
-			for j := 0; j < n; j++ {
-				tab.Lookup(pkCol.Get(base + int(idx[j]))) // insert, not valid
-			}
-		})
-		vec.Tiles(rows, func(base, length int) {
-			ev.EvalInt(q.Agg, base, length, vals)
-			for j := 0; j < length; j++ {
-				if s := tab.Find(fkCol.Get(base + j)); s >= 0 {
-					tab.Add(s, 0, vals[j])
+		// aggregate on match. Per-worker key tables are merged into one
+		// table the probe workers consult read-only.
+		hint := int(selS*float64(build.Rows())) + 1
+		keyTabs := make([]*ht.AggTable, workers)
+		for i := range keyTabs {
+			keyTabs[i] = ht.NewAggTable(1, hint)
+		}
+		start := time.Now()
+		pool.Run(build.Rows(), func(w, base, length int) {
+			s, tab := &states[w], keyTabs[w]
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.fillCmp(q.BuildFilter, b, tl)
+				n := vec.SelFromCmpNoBranch(s.cmp[:tl], s.idx)
+				for j := 0; j < n; j++ {
+					tab.Lookup(pkCol.Get(b + int(s.idx[j]))) // insert, not valid
 				}
-			}
+			})
 		})
-	}
+		ex.ScanTime = time.Since(start)
 
-	out := make(map[int64]int64, tab.Len())
-	tab.ForEach(false, func(key int64, s int) { out[key] = tab.Acc(s, 0) })
+		start = time.Now()
+		total := 0
+		for _, tab := range keyTabs {
+			total += tab.Len()
+		}
+		keys := ht.NewAggTable(1, total)
+		for _, tab := range keyTabs {
+			// Inserted-only groups carry no valid flag; visit them all.
+			tab.ForEach(true, func(key int64, _ int) { keys.Lookup(key) })
+		}
+		ex.MergeTime = time.Since(start)
+
+		tabs := make([]*ht.AggTable, workers)
+		for i := range tabs {
+			tabs[i] = ht.NewAggTable(1, total)
+		}
+		start = time.Now()
+		pool.Run(rows, func(w, base, length int) {
+			s, tab := &states[w], tabs[w]
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.ev.EvalInt(q.Agg, b, tl, s.vals)
+				for j := 0; j < tl; j++ {
+					if fk := fkCol.Get(b + j); keys.Contains(fk) {
+						tab.Add(tab.Lookup(fk), 0, s.vals[j])
+					}
+				}
+			})
+		})
+		ex.ScanTime += time.Since(start)
+
+		start = time.Now()
+		out = mergeTables(tabs)
+		ex.MergeTime += time.Since(start)
+	}
 	return out, ex, nil
 }

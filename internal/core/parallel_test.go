@@ -1,0 +1,334 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/reprolab/swole/internal/expr"
+	"github.com/reprolab/swole/internal/storage"
+	"github.com/reprolab/swole/internal/vec"
+)
+
+// parallelDB builds an R/S database whose r_x column has cardinality 1000
+// so predicates can express the 0.1% selectivity point of the merge-phase
+// test matrix.
+func parallelDB(t *testing.T, nR, nS, ccard int) *storage.Database {
+	t.Helper()
+	rng := uint64(7)
+	next := func(n int) int64 {
+		rng += 0x9e3779b97f4a7c15
+		z := rng
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return int64((z ^ (z >> 31)) % uint64(n))
+	}
+	x := make([]int64, nR)
+	a := make([]int64, nR)
+	c := make([]int64, nR)
+	fk := make([]int64, nR)
+	for i := 0; i < nR; i++ {
+		x[i] = next(1000)
+		a[i] = next(50) + 1
+		c[i] = next(maxInt(ccard, 1))
+		if nS > 0 {
+			fk[i] = next(nS)
+		}
+	}
+	spk := make([]int64, nS)
+	sx := make([]int64, nS)
+	for i := 0; i < nS; i++ {
+		spk[i] = int64(i)
+		sx[i] = next(1000)
+	}
+	db := storage.NewDatabase()
+	db.AddTable(storage.MustNewTable("r",
+		storage.Compress("r_x", x, storage.LogInt),
+		storage.Compress("r_a", a, storage.LogInt),
+		storage.Compress("r_c", c, storage.LogInt),
+		storage.Compress("r_fk", fk, storage.LogInt),
+	))
+	db.AddTable(storage.MustNewTable("s",
+		storage.Compress("s_pk", spk, storage.LogInt),
+		storage.Compress("s_x", sx, storage.LogInt),
+	))
+	return db
+}
+
+// engineAt returns an engine over db pinned to a worker count, with small
+// morsels so even unit-test-sized tables span many morsels.
+func engineAt(db *storage.Database, workers int) *Engine {
+	e := NewEngine(db)
+	e.Workers = workers
+	e.MorselRows = 2 * vec.TileSize
+	return e
+}
+
+// selPoints are the satellite test matrix: selectivities 0.001, 0.1, 0.9
+// expressed as thresholds on the cardinality-1000 r_x/s_x columns.
+var selPoints = []int64{1, 100, 900}
+
+// workerCounts spans the sequential engine, an even split, an odd split
+// that leaves worker counts and morsel counts coprime, and more workers
+// than morsels for the smallest tables.
+var workerCounts = []int{1, 2, 3, 7, 16}
+
+func TestScalarAggWorkersIdentical(t *testing.T) {
+	db := parallelDB(t, 30_000, 100, 10)
+	for _, sel := range selPoints {
+		q := ScalarAgg{Table: "r", Filter: lt("r_x", sel), Agg: expr.NewCol("r_a")}
+		base, ex, err := engineAt(db, 1).ScalarAgg(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex.Workers != 1 {
+			t.Errorf("sel=%d: explain reports %d workers, want 1", sel, ex.Workers)
+		}
+		for _, w := range workerCounts[1:] {
+			got, ex, err := engineAt(db, w).ScalarAgg(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != base {
+				t.Errorf("sel=%d workers=%d (%s): got %d, want %d", sel, w, ex.Technique, got, base)
+			}
+			if ex.Workers != w {
+				t.Errorf("sel=%d: explain reports %d workers, want %d", sel, ex.Workers, w)
+			}
+		}
+	}
+}
+
+// forceScalar pins the scalar-agg decision so both parallel kernels are
+// exercised regardless of what the sampled selectivity makes the model
+// choose.
+func TestScalarAggWorkersIdenticalForcedTechniques(t *testing.T) {
+	db := parallelDB(t, 30_000, 100, 10)
+	for _, force := range []struct {
+		name string
+		tune func(*Engine)
+	}{
+		{"value-masking", func(e *Engine) { e.Params.ReadCond = 1e9 }},
+		{"hybrid", func(e *Engine) { e.Params.ReadCond = 0; e.Params.SelVec = 0 }},
+	} {
+		for _, sel := range selPoints {
+			q := ScalarAgg{Table: "r", Filter: lt("r_x", sel), Agg: expr.NewCol("r_a")}
+			ref := engineAt(db, 1)
+			force.tune(ref)
+			base, exBase, err := ref.ScalarAgg(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerCounts[1:] {
+				e := engineAt(db, w)
+				force.tune(e)
+				got, ex, err := e.ScalarAgg(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ex.Technique != exBase.Technique {
+					t.Errorf("%s sel=%d workers=%d: technique %s != %s", force.name, sel, w, ex.Technique, exBase.Technique)
+				}
+				if got != base {
+					t.Errorf("%s sel=%d workers=%d: got %d, want %d", force.name, sel, w, got, base)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupAggWorkersIdentical(t *testing.T) {
+	// The three Params tunings force hybrid, value masking, and key
+	// masking respectively, so every parallel merge path is exercised at
+	// every selectivity point.
+	for _, force := range []struct {
+		name string
+		tune func(*Engine)
+	}{
+		{"planner-choice", func(e *Engine) {}},
+		{"hybrid", func(e *Engine) { e.Params.ReadCond = 0; e.Params.SelVec = 0 }},
+		{"value-masking", func(e *Engine) { e.Params.ReadCond = 1e9; e.Params.HTNull = 1e9 }},
+		{"key-masking", func(e *Engine) { e.Params.ReadCond = 1e9; e.Params.CompMul = 1e9 }},
+	} {
+		for _, ccard := range []int{8, 3000} {
+			db := parallelDB(t, 40_000, 100, ccard)
+			for _, sel := range selPoints {
+				q := GroupAgg{Table: "r", Filter: lt("r_x", sel), Key: expr.NewCol("r_c"), Agg: expr.NewCol("r_a")}
+				ref := engineAt(db, 1)
+				force.tune(ref)
+				base, exBase, err := ref.GroupAgg(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, w := range workerCounts[1:] {
+					e := engineAt(db, w)
+					force.tune(e)
+					got, ex, err := e.GroupAgg(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ex.Technique != exBase.Technique {
+						t.Errorf("%s card=%d sel=%d workers=%d: technique %s != %s",
+							force.name, ccard, sel, w, ex.Technique, exBase.Technique)
+					}
+					if !reflect.DeepEqual(got, base) {
+						t.Errorf("%s card=%d sel=%d workers=%d (%s): %d groups vs %d; maps differ",
+							force.name, ccard, sel, w, ex.Technique, len(got), len(base))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSemiJoinAggWorkersIdentical(t *testing.T) {
+	db := parallelDB(t, 30_000, 2_000, 10)
+	// selS=1 exercises the selection-vector bitmap construction (<5%
+	// build selectivity); the rest use the predicated store.
+	for _, selS := range selPoints {
+		for _, selR := range selPoints {
+			q := SemiJoinAgg{
+				Probe: "r", Build: "s", FK: "r_fk", PK: "s_pk",
+				ProbeFilter: lt("r_x", selR),
+				BuildFilter: lt("s_x", selS),
+				Agg:         expr.NewCol("r_a"),
+			}
+			base, _, err := engineAt(db, 1).SemiJoinAgg(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerCounts[1:] {
+				got, _, err := engineAt(db, w).SemiJoinAgg(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != base {
+					t.Errorf("selS=%d selR=%d workers=%d: got %d, want %d", selS, selR, w, got, base)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupJoinAggWorkersIdentical(t *testing.T) {
+	// InsertMul=1e9 makes the traditional build prohibitive (forcing
+	// eager aggregation); DeleteMul=1e9 forces the traditional path.
+	for _, force := range []struct {
+		name string
+		tune func(*Engine)
+		want Technique
+	}{
+		{"eager", func(e *Engine) { e.Params.InsertMul = 1e9 }, TechEagerAggregation},
+		{"traditional", func(e *Engine) { e.Params.DeleteMul = 1e9 }, TechHybrid},
+	} {
+		db := parallelDB(t, 30_000, 2_000, 10)
+		for _, sel := range selPoints {
+			q := GroupJoinAgg{
+				Probe: "r", Build: "s", FK: "r_fk", PK: "s_pk",
+				BuildFilter: lt("s_x", sel),
+				Agg:         expr.NewCol("r_a"),
+			}
+			ref := engineAt(db, 1)
+			force.tune(ref)
+			base, exBase, err := ref.GroupJoinAgg(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exBase.Technique != force.want {
+				t.Fatalf("%s sel=%d: tuning chose %s, want %s", force.name, sel, exBase.Technique, force.want)
+			}
+			for _, w := range workerCounts[1:] {
+				e := engineAt(db, w)
+				force.tune(e)
+				got, ex, err := e.GroupJoinAgg(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ex.Technique != force.want {
+					t.Errorf("%s sel=%d workers=%d: technique %s", force.name, sel, w, ex.Technique)
+				}
+				if !reflect.DeepEqual(got, base) {
+					t.Errorf("%s sel=%d workers=%d: %d groups vs %d; maps differ",
+						force.name, sel, w, len(got), len(base))
+				}
+			}
+		}
+	}
+}
+
+func TestParallelEmptyTables(t *testing.T) {
+	db := parallelDB(t, 0, 0, 1)
+	for _, w := range workerCounts {
+		e := engineAt(db, w)
+		sum, _, err := e.ScalarAgg(ScalarAgg{Table: "r", Filter: lt("r_x", 100), Agg: expr.NewCol("r_a")})
+		if err != nil || sum != 0 {
+			t.Errorf("workers=%d: scalar agg over empty table = %d, %v", w, sum, err)
+		}
+		groups, _, err := e.GroupAgg(GroupAgg{Table: "r", Filter: lt("r_x", 100), Key: expr.NewCol("r_c"), Agg: expr.NewCol("r_a")})
+		if err != nil || len(groups) != 0 {
+			t.Errorf("workers=%d: group agg over empty table = %v, %v", w, groups, err)
+		}
+		sum, _, err = e.SemiJoinAgg(SemiJoinAgg{Probe: "r", Build: "s", FK: "r_fk", PK: "s_pk", Agg: expr.NewCol("r_a")})
+		if err != nil || sum != 0 {
+			t.Errorf("workers=%d: semijoin over empty tables = %d, %v", w, sum, err)
+		}
+		groups, _, err = e.GroupJoinAgg(GroupJoinAgg{Probe: "r", Build: "s", FK: "r_fk", PK: "s_pk", Agg: expr.NewCol("r_a")})
+		if err != nil || len(groups) != 0 {
+			t.Errorf("workers=%d: groupjoin over empty tables = %v, %v", w, groups, err)
+		}
+	}
+}
+
+func TestParallelSingleMorsel(t *testing.T) {
+	// 100 rows fit a single morsel even at the smallest morsel size, so
+	// the pool must fall back to one worker and still merge correctly.
+	db := parallelDB(t, 100, 10, 4)
+	q := ScalarAgg{Table: "r", Filter: lt("r_x", 500), Agg: expr.NewCol("r_a")}
+	base, _, err := engineAt(db, 1).ScalarAgg(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ex, err := engineAt(db, 16).ScalarAgg(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != base {
+		t.Errorf("single morsel at 16 workers: got %d, want %d", got, base)
+	}
+	if ex.Workers != 16 {
+		t.Errorf("explain workers = %d", ex.Workers)
+	}
+	gq := GroupAgg{Table: "r", Key: expr.NewCol("r_c"), Agg: expr.NewCol("r_a")}
+	gbase, _, err := engineAt(db, 1).GroupAgg(gq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ggot, _, err := engineAt(db, 16).GroupAgg(gq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ggot, gbase) {
+		t.Errorf("single morsel group agg differs: %v vs %v", ggot, gbase)
+	}
+}
+
+func TestErrorSentinelsWrapped(t *testing.T) {
+	db := parallelDB(t, 100, 10, 4)
+	e := NewEngine(db)
+	_, _, err := e.ScalarAgg(ScalarAgg{Table: "zz", Agg: expr.NewCol("r_a")})
+	if !errors.Is(err, ErrNoTable) {
+		t.Errorf("ScalarAgg unknown table: errors.Is(err, ErrNoTable) false for %v", err)
+	}
+	_, _, err = e.GroupJoinAgg(GroupJoinAgg{Probe: "r", Build: "zz", FK: "r_fk", PK: "s_pk", Agg: expr.NewCol("r_a")})
+	if !errors.Is(err, ErrNoTable) {
+		t.Errorf("GroupJoinAgg unknown build: errors.Is(err, ErrNoTable) false for %v", err)
+	}
+	_, _, err = e.SemiJoinAgg(SemiJoinAgg{Probe: "r", Build: "s", FK: "zz", PK: "s_pk", Agg: expr.NewCol("r_a")})
+	if !errors.Is(err, ErrNoColumn) {
+		t.Errorf("SemiJoinAgg unknown fk: errors.Is(err, ErrNoColumn) false for %v", err)
+	}
+	_, _, err = e.GroupJoinAgg(GroupJoinAgg{Probe: "r", Build: "s", FK: "r_fk", PK: "zz", Agg: expr.NewCol("r_a")})
+	if !errors.Is(err, ErrNoColumn) {
+		t.Errorf("GroupJoinAgg unknown pk: errors.Is(err, ErrNoColumn) false for %v", err)
+	}
+}

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"time"
+
 	"github.com/reprolab/swole/internal/cost"
+	"github.com/reprolab/swole/internal/exec"
 	"github.com/reprolab/swole/internal/expr"
 	"github.com/reprolab/swole/internal/vec"
 )
@@ -17,13 +20,19 @@ type ScalarAgg struct {
 
 // Run plans and executes the aggregation, returning the sum and the
 // decision record. The planner chooses between the hybrid pushdown and
-// value masking using the Section III-A cost models; when the filter and
-// aggregate share attributes, the decision is reported as access merging
-// (Section III-C: "always beneficial if it can be applied") — under the
-// generic tiled evaluator the shared attribute's second read hits the
-// tile still resident in cache, which is the interpreted analogue of the
-// fused single read the hand-specialized kernels (micro.Q3AccessMerging)
-// and the code generator emit.
+// value masking using the Section III-A cost models evaluated with each
+// worker's bandwidth share; when the filter and aggregate share
+// attributes, the decision is reported as access merging (Section III-C:
+// "always beneficial if it can be applied") — under the generic tiled
+// evaluator the shared attribute's second read hits the tile still
+// resident in cache, which is the interpreted analogue of the fused
+// single read the hand-specialized kernels (micro.Q3AccessMerging) and
+// the code generator emit.
+//
+// Execution is morsel-parallel: workers claim cache-sized row ranges,
+// run the chosen tiled kernel branch-free within each morsel, and
+// accumulate into private partials; the merge phase sums the partials,
+// so the result is identical at every worker count.
 func (e *Engine) ScalarAgg(q ScalarAgg) (int64, Explain, error) {
 	t := e.DB.Table(q.Table)
 	if t == nil {
@@ -38,59 +47,68 @@ func (e *Engine) ScalarAgg(q ScalarAgg) (int64, Explain, error) {
 		return 0, Explain{}, err
 	}
 	rows := t.Rows()
+	workers := e.workers()
+	params := e.Params.ForWorkers(workers)
 	sel := sampleSelectivity(q.Filter, rows, 16384)
-	comp := expr.CompCost(q.Agg, e.Params)
-	strat, _ := e.Params.ChooseScalarAgg(rows, sel, comp)
+	comp := expr.CompCost(q.Agg, params)
+	strat, _ := params.ChooseScalarAgg(rows, sel, comp)
 
 	ex := Explain{
 		Selectivity: sel,
 		CompCost:    comp,
+		Workers:     workers,
 		Costs: map[string]float64{
-			"hybrid":        e.Params.Hybrid(rows, sel, comp),
-			"value-masking": e.Params.ValueMasking(rows, comp),
+			"hybrid":        params.Hybrid(rows, sel, comp),
+			"value-masking": params.ValueMasking(rows, comp),
 		},
 		Merged: shared(q.Filter, q.Agg),
 	}
 
-	ev := expr.NewEvaluator()
-	var sum int64
+	pool := e.pool()
+	states := newWorkerStates(workers)
+	parts := exec.NewPartials(workers)
+	start := time.Now()
 	switch strat {
 	case cost.ChooseValueMasking:
 		ex.Technique = TechValueMasking
 		if len(ex.Merged) > 0 {
 			ex.Technique = TechAccessMerging
 		}
-		cmp := make([]byte, vec.TileSize)
-		vals := make([]int64, vec.TileSize)
-		vec.Tiles(rows, func(base, length int) {
-			if q.Filter != nil {
-				ev.EvalBool(q.Filter, base, length, cmp)
-			} else {
-				vec.Fill(cmp[:length], 1)
-			}
-			ev.EvalInt(q.Agg, base, length, vals)
-			for j := 0; j < length; j++ {
-				sum += vals[j] * int64(cmp[j])
-			}
+		pool.Run(rows, func(w, base, length int) {
+			s := &states[w]
+			var sum int64
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.fillCmp(q.Filter, b, tl)
+				s.ev.EvalInt(q.Agg, b, tl, s.vals)
+				for j := 0; j < tl; j++ {
+					sum += s.vals[j] * int64(s.cmp[j])
+				}
+			})
+			parts.Add(w, sum)
 		})
 	default:
 		ex.Technique = TechHybrid
-		cmp := make([]byte, vec.TileSize)
-		idx := make([]int32, vec.TileSize)
-		vec.Tiles(rows, func(base, length int) {
-			if q.Filter != nil {
-				ev.EvalBool(q.Filter, base, length, cmp)
-			} else {
-				vec.Fill(cmp[:length], 1)
-			}
-			n := vec.SelFromCmpNoBranch(cmp[:length], idx)
-			// Conditional access: the aggregate is evaluated only for
-			// selected tuples.
-			for j := 0; j < n; j++ {
-				sum += expr.Eval(q.Agg, base+int(idx[j]))
-			}
+		pool.Run(rows, func(w, base, length int) {
+			s := &states[w]
+			var sum int64
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.fillCmp(q.Filter, b, tl)
+				n := vec.SelFromCmpNoBranch(s.cmp[:tl], s.idx)
+				// Conditional access: the aggregate is evaluated only for
+				// selected tuples.
+				for j := 0; j < n; j++ {
+					sum += expr.Eval(q.Agg, b+int(s.idx[j]))
+				}
+			})
+			parts.Add(w, sum)
 		})
 	}
+	ex.ScanTime = time.Since(start)
+	start = time.Now()
+	sum := parts.Sum()
+	ex.MergeTime = time.Since(start)
 	return sum, ex, nil
 }
 
@@ -111,7 +129,3 @@ func shared(a, b expr.Expr) []string {
 	}
 	return out
 }
-
-type errNoTable string
-
-func (e errNoTable) Error() string { return "core: no table " + string(e) }

@@ -46,6 +46,15 @@ type Params struct {
 	CompMul float64
 	CompDiv float64
 	CompCmp float64
+
+	// MemSaturation is the number of concurrent scan workers whose
+	// combined sequential-read demand saturates the memory bus. Below it,
+	// adding workers costs nothing per worker; above it, each worker sees
+	// only its share of the bus and the memory-side primitives inflate
+	// proportionally (see ForWorkers). The paper's E5-2660 v2 moves
+	// ~60 GB/s against ~15 GB/s per core, i.e. four scanning cores fill
+	// the bus.
+	MemSaturation float64
 }
 
 // Default returns parameters approximating the paper's evaluation machine.
@@ -70,7 +79,36 @@ func Default() Params {
 		CompMul: 1,
 		CompDiv: 20,
 		CompCmp: 0.5,
+
+		MemSaturation: 4,
 	}
+}
+
+// ForWorkers returns the parameters as one of `workers` concurrent morsel
+// workers observes them. Private-cache access costs (L1, L2, the cached
+// throwaway entry) are per-core and unchanged; the costs that bottom out
+// in shared resources — sequential reads, conditional reads, LLC and DRAM
+// random accesses — inflate by the bus-contention factor
+// workers/MemSaturation once the aggregate demand exceeds the bus.
+// Computation costs never change: cores do not share ALUs. This is what
+// moves the pushdown/pullup crossover under parallelism: contention makes
+// memory relatively more expensive than compute, so whichever side of a
+// decision leans harder on contended access primitives loses ground as
+// workers grow (see DESIGN.md, "Per-worker bandwidth share").
+func (p Params) ForWorkers(workers int) Params {
+	if workers <= 1 || p.MemSaturation <= 0 {
+		return p
+	}
+	f := float64(workers) / p.MemSaturation
+	if f <= 1 {
+		return p
+	}
+	q := p
+	q.ReadSeq *= f
+	q.ReadCond *= f
+	q.HitLLC *= f
+	q.HitMem *= f
+	return q
 }
 
 // HTLookup returns the cost of one random probe into a structure of the

@@ -225,3 +225,44 @@ func TestStrategyStrings(t *testing.T) {
 		t.Error("bad strategy names")
 	}
 }
+
+func TestForWorkersBandwidthShare(t *testing.T) {
+	p := Default()
+	// At or below the saturation point the parameters are untouched.
+	for _, w := range []int{0, 1, 2, int(p.MemSaturation)} {
+		if q := p.ForWorkers(w); q != p {
+			t.Errorf("ForWorkers(%d) changed params below saturation", w)
+		}
+	}
+	// Past saturation, shared-resource costs inflate linearly while
+	// per-core costs and computation are untouched.
+	w := int(p.MemSaturation) * 4
+	q := p.ForWorkers(w)
+	f := float64(w) / p.MemSaturation
+	if q.ReadSeq != p.ReadSeq*f || q.ReadCond != p.ReadCond*f ||
+		q.HitMem != p.HitMem*f || q.HitLLC != p.HitLLC*f {
+		t.Errorf("shared costs not scaled by %v: %+v", f, q)
+	}
+	if q.HitL1 != p.HitL1 || q.HitL2 != p.HitL2 || q.HTNull != p.HTNull ||
+		q.CompMul != p.CompMul || q.CompDiv != p.CompDiv {
+		t.Errorf("per-core costs must not scale: %+v", q)
+	}
+}
+
+func TestForWorkersShiftsCrossover(t *testing.T) {
+	// A moderately compute-heavy scalar aggregation at 30% selectivity:
+	// sequentially the pushdown's conditional reads are cheaper than
+	// masking's unconditional compute, but under bus contention the
+	// conditional-read penalty inflates while compute stays flat, so the
+	// pullup takes over — the crossover shift parallelism induces.
+	p := Default()
+	const r, sel, comp = 1 << 20, 0.3, 3.0
+	seq, _ := p.ChooseScalarAgg(r, sel, comp)
+	par, _ := p.ForWorkers(16).ChooseScalarAgg(r, sel, comp)
+	if seq != ChooseHybrid {
+		t.Fatalf("sequential choice = %v, want hybrid", seq)
+	}
+	if par != ChooseValueMasking {
+		t.Fatalf("16-worker choice = %v, want value-masking", par)
+	}
+}

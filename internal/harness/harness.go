@@ -11,6 +11,7 @@
 //	SWOLE_SF       TPC-H scale factor       (default 0.1)
 //	SWOLE_MICRO_R  microbenchmark R rows    (default 2000000)
 //	SWOLE_REPS     timing repetitions       (default 3)
+//	SWOLE_WORKERS  max morsel workers       (default runtime.NumCPU())
 package harness
 
 import (
@@ -25,14 +26,15 @@ import (
 
 // Config scales the experiments.
 type Config struct {
-	SF     float64 // TPC-H scale factor
-	MicroR int     // rows in the microbenchmark's R
-	Reps   int     // repetitions; the minimum time is reported
+	SF      float64 // TPC-H scale factor
+	MicroR  int     // rows in the microbenchmark's R
+	Reps    int     // repetitions; the minimum time is reported
+	Workers int     // max morsel workers the scaling experiment sweeps to
 }
 
 // Default returns the laptop-scale defaults.
 func Default() Config {
-	return Config{SF: 0.1, MicroR: 2_000_000, Reps: 3}
+	return Config{SF: 0.1, MicroR: 2_000_000, Reps: 3, Workers: runtime.NumCPU()}
 }
 
 // FromEnv reads overrides from the environment.
@@ -51,6 +53,11 @@ func FromEnv() Config {
 	if v := os.Getenv("SWOLE_REPS"); v != "" {
 		if n, err := strconv.Atoi(v); err == nil && n > 0 {
 			cfg.Reps = n
+		}
+	}
+	if v := os.Getenv("SWOLE_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			cfg.Workers = n
 		}
 	}
 	return cfg

@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/reprolab/swole/internal/core"
+	"github.com/reprolab/swole/internal/expr"
+	"github.com/reprolab/swole/internal/micro"
+	"github.com/reprolab/swole/internal/storage"
+)
+
+// microStorageDB wraps a generated microbenchmark dataset as storage
+// tables without copying: the engine's generic kernels read the same
+// typed slices the hand-specialized kernels do, so Engine timings are
+// comparable with the per-strategy figures.
+func microStorageDB(d *micro.Data) *storage.Database {
+	i8 := func(name string, v []int8) *storage.Column {
+		return &storage.Column{Name: name, Kind: storage.KindInt8, Log: storage.LogInt, I8: v}
+	}
+	i32 := func(name string, v []int32) *storage.Column {
+		return &storage.Column{Name: name, Kind: storage.KindInt32, Log: storage.LogInt, I32: v}
+	}
+	db := storage.NewDatabase()
+	db.AddTable(storage.MustNewTable("r",
+		i8("r_a", d.A), i8("r_b", d.B), i8("r_x", d.X), i8("r_y", d.Y),
+		i32("r_c", d.C), i32("r_fk", d.FK),
+	))
+	db.AddTable(storage.MustNewTable("s",
+		i32("s_pk", d.SPK), i8("s_x", d.SX),
+	))
+	return db
+}
+
+// workerSweep returns 1, 2, 4, ... max, always ending exactly at max.
+func workerSweep(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var out []int
+	for w := 1; w < max; w *= 2 {
+		out = append(out, w)
+	}
+	return append(out, max)
+}
+
+// lt builds the selectivity predicate col < v.
+func lt(col string, v int64) expr.Expr {
+	return &expr.Cmp{Op: expr.LT, L: expr.NewCol(col), R: &expr.Const{Val: v}}
+}
+
+// FigScaling measures the morsel-driven parallel executor: the four core
+// engine operators over the microbenchmark dataset, swept from 1 worker
+// to cfg.Workers. This is the experiment the paper could not run — its
+// kernels were single-threaded — and it shows where each technique
+// saturates memory bandwidth: the scalar value-masking scan stops scaling
+// first, while compute-heavier shapes keep scaling past the saturation
+// point the cost model's per-worker bandwidth share (cost.ForWorkers)
+// assumes.
+func (cfg Config) FigScaling() []Figure {
+	ns := 1_000_000
+	if ns > cfg.MicroR/2 {
+		ns = cfg.MicroR / 2
+	}
+	d := micro.Generate(micro.Config{NR: cfg.MicroR, NS: ns, CCard: 1000, Seed: 1})
+	db := microStorageDB(d)
+
+	// The scalar-agg query is micro Q1's shape at 90% selectivity with a
+	// multiply aggregate: firmly memory-bound, so the planner picks value
+	// masking and the sweep measures pure scan scaling.
+	queries := []struct {
+		name string
+		run  func(e *core.Engine) int64
+	}{
+		{"scalar-agg", func(e *core.Engine) int64 {
+			sum, _, err := e.ScalarAgg(core.ScalarAgg{
+				Table:  "r",
+				Filter: lt("r_x", 90),
+				Agg:    &expr.Arith{Op: expr.Mul, L: expr.NewCol("r_a"), R: expr.NewCol("r_b")},
+			})
+			if err != nil {
+				panic(err)
+			}
+			return sum
+		}},
+		{"group-agg", func(e *core.Engine) int64 {
+			groups, _, err := e.GroupAgg(core.GroupAgg{
+				Table:  "r",
+				Filter: lt("r_x", 90),
+				Key:    expr.NewCol("r_c"),
+				Agg:    expr.NewCol("r_a"),
+			})
+			if err != nil {
+				panic(err)
+			}
+			return int64(len(groups))
+		}},
+		{"semijoin-agg", func(e *core.Engine) int64 {
+			sum, _, err := e.SemiJoinAgg(core.SemiJoinAgg{
+				Probe: "r", Build: "s", FK: "r_fk", PK: "s_pk",
+				ProbeFilter: lt("r_x", 90),
+				BuildFilter: lt("s_x", 50),
+				Agg:         expr.NewCol("r_a"),
+			})
+			if err != nil {
+				panic(err)
+			}
+			return sum
+		}},
+		{"groupjoin-agg", func(e *core.Engine) int64 {
+			groups, _, err := e.GroupJoinAgg(core.GroupJoinAgg{
+				Probe: "r", Build: "s", FK: "r_fk", PK: "s_pk",
+				BuildFilter: lt("s_x", 50),
+				Agg:         expr.NewCol("r_a"),
+			})
+			if err != nil {
+				panic(err)
+			}
+			return int64(len(groups))
+		}},
+	}
+
+	fig := Figure{
+		ID:     "scaling",
+		Title:  fmt.Sprintf("Morsel-driven scaling, R = %d rows", cfg.MicroR),
+		XLabel: "workers",
+	}
+	// Baseline results at one worker; every other worker count must
+	// reproduce them exactly (the merges are exact int64 sums).
+	baseline := make([]int64, len(queries))
+	for qi, q := range queries {
+		e := core.NewEngine(db)
+		e.Workers = 1
+		baseline[qi] = q.run(e)
+	}
+	for qi, q := range queries {
+		series := Series{Name: q.name}
+		for _, w := range workerSweep(cfg.Workers) {
+			e := core.NewEngine(db)
+			e.Workers = w
+			dur := cfg.timeBest(func() int64 {
+				got := q.run(e)
+				if got != baseline[qi] {
+					panic(fmt.Sprintf("harness: %s at %d workers returned %d, 1 worker returned %d",
+						q.name, w, got, baseline[qi]))
+				}
+				return got
+			})
+			series.Points = append(series.Points, Point{X: float64(w), Runtime: dur})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return []Figure{fig}
+}

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestWorkerSweep(t *testing.T) {
+	for _, tc := range []struct {
+		max  int
+		want []int
+	}{
+		{0, []int{1}},
+		{1, []int{1}},
+		{2, []int{1, 2}},
+		{3, []int{1, 2, 3}},
+		{8, []int{1, 2, 4, 8}},
+		{12, []int{1, 2, 4, 8, 12}},
+	} {
+		if got := workerSweep(tc.max); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("workerSweep(%d) = %v, want %v", tc.max, got, tc.want)
+		}
+	}
+}
+
+func TestFromEnvWorkers(t *testing.T) {
+	t.Setenv("SWOLE_WORKERS", "5")
+	if cfg := FromEnv(); cfg.Workers != 5 {
+		t.Errorf("Workers = %d, want 5", cfg.Workers)
+	}
+	t.Setenv("SWOLE_WORKERS", "0")
+	if cfg := FromEnv(); cfg.Workers != Default().Workers {
+		t.Errorf("bad SWOLE_WORKERS not defaulted: %d", FromEnv().Workers)
+	}
+}
+
+// TestFigScalingStructure runs the sweep at toy scale; FigScaling itself
+// panics if any worker count disagrees with the 1-worker result, so this
+// also re-checks merge determinism through the harness path.
+func TestFigScalingStructure(t *testing.T) {
+	cfg := tiny()
+	cfg.Workers = 3
+	figs := cfg.FigScaling()
+	if len(figs) != 1 {
+		t.Fatalf("%d figures, want 1", len(figs))
+	}
+	f := figs[0]
+	if f.ID != "scaling" || len(f.Series) != 4 {
+		t.Fatalf("figure = %s with %d series", f.ID, len(f.Series))
+	}
+	for _, s := range f.Series {
+		if len(s.Points) != 3 { // workers 1, 2, 3
+			t.Errorf("%s: %d points, want 3", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Runtime <= 0 {
+				t.Errorf("%s: zero runtime at %g workers", s.Name, p.X)
+			}
+		}
+	}
+}

@@ -128,6 +128,29 @@ func (t *AggTable) Find(key int64) int {
 	}
 }
 
+// Contains reports whether key occupies a live slot — the read-only
+// analogue of Find(key) >= 0 (NullKey is absent: it maps to the throwaway
+// entry, not a slot). It does not touch the Probes statistics counter, so
+// concurrent probe-side workers may call it on a table whose build phase
+// has finished.
+func (t *AggTable) Contains(key int64) bool {
+	if key == NullKey {
+		return false
+	}
+	i := hash64(uint64(key)) & t.mask
+	for {
+		switch t.state[i] {
+		case slotEmpty:
+			return false
+		case slotFull:
+			if t.keys[i] == key {
+				return true
+			}
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
 // Add accumulates v into accumulator acc of the given slot and bumps the
 // group's tuple count once per acc==0 call. Slot -1 targets the throwaway.
 func (t *AggTable) Add(slot, acc int, v int64) {

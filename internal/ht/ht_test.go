@@ -271,3 +271,34 @@ func TestHash64Mixes(t *testing.T) {
 		t.Errorf("hash64 spreads %d/1024 buckets; too clustered", len(seen))
 	}
 }
+
+func TestAggTableContains(t *testing.T) {
+	tab := NewAggTable(1, 4)
+	for _, k := range []int64{3, 99, -5, 1 << 40} {
+		tab.Lookup(k)
+	}
+	probes := tab.Probes
+	for _, k := range []int64{3, 99, -5, 1 << 40} {
+		if !tab.Contains(k) {
+			t.Errorf("Contains(%d) = false after insert", k)
+		}
+	}
+	for _, k := range []int64{4, 100, 0} {
+		if tab.Contains(k) {
+			t.Errorf("Contains(%d) = true, never inserted", k)
+		}
+	}
+	if tab.Contains(NullKey) {
+		t.Error("Contains(NullKey) must be false (throwaway is not a slot)")
+	}
+	if tab.Probes != probes {
+		t.Errorf("Contains mutated the Probes counter: %d -> %d", probes, tab.Probes)
+	}
+	tab.Delete(99)
+	if tab.Contains(99) {
+		t.Error("Contains(99) = true after delete")
+	}
+	if !tab.Contains(3) {
+		t.Error("Contains(3) = false after unrelated delete")
+	}
+}
