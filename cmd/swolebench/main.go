@@ -8,6 +8,7 @@
 //	swolebench -fig all          # everything
 //	swolebench -fig 2            # the technique summary table
 //	swolebench -fig scaling -workers 8   # morsel scaling sweep, 1..8 workers
+//	swolebench -repeat 10        # steady state: cold vs plan-cached warm runs
 //
 // Scales come from the environment (SWOLE_SF, SWOLE_MICRO_R, SWOLE_REPS,
 // SWOLE_WORKERS); see internal/harness. Paper scales are SF=10 and R=100M —
@@ -28,11 +29,19 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 2, 6, 8, 9, 10, 11, 12, scaling, or all")
 	csv := flag.Bool("csv", false, "emit micro figures as CSV for plotting")
 	workers := flag.Int("workers", 0, "max morsel workers the scaling figure sweeps to (0 = SWOLE_WORKERS or NumCPU)")
+	repeat := flag.Int("repeat", 0, "steady-state demo: run each supported query shape N times and report cold vs plan-cached warm timings")
 	flag.Parse()
 
 	cfg := harness.FromEnv()
 	if *workers > 0 {
 		cfg.Workers = *workers
+	}
+	if *repeat > 0 {
+		if err := runSteady(cfg, *repeat); err != nil {
+			fmt.Fprintln(os.Stderr, "swolebench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Printf("config: SF=%g micro R=%d reps=%d workers=%d\n\n", cfg.SF, cfg.MicroR, cfg.Reps, cfg.Workers)
 

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	swole "github.com/reprolab/swole"
+	"github.com/reprolab/swole/internal/harness"
+)
+
+// steadyQueries are the plan-cacheable shapes the steady-state demo
+// exercises, in the paper's operator vocabulary.
+var steadyQueries = []struct {
+	name string
+	q    string
+}{
+	{"scalar-agg", "select sum(r_a * r_b) from r where r_x < 50"},
+	{"group-agg", "select r_c, sum(r_a) from r where r_x < 50 group by r_c"},
+	{"semijoin-agg", "select sum(r_a) from r, s where r_fk = s_pk and s_x < 50 and r_x < 50"},
+	{"groupjoin-agg", "select r_fk, sum(r_a) from r, s where r_fk = s_pk and s_x < 50 group by r_fk"},
+}
+
+// runSteady executes each supported query shape `reps` times on one DB and
+// reports the cold (first, plan + statistics + allocation) execution
+// against the warm (plan-cached, recycled-resource) steady state.
+func runSteady(cfg harness.Config, reps int) error {
+	if reps < 2 {
+		reps = 2
+	}
+	groups := cfg.MicroR / 10
+	if groups > 100_000 {
+		groups = 100_000
+	}
+	fmt.Printf("steady-state demo: R=%d rows, %d group keys, workers=%d, repeat=%d\n\n",
+		cfg.MicroR, groups, cfg.Workers, reps)
+	db, err := swole.LoadMicro(swole.MicroConfig{
+		Rows: cfg.MicroR, DimRows: 1000, GroupKeys: groups, Seed: 42,
+	})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	db.SetWorkers(cfg.Workers)
+
+	fmt.Printf("%-14s %12s %12s %8s  %s\n", "query", "cold", "warm(min)", "speedup", "steady-state counters")
+	for _, tc := range steadyQueries {
+		start := time.Now()
+		if _, _, err := db.QuerySwole(tc.q); err != nil {
+			return fmt.Errorf("%s: %w", tc.name, err)
+		}
+		cold := time.Since(start)
+
+		warmMin := time.Duration(0)
+		var lastEx swole.Explain
+		for i := 1; i < reps; i++ {
+			start = time.Now()
+			_, ex, err := db.QuerySwole(tc.q)
+			if err != nil {
+				return fmt.Errorf("%s: %w", tc.name, err)
+			}
+			d := time.Since(start)
+			if warmMin == 0 || d < warmMin {
+				warmMin = d
+			}
+			lastEx = ex
+		}
+		fmt.Printf("%-14s %12s %12s %7.2fx  plan-cached=%v fresh-allocs=%d ht-grows=%d\n",
+			tc.name, cold.Round(time.Microsecond), warmMin.Round(time.Microsecond),
+			float64(cold)/float64(warmMin), lastEx.PlanCached, lastEx.FreshAllocs, lastEx.HTGrows)
+	}
+	return nil
+}

@@ -2,7 +2,6 @@ package swole
 
 import (
 	"github.com/reprolab/swole/internal/codegen"
-	"github.com/reprolab/swole/internal/core"
 	"github.com/reprolab/swole/internal/micro"
 	"github.com/reprolab/swole/internal/storage"
 	"github.com/reprolab/swole/internal/tpch"
@@ -14,7 +13,7 @@ import (
 // are pre-registered.
 func LoadTPCH(sf float64) *DB {
 	d := tpch.Generate(sf)
-	return &DB{db: d.DB, engine: core.NewEngine(d.DB)}
+	return newDBWith(d.DB)
 }
 
 // MicroConfig sizes the paper's Figure 7 microbenchmark dataset.

@@ -130,3 +130,28 @@ func (b *Bitmap) Clear() {
 		b.words[i] = 0
 	}
 }
+
+// Reset re-dimensions the bitmap to cover n positions with every bit
+// unset, reusing the existing word array whenever its capacity allows —
+// the pooled-reuse entry point: a recycled bitmap Reset to the same build
+// side performs no allocation, only a sequential clear.
+func (b *Bitmap) Reset(n int) {
+	words := (n + 63) / 64
+	if cap(b.words) < words {
+		b.words = make([]uint64, words)
+	} else {
+		b.words = b.words[:words]
+		for i := range b.words {
+			b.words[i] = 0
+		}
+	}
+	b.n = n
+}
+
+// OrInto unions parts into b (which must cover the same length), the
+// allocation-free form of MergeOr for recycled merge targets.
+func (b *Bitmap) OrInto(parts ...*Bitmap) {
+	for _, p := range parts {
+		b.Or(p)
+	}
+}

@@ -233,3 +233,61 @@ func TestMergeOr(t *testing.T) {
 		t.Errorf("single-part merge count %d, want %d", solo.Count(), want.Count())
 	}
 }
+
+func TestReset(t *testing.T) {
+	b := New(200)
+	for i := 0; i < 200; i += 3 {
+		b.Set(i)
+	}
+	b.Reset(200)
+	if b.Len() != 200 || b.Count() != 0 {
+		t.Fatalf("Reset(200): len=%d count=%d", b.Len(), b.Count())
+	}
+	// Shrink: stale high bits must not reappear when re-growing within
+	// the retained capacity.
+	b.Set(199)
+	b.Reset(64)
+	if b.Len() != 64 || b.Count() != 0 {
+		t.Fatalf("Reset(64): len=%d count=%d", b.Len(), b.Count())
+	}
+	b.Reset(200)
+	if b.Count() != 0 {
+		t.Errorf("stale bit visible after shrink+regrow: count=%d", b.Count())
+	}
+	if b.Test(199) {
+		t.Error("bit 199 survived Reset cycles")
+	}
+	// Growing past capacity reallocates and still reads clear.
+	b.Reset(10_000)
+	if b.Len() != 10_000 || b.Count() != 0 {
+		t.Fatalf("Reset(10000): len=%d count=%d", b.Len(), b.Count())
+	}
+	allocs := testing.AllocsPerRun(100, func() { b.Reset(10_000) })
+	if allocs != 0 {
+		t.Errorf("same-size Reset allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestOrInto(t *testing.T) {
+	a, b, c := New(130), New(130), New(130)
+	a.Set(1)
+	b.Set(64)
+	c.Set(129)
+	out := New(130)
+	out.OrInto(a, b, c)
+	for _, i := range []int{1, 64, 129} {
+		if !out.Test(i) {
+			t.Errorf("bit %d missing after OrInto", i)
+		}
+	}
+	if out.Count() != 3 {
+		t.Errorf("count=%d, want 3", out.Count())
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		out.Reset(130)
+		out.OrInto(a, b, c)
+	})
+	if allocs != 0 {
+		t.Errorf("Reset+OrInto allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -16,11 +16,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
+	"github.com/reprolab/swole/internal/bitmap"
 	"github.com/reprolab/swole/internal/cost"
 	"github.com/reprolab/swole/internal/exec"
 	"github.com/reprolab/swole/internal/expr"
+	"github.com/reprolab/swole/internal/ht"
 	"github.com/reprolab/swole/internal/storage"
 	"github.com/reprolab/swole/internal/vec"
 )
@@ -66,6 +69,20 @@ type Explain struct {
 	// MergeTime is the wall time of the final single-threaded merge of
 	// per-worker partial states.
 	MergeTime time.Duration
+
+	// StatsCached reports that the selectivity/group statistics above came
+	// from the engine's statistics cache instead of a fresh sampling pass.
+	StatsCached bool
+	// PlanCached reports that the whole planning decision was replayed
+	// from a prepared query (sampling AND cost-model evaluation skipped).
+	PlanCached bool
+	// HTGrows counts hash-table growth events that fired during the scan
+	// phases; 0 means the cardinality-hinted preallocation was sufficient.
+	HTGrows int
+	// FreshAllocs counts execution resources (worker scratch sets, hash
+	// tables, bitmaps) newly allocated for this execution rather than
+	// recycled from the engine's pools; 0 in steady state.
+	FreshAllocs int
 }
 
 func (e Explain) String() string {
@@ -75,6 +92,14 @@ func (e Explain) String() string {
 }
 
 // Engine executes queries over a database with a given cost model.
+//
+// The engine recycles execution resources across queries: per-worker
+// scratch buffers, aggregation hash tables, and positional bitmaps return
+// to internal free lists after each query and are handed out Reset (epoch
+// invalidation, not re-zeroing) to the next one, and sampled statistics
+// are cached per (table version, expression) so a repeated shape skips
+// the sampling pass. Engine methods are safe for concurrent use; the
+// pools hand each in-flight query private resources.
 type Engine struct {
 	DB     *storage.Database
 	Params cost.Params
@@ -87,6 +112,20 @@ type Engine struct {
 	// MorselRows overrides the executor's morsel length in rows; 0 keeps
 	// exec.DefaultMorselRows. Exposed for tests and experiments.
 	MorselRows int
+
+	// Resource pools (see pools.go) and the statistics cache (stats.go).
+	mu          sync.Mutex
+	freeStates  [][]workerState
+	freeTables  []*ht.AggTable
+	freeBitmaps []*bitmap.Bitmap
+	stats       statsCache
+
+	// The persistent worker gang for prepared (steady-state) execution;
+	// execMu serializes prepared scans on it.
+	execMu     sync.Mutex
+	gang       *exec.Workers
+	gangN      int
+	gangMorsel int
 }
 
 // NewEngine returns an engine with default cost parameters and one morsel
@@ -109,38 +148,26 @@ func (e *Engine) pool() *exec.Pool {
 }
 
 // workerState is the private scratch one morsel worker evaluates tiles
-// with: an expression evaluator plus the tile buffers the kernels in this
-// package share. Workers never exchange scratch, so the tiled kernels run
-// exactly as in the sequential engine.
+// with: an expression evaluator plus the tile buffers (exec.Scratch) the
+// kernels in this package share. Workers never exchange scratch, so the
+// tiled kernels run exactly as in the sequential engine. States are
+// recycled across queries via the engine's pool (getStates/putStates).
 type workerState struct {
-	ev   *expr.Evaluator
-	cmp  []byte
-	idx  []int32
-	keys []int64
-	vals []int64
+	ev *expr.Evaluator
+	*exec.Scratch
 }
 
-// newWorkerStates allocates one scratch set per worker.
-func newWorkerStates(n int) []workerState {
-	ws := make([]workerState, n)
-	for i := range ws {
-		ws[i] = workerState{
-			ev:   expr.NewEvaluator(),
-			cmp:  make([]byte, vec.TileSize),
-			idx:  make([]int32, vec.TileSize),
-			keys: make([]int64, vec.TileSize),
-			vals: make([]int64, vec.TileSize),
-		}
-	}
-	return ws
+// newWorkerState allocates one worker's scratch set.
+func newWorkerState() workerState {
+	return workerState{ev: expr.NewEvaluator(), Scratch: exec.NewScratch()}
 }
 
-// fillCmp evaluates the (possibly nil) filter for one tile into s.cmp.
+// fillCmp evaluates the (possibly nil) filter for one tile into s.Cmp.
 func (s *workerState) fillCmp(filter expr.Expr, base, length int) {
 	if filter != nil {
-		s.ev.EvalBool(filter, base, length, s.cmp)
+		s.ev.EvalBool(filter, base, length, s.Cmp)
 	} else {
-		vec.Fill(s.cmp[:length], 1)
+		vec.Fill(s.Cmp[:length], 1)
 	}
 }
 

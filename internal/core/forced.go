@@ -11,6 +11,10 @@ import (
 // Forced-technique execution: run a query shape under a *chosen* strategy
 // instead of the cost model's pick. This powers strategy comparisons on
 // user queries (the public CompareStrategies API) and ablation studies.
+// Forced runs are sequential by design (they measure kernel character,
+// not parallel speedup) but share the engine's recycled worker scratch
+// and hash tables, so a comparison loop over techniques does not
+// reallocate tile buffers per call.
 
 // ScalarAggForced executes a scalar aggregation under the given technique
 // (TechDataCentric, TechHybrid, or TechValueMasking).
@@ -28,7 +32,9 @@ func (e *Engine) ScalarAggForced(q ScalarAgg, tech Technique) (int64, error) {
 		return 0, err
 	}
 	rows := t.Rows()
-	ev := expr.NewEvaluator()
+	states, _ := e.getStates(1)
+	defer e.putStates(states)
+	s := &states[0]
 	var sum int64
 	switch tech {
 	case TechDataCentric:
@@ -39,23 +45,19 @@ func (e *Engine) ScalarAggForced(q ScalarAgg, tech Technique) (int64, error) {
 			}
 		}
 	case TechHybrid:
-		cmp := make([]byte, vec.TileSize)
-		idx := make([]int32, vec.TileSize)
 		vec.Tiles(rows, func(base, length int) {
-			evalFilter(ev, q.Filter, base, length, cmp)
-			n := vec.SelFromCmpNoBranch(cmp[:length], idx)
+			s.fillCmp(q.Filter, base, length)
+			n := vec.SelFromCmpNoBranch(s.Cmp[:length], s.Idx)
 			for j := 0; j < n; j++ {
-				sum += expr.Eval(q.Agg, base+int(idx[j]))
+				sum += expr.Eval(q.Agg, base+int(s.Idx[j]))
 			}
 		})
 	case TechValueMasking, TechAccessMerging:
-		cmp := make([]byte, vec.TileSize)
-		vals := make([]int64, vec.TileSize)
 		vec.Tiles(rows, func(base, length int) {
-			evalFilter(ev, q.Filter, base, length, cmp)
-			ev.EvalInt(q.Agg, base, length, vals)
+			s.fillCmp(q.Filter, base, length)
+			s.ev.EvalInt(q.Agg, base, length, s.Vals)
 			for j := 0; j < length; j++ {
-				sum += vals[j] * int64(cmp[j])
+				sum += s.Vals[j] * int64(s.Cmp[j])
 			}
 		})
 	default:
@@ -80,53 +82,53 @@ func (e *Engine) GroupAggForced(q GroupAgg, tech Technique) (map[int64]int64, er
 		}
 	}
 	rows := t.Rows()
-	groups := sampleGroups(q.Key, rows, 16384)
-	tab := ht.NewAggTable(1, groups)
-	ev := expr.NewEvaluator()
-	cmp := make([]byte, vec.TileSize)
-	keys := make([]int64, vec.TileSize)
-	vals := make([]int64, vec.TileSize)
+	groups, _ := e.groupCount(q.Table, rows, q.Key, 16384)
+	tabs, _ := e.getAggTables(1, groups)
+	defer e.putAggTables(tabs)
+	tab := tabs[0]
+	states, _ := e.getStates(1)
+	defer e.putStates(states)
+	s := &states[0]
 	switch tech {
 	case TechDataCentric:
 		for i := 0; i < rows; i++ {
 			if q.Filter == nil || expr.Eval(q.Filter, i) != 0 {
-				s := tab.Lookup(expr.Eval(q.Key, i))
-				tab.Add(s, 0, expr.Eval(q.Agg, i))
+				slot := tab.Lookup(expr.Eval(q.Key, i))
+				tab.Add(slot, 0, expr.Eval(q.Agg, i))
 			}
 		}
 	case TechHybrid:
-		idx := make([]int32, vec.TileSize)
 		vec.Tiles(rows, func(base, length int) {
-			evalFilter(ev, q.Filter, base, length, cmp)
-			n := vec.SelFromCmpNoBranch(cmp[:length], idx)
+			s.fillCmp(q.Filter, base, length)
+			n := vec.SelFromCmpNoBranch(s.Cmp[:length], s.Idx)
 			for j := 0; j < n; j++ {
-				i := base + int(idx[j])
-				s := tab.Lookup(expr.Eval(q.Key, i))
-				tab.Add(s, 0, expr.Eval(q.Agg, i))
+				i := base + int(s.Idx[j])
+				slot := tab.Lookup(expr.Eval(q.Key, i))
+				tab.Add(slot, 0, expr.Eval(q.Agg, i))
 			}
 		})
 	case TechValueMasking:
 		vec.Tiles(rows, func(base, length int) {
-			evalFilter(ev, q.Filter, base, length, cmp)
-			ev.EvalInt(q.Key, base, length, keys)
-			ev.EvalInt(q.Agg, base, length, vals)
+			s.fillCmp(q.Filter, base, length)
+			s.ev.EvalInt(q.Key, base, length, s.Keys)
+			s.ev.EvalInt(q.Agg, base, length, s.Vals)
 			for j := 0; j < length; j++ {
-				s := tab.Lookup(keys[j])
-				tab.AddMasked(s, 0, vals[j], cmp[j])
+				slot := tab.Lookup(s.Keys[j])
+				tab.AddMasked(slot, 0, s.Vals[j], s.Cmp[j])
 			}
 		})
 	case TechKeyMasking:
 		vec.Tiles(rows, func(base, length int) {
-			evalFilter(ev, q.Filter, base, length, cmp)
-			ev.EvalInt(q.Key, base, length, keys)
-			ev.EvalInt(q.Agg, base, length, vals)
+			s.fillCmp(q.Filter, base, length)
+			s.ev.EvalInt(q.Key, base, length, s.Keys)
+			s.ev.EvalInt(q.Agg, base, length, s.Vals)
 			for j := 0; j < length; j++ {
-				k := keys[j]
-				if cmp[j] == 0 {
+				k := s.Keys[j]
+				if s.Cmp[j] == 0 {
 					k = ht.NullKey
 				}
-				s := tab.Lookup(k)
-				tab.Add(s, 0, vals[j])
+				slot := tab.Lookup(k)
+				tab.Add(slot, 0, s.Vals[j])
 			}
 		})
 	default:
@@ -135,12 +137,4 @@ func (e *Engine) GroupAggForced(q GroupAgg, tech Technique) (map[int64]int64, er
 	out := make(map[int64]int64, tab.Len())
 	tab.ForEach(false, func(key int64, s int) { out[key] = tab.Acc(s, 0) })
 	return out, nil
-}
-
-func evalFilter(ev *expr.Evaluator, filter expr.Expr, base, length int, cmp []byte) {
-	if filter != nil {
-		ev.EvalBool(filter, base, length, cmp)
-	} else {
-		vec.Fill(cmp[:length], 1)
-	}
 }

@@ -32,6 +32,12 @@ type GroupAgg struct {
 // map. A group is emitted iff some worker saw a valid tuple for it, and
 // partial sums of rejected tuples are zero under masking, so the merged
 // result is identical to the sequential one.
+//
+// The per-worker tables come from the engine pool, Reserved to the
+// estimated group count before the scan: every worker can in principle
+// see every group, so each table is sized for the full estimate and —
+// when the estimate holds — never rehashes mid-scan (Explain.HTGrows
+// counts the times it did anyway).
 func (e *Engine) GroupAgg(q GroupAgg) (map[int64]int64, Explain, error) {
 	t := e.DB.Table(q.Table)
 	if t == nil {
@@ -48,9 +54,9 @@ func (e *Engine) GroupAgg(q GroupAgg) (map[int64]int64, Explain, error) {
 	rows := t.Rows()
 	workers := e.workers()
 	params := e.Params.ForWorkers(workers)
-	sel := sampleSelectivity(q.Filter, rows, 16384)
+	sel, selHit := e.selectivity(q.Table, rows, q.Filter, 16384)
 	comp := expr.CompCost(q.Agg, params)
-	groups := sampleGroups(q.Key, rows, 16384)
+	groups, grpHit := e.groupCount(q.Table, rows, q.Key, 16384)
 	htBytes := groups * aggSlotBytes(1)
 	strat, _ := params.ChooseGroupAgg(rows, sel, comp, 1, htBytes)
 
@@ -60,6 +66,7 @@ func (e *Engine) GroupAgg(q GroupAgg) (map[int64]int64, Explain, error) {
 		Groups:      groups,
 		HTBytes:     htBytes,
 		Workers:     workers,
+		StatsCached: selHit && grpHit,
 		Costs: map[string]float64{
 			"hybrid":        params.HybridGroup(rows, sel, comp, htBytes),
 			"value-masking": params.ValueMaskingGroup(rows, comp+params.CompMul, htBytes),
@@ -68,11 +75,12 @@ func (e *Engine) GroupAgg(q GroupAgg) (map[int64]int64, Explain, error) {
 	}
 
 	pool := e.pool()
-	states := newWorkerStates(workers)
-	tabs := make([]*ht.AggTable, workers)
-	for i := range tabs {
-		tabs[i] = ht.NewAggTable(1, groups)
-	}
+	states, freshS := e.getStates(workers)
+	defer e.putStates(states)
+	tabs, freshT := e.getAggTables(workers, groups)
+	defer e.putAggTables(tabs)
+	ex.FreshAllocs = freshS + freshT
+	grows0 := growsSum(tabs)
 
 	start := time.Now()
 	switch strat {
@@ -83,11 +91,11 @@ func (e *Engine) GroupAgg(q GroupAgg) (map[int64]int64, Explain, error) {
 			vec.Tiles(length, func(tb, tl int) {
 				b := base + tb
 				s.fillCmp(q.Filter, b, tl)
-				s.ev.EvalInt(q.Key, b, tl, s.keys)
-				s.ev.EvalInt(q.Agg, b, tl, s.vals)
+				s.ev.EvalInt(q.Key, b, tl, s.Keys)
+				s.ev.EvalInt(q.Agg, b, tl, s.Vals)
 				for j := 0; j < tl; j++ {
-					slot := tab.Lookup(s.keys[j])
-					tab.AddMasked(slot, 0, s.vals[j], s.cmp[j])
+					slot := tab.Lookup(s.Keys[j])
+					tab.AddMasked(slot, 0, s.Vals[j], s.Cmp[j])
 				}
 			})
 		})
@@ -98,15 +106,15 @@ func (e *Engine) GroupAgg(q GroupAgg) (map[int64]int64, Explain, error) {
 			vec.Tiles(length, func(tb, tl int) {
 				b := base + tb
 				s.fillCmp(q.Filter, b, tl)
-				s.ev.EvalInt(q.Key, b, tl, s.keys)
-				s.ev.EvalInt(q.Agg, b, tl, s.vals)
+				s.ev.EvalInt(q.Key, b, tl, s.Keys)
+				s.ev.EvalInt(q.Agg, b, tl, s.Vals)
 				for j := 0; j < tl; j++ {
-					k := s.keys[j]
-					if s.cmp[j] == 0 {
+					k := s.Keys[j]
+					if s.Cmp[j] == 0 {
 						k = ht.NullKey
 					}
 					slot := tab.Lookup(k)
-					tab.Add(slot, 0, s.vals[j])
+					tab.Add(slot, 0, s.Vals[j])
 				}
 			})
 		})
@@ -117,9 +125,9 @@ func (e *Engine) GroupAgg(q GroupAgg) (map[int64]int64, Explain, error) {
 			vec.Tiles(length, func(tb, tl int) {
 				b := base + tb
 				s.fillCmp(q.Filter, b, tl)
-				n := vec.SelFromCmpNoBranch(s.cmp[:tl], s.idx)
+				n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
 				for j := 0; j < n; j++ {
-					i := b + int(s.idx[j])
+					i := b + int(s.Idx[j])
 					slot := tab.Lookup(expr.Eval(q.Key, i))
 					tab.Add(slot, 0, expr.Eval(q.Agg, i))
 				}
@@ -127,6 +135,7 @@ func (e *Engine) GroupAgg(q GroupAgg) (map[int64]int64, Explain, error) {
 		})
 	}
 	ex.ScanTime = time.Since(start)
+	ex.HTGrows = int(growsSum(tabs) - grows0)
 
 	start = time.Now()
 	out := mergeTables(tabs)

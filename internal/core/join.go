@@ -3,10 +3,8 @@ package core
 import (
 	"time"
 
-	"github.com/reprolab/swole/internal/bitmap"
 	"github.com/reprolab/swole/internal/exec"
 	"github.com/reprolab/swole/internal/expr"
-	"github.com/reprolab/swole/internal/ht"
 	"github.com/reprolab/swole/internal/vec"
 )
 
@@ -35,10 +33,11 @@ type SemiJoinAgg struct {
 // the value-masking model makes).
 //
 // Both passes are morsel-parallel. Build-side workers set bits in private
-// positional bitmaps that are OR-merged once the scan finishes (morsels
-// partition the build range, so each position is written by exactly one
-// worker); probe-side workers then read the merged bitmap — immutable from
-// here on — and accumulate masked partial sums.
+// positional bitmaps — recycled from the engine pool — that are OR-merged
+// into the first worker's bitmap once the scan finishes (morsels partition
+// the build range, so each position is written by exactly one worker);
+// probe-side workers then read the merged bitmap — immutable from here on
+// — and accumulate masked partial sums.
 func (e *Engine) SemiJoinAgg(q SemiJoinAgg) (int64, Explain, error) {
 	probe := e.DB.Table(q.Probe)
 	build := e.DB.Table(q.Build)
@@ -67,12 +66,13 @@ func (e *Engine) SemiJoinAgg(q SemiJoinAgg) (int64, Explain, error) {
 	}
 
 	workers := e.workers()
-	buildSel := sampleSelectivity(q.BuildFilter, build.Rows(), 16384)
+	buildSel, statsHit := e.selectivity(q.Build, build.Rows(), q.BuildFilter, 16384)
 	ex := Explain{
 		Technique:   TechPositionalBitmap,
 		Selectivity: buildSel,
 		HTBytes:     (build.Rows() + 7) / 8,
 		Workers:     workers,
+		StatsCached: statsHit,
 		Costs: map[string]float64{
 			"bitmap-bytes": float64((build.Rows() + 7) / 8),
 		},
@@ -82,20 +82,20 @@ func (e *Engine) SemiJoinAgg(q SemiJoinAgg) (int64, Explain, error) {
 	// predicated store is chosen unless the build predicate is very
 	// selective (Section III-D options 1 and 2).
 	pool := e.pool()
-	states := newWorkerStates(workers)
-	bms := make([]*bitmap.Bitmap, workers)
-	for i := range bms {
-		bms[i] = bitmap.New(build.Rows())
-	}
+	states, freshS := e.getStates(workers)
+	defer e.putStates(states)
+	bms, freshB := e.getBitmaps(workers, build.Rows())
+	defer e.putBitmaps(bms)
+	ex.FreshAllocs = freshS + freshB
 	start := time.Now()
 	if buildSel < 0.05 && q.BuildFilter != nil {
 		pool.Run(build.Rows(), func(w, base, length int) {
 			s, bm := &states[w], bms[w]
 			vec.Tiles(length, func(tb, tl int) {
 				b := base + tb
-				s.ev.EvalBool(q.BuildFilter, b, tl, s.cmp)
-				n := vec.SelFromCmpNoBranch(s.cmp[:tl], s.idx)
-				bm.SetFromSel(b, s.idx, n)
+				s.ev.EvalBool(q.BuildFilter, b, tl, s.Cmp)
+				n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
+				bm.SetFromSel(b, s.Idx, n)
 			})
 		})
 	} else {
@@ -104,14 +104,15 @@ func (e *Engine) SemiJoinAgg(q SemiJoinAgg) (int64, Explain, error) {
 			vec.Tiles(length, func(tb, tl int) {
 				b := base + tb
 				s.fillCmp(q.BuildFilter, b, tl)
-				bm.SetFromCmp(b, s.cmp[:tl])
+				bm.SetFromCmp(b, s.Cmp[:tl])
 			})
 		})
 	}
 	ex.ScanTime = time.Since(start)
 
 	start = time.Now()
-	bm := bitmap.MergeOr(bms...)
+	bm := bms[0]
+	bm.OrInto(bms[1:]...)
 	ex.MergeTime = time.Since(start)
 
 	// Probe sequentially, masking with the positional bit.
@@ -123,11 +124,11 @@ func (e *Engine) SemiJoinAgg(q SemiJoinAgg) (int64, Explain, error) {
 		vec.Tiles(length, func(tb, tl int) {
 			b := base + tb
 			s.fillCmp(q.ProbeFilter, b, tl)
-			s.ev.EvalInt(q.Agg, b, tl, s.vals)
+			s.ev.EvalInt(q.Agg, b, tl, s.Vals)
 			for j := 0; j < tl; j++ {
 				pos := int(fkCol.Get(b + j))
-				m := s.cmp[j] & bm.TestBit(pos)
-				sum += s.vals[j] * int64(m)
+				m := s.Cmp[j] & bm.TestBit(pos)
+				sum += s.Vals[j] * int64(m)
 			}
 		})
 		parts.Add(w, sum)
@@ -165,7 +166,9 @@ type GroupJoinAgg struct {
 // tables, skipping marked keys. The traditional path inserts qualifying
 // build keys into per-worker key tables, merges them into one table that
 // probe workers consult read-only (ht.AggTable.Contains), and aggregates
-// matches into per-worker tables merged at the end.
+// matches into per-worker tables merged at the end. All tables and
+// bitmaps are recycled from the engine pool, pre-Reserved so the scan
+// phases do not rehash (Explain.HTGrows counts residual growth events).
 func (e *Engine) GroupJoinAgg(q GroupJoinAgg) (map[int64]int64, Explain, error) {
 	probe := e.DB.Table(q.Probe)
 	build := e.DB.Table(q.Build)
@@ -195,7 +198,7 @@ func (e *Engine) GroupJoinAgg(q GroupJoinAgg) (map[int64]int64, Explain, error) 
 	rows := probe.Rows()
 	workers := e.workers()
 	params := e.Params.ForWorkers(workers)
-	selS := sampleSelectivity(q.BuildFilter, build.Rows(), 16384)
+	selS, statsHit := e.selectivity(q.Build, build.Rows(), q.BuildFilter, 16384)
 	comp := expr.CompCost(q.Agg, params)
 	htBytes := build.Rows() * aggSlotBytes(1)
 	eager, gj, ea := params.ChooseGroupjoin(build.Rows(), selS, rows, 1.0, selS, comp, htBytes)
@@ -206,53 +209,56 @@ func (e *Engine) GroupJoinAgg(q GroupJoinAgg) (map[int64]int64, Explain, error) 
 		Groups:      build.Rows(),
 		HTBytes:     htBytes,
 		Workers:     workers,
+		StatsCached: statsHit,
 		Costs:       map[string]float64{"groupjoin": gj, "eager-aggregation": ea},
 	}
 
 	pool := e.pool()
-	states := newWorkerStates(workers)
+	states, freshS := e.getStates(workers)
+	defer e.putStates(states)
+	ex.FreshAllocs = freshS
 	var out map[int64]int64
 	if eager {
 		ex.Technique = TechEagerAggregation
 		// Unconditional aggregation of the probe side, grouped by FK,
 		// into per-worker tables.
-		tabs := make([]*ht.AggTable, workers)
-		for i := range tabs {
-			tabs[i] = ht.NewAggTable(1, build.Rows())
-		}
+		tabs, freshT := e.getAggTables(workers, build.Rows())
+		defer e.putAggTables(tabs)
+		fails, freshB := e.getBitmaps(workers, build.Rows())
+		defer e.putBitmaps(fails)
+		ex.FreshAllocs += freshT + freshB
+		grows0 := growsSum(tabs)
 		start := time.Now()
 		pool.Run(rows, func(w, base, length int) {
 			s, tab := &states[w], tabs[w]
 			vec.Tiles(length, func(tb, tl int) {
 				b := base + tb
-				s.ev.EvalInt(q.Agg, b, tl, s.vals)
+				s.ev.EvalInt(q.Agg, b, tl, s.Vals)
 				for j := 0; j < tl; j++ {
 					slot := tab.Lookup(fkCol.Get(b + j))
-					tab.Add(slot, 0, s.vals[j])
+					tab.Add(slot, 0, s.Vals[j])
 				}
 			})
 		})
 		// Inverted predicate marks non-qualifying groups — the parallel
 		// analogue of the sequential path's hash table deletes, recorded
 		// positionally in per-worker bitmaps.
-		fails := make([]*bitmap.Bitmap, workers)
-		for i := range fails {
-			fails[i] = bitmap.New(build.Rows())
-		}
 		pool.Run(build.Rows(), func(w, base, length int) {
 			s, fail := &states[w], fails[w]
 			vec.Tiles(length, func(tb, tl int) {
 				b := base + tb
 				s.fillCmp(q.BuildFilter, b, tl)
 				for j := 0; j < tl; j++ {
-					fail.OrBit(int(pkCol.Get(b+j)), s.cmp[j]^1)
+					fail.OrBit(int(pkCol.Get(b+j)), s.Cmp[j]^1)
 				}
 			})
 		})
 		ex.ScanTime = time.Since(start)
+		ex.HTGrows = int(growsSum(tabs) - grows0)
 
 		start = time.Now()
-		fail := bitmap.MergeOr(fails...)
+		fail := fails[0]
+		fail.OrInto(fails[1:]...)
 		n := 0
 		for _, tab := range tabs {
 			n += tab.Len()
@@ -275,19 +281,19 @@ func (e *Engine) GroupJoinAgg(q GroupJoinAgg) (map[int64]int64, Explain, error) 
 		// aggregate on match. Per-worker key tables are merged into one
 		// table the probe workers consult read-only.
 		hint := int(selS*float64(build.Rows())) + 1
-		keyTabs := make([]*ht.AggTable, workers)
-		for i := range keyTabs {
-			keyTabs[i] = ht.NewAggTable(1, hint)
-		}
+		keyTabs, freshK := e.getAggTables(workers, hint)
+		defer e.putAggTables(keyTabs)
+		ex.FreshAllocs += freshK
+		grows0 := growsSum(keyTabs)
 		start := time.Now()
 		pool.Run(build.Rows(), func(w, base, length int) {
 			s, tab := &states[w], keyTabs[w]
 			vec.Tiles(length, func(tb, tl int) {
 				b := base + tb
 				s.fillCmp(q.BuildFilter, b, tl)
-				n := vec.SelFromCmpNoBranch(s.cmp[:tl], s.idx)
+				n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
 				for j := 0; j < n; j++ {
-					tab.Lookup(pkCol.Get(b + int(s.idx[j]))) // insert, not valid
+					tab.Lookup(pkCol.Get(b + int(s.Idx[j]))) // insert, not valid
 				}
 			})
 		})
@@ -298,31 +304,35 @@ func (e *Engine) GroupJoinAgg(q GroupJoinAgg) (map[int64]int64, Explain, error) 
 		for _, tab := range keyTabs {
 			total += tab.Len()
 		}
-		keys := ht.NewAggTable(1, total)
+		keyss, freshKeys := e.getAggTables(1, total)
+		defer e.putAggTables(keyss)
+		ex.FreshAllocs += freshKeys
+		keys := keyss[0]
 		for _, tab := range keyTabs {
 			// Inserted-only groups carry no valid flag; visit them all.
 			tab.ForEach(true, func(key int64, _ int) { keys.Lookup(key) })
 		}
 		ex.MergeTime = time.Since(start)
 
-		tabs := make([]*ht.AggTable, workers)
-		for i := range tabs {
-			tabs[i] = ht.NewAggTable(1, total)
-		}
+		tabs, freshT := e.getAggTables(workers, total)
+		defer e.putAggTables(tabs)
+		ex.FreshAllocs += freshT
+		grows0 += growsSum(tabs)
 		start = time.Now()
 		pool.Run(rows, func(w, base, length int) {
 			s, tab := &states[w], tabs[w]
 			vec.Tiles(length, func(tb, tl int) {
 				b := base + tb
-				s.ev.EvalInt(q.Agg, b, tl, s.vals)
+				s.ev.EvalInt(q.Agg, b, tl, s.Vals)
 				for j := 0; j < tl; j++ {
 					if fk := fkCol.Get(b + j); keys.Contains(fk) {
-						tab.Add(tab.Lookup(fk), 0, s.vals[j])
+						tab.Add(tab.Lookup(fk), 0, s.Vals[j])
 					}
 				}
 			})
 		})
 		ex.ScanTime += time.Since(start)
+		ex.HTGrows = int(growsSum(keyTabs) + growsSum(tabs) - grows0)
 
 		start = time.Now()
 		out = mergeTables(tabs)

@@ -1,0 +1,727 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"github.com/reprolab/swole/internal/bitmap"
+	"github.com/reprolab/swole/internal/cost"
+	"github.com/reprolab/swole/internal/exec"
+	"github.com/reprolab/swole/internal/expr"
+	"github.com/reprolab/swole/internal/ht"
+	"github.com/reprolab/swole/internal/vec"
+)
+
+// Prepared execution: the zero-allocation steady state.
+//
+// The one-shot entry points (ScalarAgg, GroupAgg, ...) sample statistics,
+// evaluate the cost models, and check resources out of the engine pools on
+// every call. A Prepared* query hoists all of that to Prepare time: the
+// planning decision is made once, the kernel closure for the chosen
+// technique is built once, and every buffer the execution needs — worker
+// scratch, hash tables, bitmaps, partials, the result arrays — is owned by
+// the prepared object and recycled across runs with epoch Resets. Run()
+// then performs only the scan and merge, on the engine's persistent worker
+// gang, and after the first run (which warms evaluator scratch and
+// goroutine stacks) allocates nothing.
+//
+// A prepared query snapshots its input tables at Prepare time; it must be
+// re-prepared if a referenced table is replaced. The plan cache in the
+// public package does exactly that, keyed on table versions.
+//
+// Runs are serialized on the engine's execMu (they share one worker gang
+// and the merge phases mutate prepared-owned state), so Run is safe to
+// call from multiple goroutines, but runs do not overlap.
+
+// GroupResult is a reusable grouped-aggregation answer: parallel arrays of
+// group keys (ascending) and their sums. The arrays are owned by the
+// prepared query and overwritten by its next Run.
+type GroupResult struct {
+	Keys []int64
+	Sums []int64
+}
+
+// Map copies the result into a freshly allocated map (convenience for
+// callers that want the one-shot API's shape).
+func (g *GroupResult) Map() map[int64]int64 {
+	out := make(map[int64]int64, len(g.Keys))
+	for i, k := range g.Keys {
+		out[k] = g.Sums[i]
+	}
+	return out
+}
+
+// kvSorter sorts parallel key/sum arrays by key. It lives inside the
+// prepared object so sort.Sort(&p.sorter) converts a pointer that already
+// escaped — unlike sort.Slice, which allocates a closure per call.
+type kvSorter struct {
+	keys []int64
+	sums []int64
+}
+
+func (s *kvSorter) Len() int           { return len(s.keys) }
+func (s *kvSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *kvSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.sums[i], s.sums[j] = s.sums[j], s.sums[i]
+}
+
+// runSteady executes a stored kernel over [0, rows) on the engine's
+// persistent gang. Callers hold e.execMu.
+func (e *Engine) runSteady(workers, rows int, kernel func(w, base, length int)) {
+	e.steadyLocked(workers).Run(rows, kernel)
+}
+
+// PreparedScalarAgg is a planned, resource-owning scalar aggregation.
+type PreparedScalarAgg struct {
+	e       *Engine
+	workers int
+	rows    int
+	ex      Explain
+	states  []workerState
+	parts   *exec.Partials
+	kernel  func(w, base, length int)
+}
+
+// PrepareScalarAgg plans a scalar aggregation once: statistics (through
+// the cache), the cost-model decision, the kernel closure for the chosen
+// technique, and all execution buffers.
+func (e *Engine) PrepareScalarAgg(q ScalarAgg) (*PreparedScalarAgg, error) {
+	t := e.DB.Table(q.Table)
+	if t == nil {
+		return nil, errNoTable(q.Table)
+	}
+	if q.Filter != nil {
+		if err := expr.Bind(q.Filter, t); err != nil {
+			return nil, err
+		}
+	}
+	if err := expr.Bind(q.Agg, t); err != nil {
+		return nil, err
+	}
+	rows := t.Rows()
+	workers := e.workers()
+	params := e.Params.ForWorkers(workers)
+	sel, statsHit := e.selectivity(q.Table, rows, q.Filter, 16384)
+	comp := expr.CompCost(q.Agg, params)
+	strat, _ := params.ChooseScalarAgg(rows, sel, comp)
+
+	p := &PreparedScalarAgg{
+		e:       e,
+		workers: workers,
+		rows:    rows,
+		parts:   exec.NewPartials(workers),
+	}
+	p.states = make([]workerState, workers)
+	for i := range p.states {
+		p.states[i] = newWorkerState()
+	}
+	p.ex = Explain{
+		Selectivity: sel,
+		CompCost:    comp,
+		Workers:     workers,
+		StatsCached: statsHit,
+		PlanCached:  true,
+		Costs: map[string]float64{
+			"hybrid":        params.Hybrid(rows, sel, comp),
+			"value-masking": params.ValueMasking(rows, comp),
+		},
+		Merged: shared(q.Filter, q.Agg),
+	}
+
+	filter, agg := q.Filter, q.Agg
+	switch strat {
+	case cost.ChooseValueMasking:
+		p.ex.Technique = TechValueMasking
+		if len(p.ex.Merged) > 0 {
+			p.ex.Technique = TechAccessMerging
+		}
+		p.kernel = func(w, base, length int) {
+			s := &p.states[w]
+			var sum int64
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.fillCmp(filter, b, tl)
+				s.ev.EvalInt(agg, b, tl, s.Vals)
+				for j := 0; j < tl; j++ {
+					sum += s.Vals[j] * int64(s.Cmp[j])
+				}
+			})
+			p.parts.Add(w, sum)
+		}
+	default:
+		p.ex.Technique = TechHybrid
+		p.kernel = func(w, base, length int) {
+			s := &p.states[w]
+			var sum int64
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.fillCmp(filter, b, tl)
+				n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
+				for j := 0; j < n; j++ {
+					sum += expr.Eval(agg, b+int(s.Idx[j]))
+				}
+			})
+			p.parts.Add(w, sum)
+		}
+	}
+	return p, nil
+}
+
+// Run executes the prepared aggregation. Allocation-free after the first
+// call.
+func (p *PreparedScalarAgg) Run() (int64, Explain) {
+	e := p.e
+	e.execMu.Lock()
+	p.parts.Reset()
+	start := time.Now()
+	e.runSteady(p.workers, p.rows, p.kernel)
+	p.ex.ScanTime = time.Since(start)
+	start = time.Now()
+	sum := p.parts.Sum()
+	p.ex.MergeTime = time.Since(start)
+	e.execMu.Unlock()
+	return sum, p.ex
+}
+
+// PreparedGroupAgg is a planned, resource-owning group-by aggregation.
+type PreparedGroupAgg struct {
+	e       *Engine
+	workers int
+	rows    int
+	ex      Explain
+	states  []workerState
+	tabs    []*ht.AggTable
+	out     GroupResult
+	sorter  kvSorter
+	kernel  func(w, base, length int)
+}
+
+// PrepareGroupAgg plans a group-by aggregation once, sizing each worker's
+// hash table for the estimated group count so steady-state runs never
+// rehash.
+func (e *Engine) PrepareGroupAgg(q GroupAgg) (*PreparedGroupAgg, error) {
+	t := e.DB.Table(q.Table)
+	if t == nil {
+		return nil, errNoTable(q.Table)
+	}
+	for _, x := range []expr.Expr{q.Filter, q.Key, q.Agg} {
+		if x == nil {
+			continue
+		}
+		if err := expr.Bind(x, t); err != nil {
+			return nil, err
+		}
+	}
+	rows := t.Rows()
+	workers := e.workers()
+	params := e.Params.ForWorkers(workers)
+	sel, selHit := e.selectivity(q.Table, rows, q.Filter, 16384)
+	comp := expr.CompCost(q.Agg, params)
+	groups, grpHit := e.groupCount(q.Table, rows, q.Key, 16384)
+	htBytes := groups * aggSlotBytes(1)
+	strat, _ := params.ChooseGroupAgg(rows, sel, comp, 1, htBytes)
+
+	p := &PreparedGroupAgg{e: e, workers: workers, rows: rows}
+	p.states = make([]workerState, workers)
+	for i := range p.states {
+		p.states[i] = newWorkerState()
+	}
+	p.tabs = make([]*ht.AggTable, workers)
+	for i := range p.tabs {
+		p.tabs[i] = ht.NewAggTable(1, groups)
+	}
+	p.ex = Explain{
+		Selectivity: sel,
+		CompCost:    comp,
+		Groups:      groups,
+		HTBytes:     htBytes,
+		Workers:     workers,
+		StatsCached: selHit && grpHit,
+		PlanCached:  true,
+		Costs: map[string]float64{
+			"hybrid":        params.HybridGroup(rows, sel, comp, htBytes),
+			"value-masking": params.ValueMaskingGroup(rows, comp+params.CompMul, htBytes),
+			"key-masking":   params.KeyMasking(rows, sel, comp+params.CompCmp, htBytes),
+		},
+	}
+
+	filter, key, agg := q.Filter, q.Key, q.Agg
+	switch strat {
+	case cost.ChooseValueMasking:
+		p.ex.Technique = TechValueMasking
+		p.kernel = func(w, base, length int) {
+			s, tab := &p.states[w], p.tabs[w]
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.fillCmp(filter, b, tl)
+				s.ev.EvalInt(key, b, tl, s.Keys)
+				s.ev.EvalInt(agg, b, tl, s.Vals)
+				for j := 0; j < tl; j++ {
+					slot := tab.Lookup(s.Keys[j])
+					tab.AddMasked(slot, 0, s.Vals[j], s.Cmp[j])
+				}
+			})
+		}
+	case cost.ChooseKeyMasking:
+		p.ex.Technique = TechKeyMasking
+		p.kernel = func(w, base, length int) {
+			s, tab := &p.states[w], p.tabs[w]
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.fillCmp(filter, b, tl)
+				s.ev.EvalInt(key, b, tl, s.Keys)
+				s.ev.EvalInt(agg, b, tl, s.Vals)
+				for j := 0; j < tl; j++ {
+					k := s.Keys[j]
+					if s.Cmp[j] == 0 {
+						k = ht.NullKey
+					}
+					slot := tab.Lookup(k)
+					tab.Add(slot, 0, s.Vals[j])
+				}
+			})
+		}
+	default:
+		p.ex.Technique = TechHybrid
+		p.kernel = func(w, base, length int) {
+			s, tab := &p.states[w], p.tabs[w]
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.fillCmp(filter, b, tl)
+				n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
+				for j := 0; j < n; j++ {
+					i := b + int(s.Idx[j])
+					slot := tab.Lookup(expr.Eval(key, i))
+					tab.Add(slot, 0, expr.Eval(agg, i))
+				}
+			})
+		}
+	}
+	return p, nil
+}
+
+// Run executes the prepared aggregation and returns the reused result.
+// Allocation-free once the result arrays and any under-estimated hash
+// capacity have warmed (first call).
+func (p *PreparedGroupAgg) Run() (*GroupResult, Explain) {
+	e := p.e
+	e.execMu.Lock()
+	for _, tab := range p.tabs {
+		tab.Reset()
+	}
+	grows0 := growsSum(p.tabs)
+	start := time.Now()
+	e.runSteady(p.workers, p.rows, p.kernel)
+	p.ex.ScanTime = time.Since(start)
+	p.ex.HTGrows = int(growsSum(p.tabs) - grows0)
+
+	// Merge workers 1..n-1 into worker 0's table, then emit it sorted.
+	start = time.Now()
+	merged := p.tabs[0]
+	for _, tab := range p.tabs[1:] {
+		tab.ForEach(false, func(key int64, s int) {
+			merged.Add(merged.Lookup(key), 0, tab.Acc(s, 0))
+		})
+	}
+	p.out.Keys = p.out.Keys[:0]
+	p.out.Sums = p.out.Sums[:0]
+	merged.ForEach(false, func(key int64, s int) {
+		p.out.Keys = append(p.out.Keys, key)
+		p.out.Sums = append(p.out.Sums, merged.Acc(s, 0))
+	})
+	p.sorter.keys, p.sorter.sums = p.out.Keys, p.out.Sums
+	sort.Sort(&p.sorter)
+	p.ex.MergeTime = time.Since(start)
+	e.execMu.Unlock()
+	return &p.out, p.ex
+}
+
+// PreparedSemiJoinAgg is a planned, resource-owning semijoin aggregation.
+type PreparedSemiJoinAgg struct {
+	e           *Engine
+	workers     int
+	probeRows   int
+	buildRows   int
+	ex          Explain
+	states      []workerState
+	parts       *exec.Partials
+	bms         []*bitmap.Bitmap
+	bm          *bitmap.Bitmap // == bms[0], the merge target
+	buildKernel func(w, base, length int)
+	probeKernel func(w, base, length int)
+}
+
+// PrepareSemiJoinAgg plans a semijoin aggregation once: the build-side
+// store variant (predicated vs selection-vector), both phase kernels, and
+// the per-worker positional bitmaps.
+func (e *Engine) PrepareSemiJoinAgg(q SemiJoinAgg) (*PreparedSemiJoinAgg, error) {
+	probe := e.DB.Table(q.Probe)
+	build := e.DB.Table(q.Build)
+	if probe == nil {
+		return nil, errNoTable(q.Probe)
+	}
+	if build == nil {
+		return nil, errNoTable(q.Build)
+	}
+	fkCol := probe.Column(q.FK)
+	if fkCol == nil {
+		return nil, errNoColumn(q.Probe, q.FK)
+	}
+	if q.ProbeFilter != nil {
+		if err := expr.Bind(q.ProbeFilter, probe); err != nil {
+			return nil, err
+		}
+	}
+	if q.BuildFilter != nil {
+		if err := expr.Bind(q.BuildFilter, build); err != nil {
+			return nil, err
+		}
+	}
+	if err := expr.Bind(q.Agg, probe); err != nil {
+		return nil, err
+	}
+
+	workers := e.workers()
+	buildSel, statsHit := e.selectivity(q.Build, build.Rows(), q.BuildFilter, 16384)
+	p := &PreparedSemiJoinAgg{
+		e:         e,
+		workers:   workers,
+		probeRows: probe.Rows(),
+		buildRows: build.Rows(),
+		parts:     exec.NewPartials(workers),
+	}
+	p.states = make([]workerState, workers)
+	for i := range p.states {
+		p.states[i] = newWorkerState()
+	}
+	p.bms = make([]*bitmap.Bitmap, workers)
+	for i := range p.bms {
+		p.bms[i] = bitmap.New(build.Rows())
+	}
+	p.bm = p.bms[0]
+	p.ex = Explain{
+		Technique:   TechPositionalBitmap,
+		Selectivity: buildSel,
+		HTBytes:     (build.Rows() + 7) / 8,
+		Workers:     workers,
+		StatsCached: statsHit,
+		PlanCached:  true,
+		Costs: map[string]float64{
+			"bitmap-bytes": float64((build.Rows() + 7) / 8),
+		},
+	}
+
+	buildFilter, probeFilter, agg := q.BuildFilter, q.ProbeFilter, q.Agg
+	if buildSel < 0.05 && buildFilter != nil {
+		p.buildKernel = func(w, base, length int) {
+			s, bm := &p.states[w], p.bms[w]
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.ev.EvalBool(buildFilter, b, tl, s.Cmp)
+				n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
+				bm.SetFromSel(b, s.Idx, n)
+			})
+		}
+	} else {
+		p.buildKernel = func(w, base, length int) {
+			s, bm := &p.states[w], p.bms[w]
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.fillCmp(buildFilter, b, tl)
+				bm.SetFromCmp(b, s.Cmp[:tl])
+			})
+		}
+	}
+	bm := p.bm
+	p.probeKernel = func(w, base, length int) {
+		s := &p.states[w]
+		var sum int64
+		vec.Tiles(length, func(tb, tl int) {
+			b := base + tb
+			s.fillCmp(probeFilter, b, tl)
+			s.ev.EvalInt(agg, b, tl, s.Vals)
+			for j := 0; j < tl; j++ {
+				pos := int(fkCol.Get(b + j))
+				m := s.Cmp[j] & bm.TestBit(pos)
+				sum += s.Vals[j] * int64(m)
+			}
+		})
+		p.parts.Add(w, sum)
+	}
+	return p, nil
+}
+
+// Run executes the prepared semijoin. Allocation-free after the first
+// call.
+func (p *PreparedSemiJoinAgg) Run() (int64, Explain) {
+	e := p.e
+	e.execMu.Lock()
+	for _, bm := range p.bms {
+		bm.Reset(p.buildRows)
+	}
+	p.parts.Reset()
+	start := time.Now()
+	e.runSteady(p.workers, p.buildRows, p.buildKernel)
+	p.ex.ScanTime = time.Since(start)
+	start = time.Now()
+	p.bm.OrInto(p.bms[1:]...)
+	p.ex.MergeTime = time.Since(start)
+	start = time.Now()
+	e.runSteady(p.workers, p.probeRows, p.probeKernel)
+	p.ex.ScanTime += time.Since(start)
+	start = time.Now()
+	sum := p.parts.Sum()
+	p.ex.MergeTime += time.Since(start)
+	e.execMu.Unlock()
+	return sum, p.ex
+}
+
+// PreparedGroupJoinAgg is a planned, resource-owning groupjoin
+// aggregation.
+type PreparedGroupJoinAgg struct {
+	e         *Engine
+	workers   int
+	probeRows int
+	buildRows int
+	ex        Explain
+	states    []workerState
+	eager     bool
+	out       GroupResult
+	sorter    kvSorter
+
+	// Eager-aggregation path.
+	tabs        []*ht.AggTable
+	fails       []*bitmap.Bitmap
+	probeKernel func(w, base, length int)
+	buildKernel func(w, base, length int)
+
+	// Traditional path.
+	keyTabs   []*ht.AggTable
+	keys      *ht.AggTable
+	aggKernel func(w, base, length int)
+}
+
+// PrepareGroupJoinAgg plans a groupjoin once, freezing the eager-vs-
+// traditional decision and building both phase kernels for the chosen
+// path.
+func (e *Engine) PrepareGroupJoinAgg(q GroupJoinAgg) (*PreparedGroupJoinAgg, error) {
+	probe := e.DB.Table(q.Probe)
+	build := e.DB.Table(q.Build)
+	if probe == nil {
+		return nil, errNoTable(q.Probe)
+	}
+	if build == nil {
+		return nil, errNoTable(q.Build)
+	}
+	fkCol := probe.Column(q.FK)
+	if fkCol == nil {
+		return nil, errNoColumn(q.Probe, q.FK)
+	}
+	pkCol := build.Column(q.PK)
+	if pkCol == nil {
+		return nil, errNoColumn(q.Build, q.PK)
+	}
+	if q.BuildFilter != nil {
+		if err := expr.Bind(q.BuildFilter, build); err != nil {
+			return nil, err
+		}
+	}
+	if err := expr.Bind(q.Agg, probe); err != nil {
+		return nil, err
+	}
+
+	rows := probe.Rows()
+	workers := e.workers()
+	params := e.Params.ForWorkers(workers)
+	selS, statsHit := e.selectivity(q.Build, build.Rows(), q.BuildFilter, 16384)
+	comp := expr.CompCost(q.Agg, params)
+	htBytes := build.Rows() * aggSlotBytes(1)
+	eager, gj, ea := params.ChooseGroupjoin(build.Rows(), selS, rows, 1.0, selS, comp, htBytes)
+
+	p := &PreparedGroupJoinAgg{
+		e:         e,
+		workers:   workers,
+		probeRows: rows,
+		buildRows: build.Rows(),
+		eager:     eager,
+	}
+	p.states = make([]workerState, workers)
+	for i := range p.states {
+		p.states[i] = newWorkerState()
+	}
+	p.ex = Explain{
+		Selectivity: selS,
+		CompCost:    comp,
+		Groups:      build.Rows(),
+		HTBytes:     htBytes,
+		Workers:     workers,
+		StatsCached: statsHit,
+		PlanCached:  true,
+		Costs:       map[string]float64{"groupjoin": gj, "eager-aggregation": ea},
+	}
+
+	buildFilter, agg := q.BuildFilter, q.Agg
+	if eager {
+		p.ex.Technique = TechEagerAggregation
+		p.tabs = make([]*ht.AggTable, workers)
+		for i := range p.tabs {
+			p.tabs[i] = ht.NewAggTable(1, build.Rows())
+		}
+		p.fails = make([]*bitmap.Bitmap, workers)
+		for i := range p.fails {
+			p.fails[i] = bitmap.New(build.Rows())
+		}
+		p.probeKernel = func(w, base, length int) {
+			s, tab := &p.states[w], p.tabs[w]
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.ev.EvalInt(agg, b, tl, s.Vals)
+				for j := 0; j < tl; j++ {
+					slot := tab.Lookup(fkCol.Get(b + j))
+					tab.Add(slot, 0, s.Vals[j])
+				}
+			})
+		}
+		p.buildKernel = func(w, base, length int) {
+			s, fail := &p.states[w], p.fails[w]
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.fillCmp(buildFilter, b, tl)
+				for j := 0; j < tl; j++ {
+					fail.OrBit(int(pkCol.Get(b+j)), s.Cmp[j]^1)
+				}
+			})
+		}
+	} else {
+		p.ex.Technique = TechHybrid
+		hint := int(selS*float64(build.Rows())) + 1
+		p.keyTabs = make([]*ht.AggTable, workers)
+		for i := range p.keyTabs {
+			p.keyTabs[i] = ht.NewAggTable(1, hint)
+		}
+		p.keys = ht.NewAggTable(1, hint)
+		p.tabs = make([]*ht.AggTable, workers)
+		for i := range p.tabs {
+			p.tabs[i] = ht.NewAggTable(1, hint)
+		}
+		p.buildKernel = func(w, base, length int) {
+			s, tab := &p.states[w], p.keyTabs[w]
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.fillCmp(buildFilter, b, tl)
+				n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
+				for j := 0; j < n; j++ {
+					tab.Lookup(pkCol.Get(b + int(s.Idx[j]))) // insert, not valid
+				}
+			})
+		}
+		keys := p.keys
+		p.aggKernel = func(w, base, length int) {
+			s, tab := &p.states[w], p.tabs[w]
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.ev.EvalInt(agg, b, tl, s.Vals)
+				for j := 0; j < tl; j++ {
+					if fk := fkCol.Get(b + j); keys.Contains(fk) {
+						tab.Add(tab.Lookup(fk), 0, s.Vals[j])
+					}
+				}
+			})
+		}
+	}
+	return p, nil
+}
+
+// Run executes the prepared groupjoin and returns the reused result.
+func (p *PreparedGroupJoinAgg) Run() (*GroupResult, Explain) {
+	e := p.e
+	e.execMu.Lock()
+	p.out.Keys = p.out.Keys[:0]
+	p.out.Sums = p.out.Sums[:0]
+	if p.eager {
+		for _, tab := range p.tabs {
+			tab.Reset()
+		}
+		for _, bm := range p.fails {
+			bm.Reset(p.buildRows)
+		}
+		grows0 := growsSum(p.tabs)
+		start := time.Now()
+		e.runSteady(p.workers, p.probeRows, p.probeKernel)
+		e.runSteady(p.workers, p.buildRows, p.buildKernel)
+		p.ex.ScanTime = time.Since(start)
+		p.ex.HTGrows = int(growsSum(p.tabs) - grows0)
+
+		start = time.Now()
+		fail := p.fails[0]
+		fail.OrInto(p.fails[1:]...)
+		merged := p.tabs[0]
+		for _, tab := range p.tabs[1:] {
+			tab.ForEach(false, func(key int64, s int) {
+				merged.Add(merged.Lookup(key), 0, tab.Acc(s, 0))
+			})
+		}
+		merged.ForEach(false, func(key int64, s int) {
+			if key >= 0 && key < int64(fail.Len()) && fail.Test(int(key)) {
+				return
+			}
+			p.out.Keys = append(p.out.Keys, key)
+			p.out.Sums = append(p.out.Sums, merged.Acc(s, 0))
+		})
+		p.ex.MergeTime = time.Since(start)
+	} else {
+		for _, tab := range p.keyTabs {
+			tab.Reset()
+		}
+		p.keys.Reset()
+		for _, tab := range p.tabs {
+			tab.Reset()
+		}
+		grows0 := growsSum(p.keyTabs) + growsSum(p.tabs) + p.keys.Grows
+		start := time.Now()
+		e.runSteady(p.workers, p.buildRows, p.buildKernel)
+		p.ex.ScanTime = time.Since(start)
+
+		start = time.Now()
+		keys := p.keys
+		for _, tab := range p.keyTabs {
+			tab.ForEach(true, func(key int64, _ int) { keys.Lookup(key) })
+		}
+		p.ex.MergeTime = time.Since(start)
+
+		start = time.Now()
+		e.runSteady(p.workers, p.probeRows, p.aggKernel)
+		p.ex.ScanTime += time.Since(start)
+		p.ex.HTGrows = int(growsSum(p.keyTabs) + growsSum(p.tabs) + p.keys.Grows - grows0)
+
+		start = time.Now()
+		merged := p.tabs[0]
+		for _, tab := range p.tabs[1:] {
+			tab.ForEach(false, func(key int64, s int) {
+				merged.Add(merged.Lookup(key), 0, tab.Acc(s, 0))
+			})
+		}
+		merged.ForEach(false, func(key int64, s int) {
+			p.out.Keys = append(p.out.Keys, key)
+			p.out.Sums = append(p.out.Sums, merged.Acc(s, 0))
+		})
+		p.ex.MergeTime += time.Since(start)
+	}
+	p.sorter.keys, p.sorter.sums = p.out.Keys, p.out.Sums
+	sort.Sort(&p.sorter)
+	e.execMu.Unlock()
+	return &p.out, p.ex
+}
+
+// Close releases the engine's persistent worker gang. Pools and caches are
+// garbage-collected with the engine; Close only matters for goroutine
+// hygiene when engines are created in bulk (tests, short-lived tools).
+func (e *Engine) Close() {
+	e.execMu.Lock()
+	if e.gang != nil {
+		e.gang.Close()
+		e.gang = nil
+	}
+	e.execMu.Unlock()
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/reprolab/swole/internal/expr"
+)
+
+// TestPreparedScalarAggParity checks a prepared scalar aggregation returns
+// the one-shot engine's answers run after run, at one worker and several.
+func TestPreparedScalarAggParity(t *testing.T) {
+	db := testDB(t, 50_000, 100, 10)
+	for _, workers := range []int{1, 4} {
+		e := NewEngine(db)
+		e.Workers = workers
+		e.MorselRows = 4096
+		defer e.Close()
+		for _, sel := range []int64{1, 30, 95} {
+			q := ScalarAgg{Table: "r", Filter: lt("r_x", sel), Agg: expr.NewCol("r_a")}
+			want, wantEx, err := e.ScalarAgg(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := e.PrepareScalarAgg(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rep := 0; rep < 3; rep++ {
+				got, ex := p.Run()
+				if got != want {
+					t.Errorf("workers=%d sel=%d rep=%d: got %d, want %d", workers, sel, rep, got, want)
+				}
+				if ex.Technique != wantEx.Technique {
+					t.Errorf("workers=%d sel=%d: prepared technique %s, one-shot %s", workers, sel, ex.Technique, wantEx.Technique)
+				}
+				if !ex.PlanCached {
+					t.Error("prepared Explain should report PlanCached")
+				}
+			}
+		}
+	}
+}
+
+// TestPreparedGroupAggParity checks the prepared group-by aggregation
+// against the one-shot map result, across techniques and worker counts.
+func TestPreparedGroupAggParity(t *testing.T) {
+	for _, ccard := range []int{10, 3000} {
+		db := testDB(t, 50_000, 100, ccard)
+		for _, workers := range []int{1, 4} {
+			e := NewEngine(db)
+			e.Workers = workers
+			e.MorselRows = 4096
+			defer e.Close()
+			for _, sel := range []int64{5, 60} {
+				q := GroupAgg{Table: "r", Filter: lt("r_x", sel), Key: expr.NewCol("r_c"), Agg: expr.NewCol("r_a")}
+				want, wantEx, err := e.GroupAgg(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := e.PrepareGroupAgg(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for rep := 0; rep < 3; rep++ {
+					res, ex := p.Run()
+					if ex.Technique != wantEx.Technique {
+						t.Errorf("ccard=%d workers=%d sel=%d: technique %s, one-shot %s", ccard, workers, sel, ex.Technique, wantEx.Technique)
+					}
+					if len(res.Keys) != len(want) {
+						t.Fatalf("ccard=%d workers=%d sel=%d rep=%d: %d groups, want %d", ccard, workers, sel, rep, len(res.Keys), len(want))
+					}
+					for i, k := range res.Keys {
+						if i > 0 && res.Keys[i-1] >= k {
+							t.Fatalf("keys not strictly ascending at %d", i)
+						}
+						if res.Sums[i] != want[k] {
+							t.Errorf("ccard=%d workers=%d sel=%d key=%d: sum %d, want %d", ccard, workers, sel, k, res.Sums[i], want[k])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPreparedSemiJoinAggParity checks the prepared semijoin at both build
+// variants (selective and unselective build predicate).
+func TestPreparedSemiJoinAggParity(t *testing.T) {
+	db := testDB(t, 50_000, 1000, 10)
+	for _, workers := range []int{1, 4} {
+		e := NewEngine(db)
+		e.Workers = workers
+		e.MorselRows = 4096
+		defer e.Close()
+		for _, buildSel := range []int64{2, 60} {
+			q := SemiJoinAgg{
+				Probe: "r", Build: "s", FK: "r_fk", PK: "s_pk",
+				ProbeFilter: lt("r_x", 50), BuildFilter: lt("s_x", buildSel),
+				Agg: expr.NewCol("r_a"),
+			}
+			want, _, err := e.SemiJoinAgg(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := e.PrepareSemiJoinAgg(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rep := 0; rep < 3; rep++ {
+				got, _ := p.Run()
+				if got != want {
+					t.Errorf("workers=%d buildSel=%d rep=%d: got %d, want %d", workers, buildSel, rep, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPreparedGroupJoinAggParity checks the prepared groupjoin on both the
+// eager and traditional paths against the one-shot result.
+func TestPreparedGroupJoinAggParity(t *testing.T) {
+	db := testDB(t, 50_000, 1000, 10)
+	for _, workers := range []int{1, 4} {
+		for _, buildSel := range []int64{2, 95} {
+			e := NewEngine(db)
+			e.Workers = workers
+			e.MorselRows = 4096
+			defer e.Close()
+			q := GroupJoinAgg{
+				Probe: "r", Build: "s", FK: "r_fk", PK: "s_pk",
+				BuildFilter: lt("s_x", buildSel), Agg: expr.NewCol("r_a"),
+			}
+			want, wantEx, err := e.GroupJoinAgg(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := e.PrepareGroupJoinAgg(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rep := 0; rep < 3; rep++ {
+				res, ex := p.Run()
+				if ex.Technique != wantEx.Technique {
+					t.Errorf("workers=%d buildSel=%d: technique %s, one-shot %s", workers, buildSel, ex.Technique, wantEx.Technique)
+				}
+				if len(res.Keys) != len(want) {
+					t.Fatalf("workers=%d buildSel=%d rep=%d: %d groups, want %d", workers, buildSel, rep, len(res.Keys), len(want))
+				}
+				for i, k := range res.Keys {
+					if res.Sums[i] != want[k] {
+						t.Errorf("workers=%d buildSel=%d key=%d: sum %d, want %d", workers, buildSel, k, res.Sums[i], want[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPreparedZeroAlloc is the tentpole gate: the second and later runs of
+// a prepared scalar aggregation, group aggregation, and semijoin must not
+// allocate, at one worker and at four.
+func TestPreparedZeroAlloc(t *testing.T) {
+	db := testDB(t, 64_000, 1000, 100)
+	for _, workers := range []int{1, 4} {
+		e := NewEngine(db)
+		e.Workers = workers
+		e.MorselRows = 4096
+		defer e.Close()
+
+		scalar, err := e.PrepareScalarAgg(ScalarAgg{Table: "r", Filter: lt("r_x", 50), Agg: expr.NewCol("r_a")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		group, err := e.PrepareGroupAgg(GroupAgg{Table: "r", Filter: lt("r_x", 50), Key: expr.NewCol("r_c"), Agg: expr.NewCol("r_a")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		semi, err := e.PrepareSemiJoinAgg(SemiJoinAgg{
+			Probe: "r", Build: "s", FK: "r_fk", PK: "s_pk",
+			ProbeFilter: lt("r_x", 50), BuildFilter: lt("s_x", 50),
+			Agg: expr.NewCol("r_a"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Warm run: evaluator scratch, result arrays, any under-estimated
+		// hash capacity, and gang goroutine stacks all settle here.
+		scalar.Run()
+		group.Run()
+		semi.Run()
+
+		if allocs := testing.AllocsPerRun(20, func() { scalar.Run() }); allocs != 0 {
+			t.Errorf("workers=%d: scalar Run allocates %.1f per run, want 0", workers, allocs)
+		}
+		if allocs := testing.AllocsPerRun(20, func() { group.Run() }); allocs != 0 {
+			t.Errorf("workers=%d: group Run allocates %.1f per run, want 0", workers, allocs)
+		}
+		if allocs := testing.AllocsPerRun(20, func() { semi.Run() }); allocs != 0 {
+			t.Errorf("workers=%d: semijoin Run allocates %.1f per run, want 0", workers, allocs)
+		}
+
+		if _, ex := group.Run(); ex.HTGrows != 0 {
+			t.Errorf("workers=%d: steady-state group run grew its hash tables %d times", workers, ex.HTGrows)
+		}
+	}
+}
+
+// TestStatsCacheHits checks the second planning of a shape reports cached
+// statistics and that invalidation brings sampling back.
+func TestStatsCacheHits(t *testing.T) {
+	db := testDB(t, 30_000, 100, 10)
+	e := NewEngine(db)
+	defer e.Close()
+	q := GroupAgg{Table: "r", Filter: lt("r_x", 30), Key: expr.NewCol("r_c"), Agg: expr.NewCol("r_a")}
+	if _, ex, err := e.GroupAgg(q); err != nil || ex.StatsCached {
+		t.Fatalf("first run: err=%v StatsCached=%v, want miss", err, ex.StatsCached)
+	}
+	if _, ex, err := e.GroupAgg(q); err != nil || !ex.StatsCached {
+		t.Fatalf("second run: err=%v StatsCached=%v, want hit", err, ex.StatsCached)
+	}
+	if e.StatsCacheLen() == 0 {
+		t.Fatal("stats cache empty after two runs")
+	}
+	e.InvalidateStats("r")
+	if e.StatsCacheLen() != 0 {
+		t.Fatalf("stats cache holds %d entries after invalidation", e.StatsCacheLen())
+	}
+	if _, ex, err := e.GroupAgg(q); err != nil || ex.StatsCached {
+		t.Fatalf("post-invalidation run: err=%v StatsCached=%v, want miss", err, ex.StatsCached)
+	}
+}
+
+// TestStatsCacheVersioned checks that replacing a table makes its cached
+// statistics unreachable even without explicit invalidation.
+func TestStatsCacheVersioned(t *testing.T) {
+	db := testDB(t, 30_000, 100, 10)
+	e := NewEngine(db)
+	defer e.Close()
+	q := ScalarAgg{Table: "r", Filter: lt("r_x", 30), Agg: expr.NewCol("r_a")}
+	if _, _, err := e.ScalarAgg(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, ex, _ := e.ScalarAgg(q); !ex.StatsCached {
+		t.Fatal("want stats hit before table replacement")
+	}
+	// Re-register r (same contents, new version): the old entry's version
+	// no longer matches, so the next plan samples afresh.
+	db.AddTable(db.MustTable("r"))
+	if _, ex, _ := e.ScalarAgg(q); ex.StatsCached {
+		t.Fatal("stats reported cached across a table replacement")
+	}
+}
+
+// TestPoolRecycling checks FreshAllocs drops to zero once the engine pools
+// are warm, and that HTGrows stays zero when the cardinality hint holds.
+func TestPoolRecycling(t *testing.T) {
+	db := testDB(t, 30_000, 100, 1000)
+	e := NewEngine(db)
+	e.Workers = 2
+	defer e.Close()
+	q := GroupAgg{Table: "r", Key: expr.NewCol("r_c"), Agg: expr.NewCol("r_a")}
+	_, ex, err := e.GroupAgg(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.FreshAllocs == 0 {
+		t.Fatal("first run should report fresh resource allocations")
+	}
+	for rep := 0; rep < 3; rep++ {
+		_, ex, err = e.GroupAgg(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex.FreshAllocs != 0 {
+			t.Errorf("rep %d: %d fresh allocations on a warm pool", rep, ex.FreshAllocs)
+		}
+		if ex.HTGrows != 0 {
+			t.Errorf("rep %d: %d hash growths despite cardinality hint", rep, ex.HTGrows)
+		}
+	}
+}

@@ -49,7 +49,7 @@ func (e *Engine) ScalarAgg(q ScalarAgg) (int64, Explain, error) {
 	rows := t.Rows()
 	workers := e.workers()
 	params := e.Params.ForWorkers(workers)
-	sel := sampleSelectivity(q.Filter, rows, 16384)
+	sel, statsHit := e.selectivity(q.Table, rows, q.Filter, 16384)
 	comp := expr.CompCost(q.Agg, params)
 	strat, _ := params.ChooseScalarAgg(rows, sel, comp)
 
@@ -57,6 +57,7 @@ func (e *Engine) ScalarAgg(q ScalarAgg) (int64, Explain, error) {
 		Selectivity: sel,
 		CompCost:    comp,
 		Workers:     workers,
+		StatsCached: statsHit,
 		Costs: map[string]float64{
 			"hybrid":        params.Hybrid(rows, sel, comp),
 			"value-masking": params.ValueMasking(rows, comp),
@@ -65,7 +66,9 @@ func (e *Engine) ScalarAgg(q ScalarAgg) (int64, Explain, error) {
 	}
 
 	pool := e.pool()
-	states := newWorkerStates(workers)
+	states, fresh := e.getStates(workers)
+	defer e.putStates(states)
+	ex.FreshAllocs = fresh
 	parts := exec.NewPartials(workers)
 	start := time.Now()
 	switch strat {
@@ -80,9 +83,9 @@ func (e *Engine) ScalarAgg(q ScalarAgg) (int64, Explain, error) {
 			vec.Tiles(length, func(tb, tl int) {
 				b := base + tb
 				s.fillCmp(q.Filter, b, tl)
-				s.ev.EvalInt(q.Agg, b, tl, s.vals)
+				s.ev.EvalInt(q.Agg, b, tl, s.Vals)
 				for j := 0; j < tl; j++ {
-					sum += s.vals[j] * int64(s.cmp[j])
+					sum += s.Vals[j] * int64(s.Cmp[j])
 				}
 			})
 			parts.Add(w, sum)
@@ -95,11 +98,11 @@ func (e *Engine) ScalarAgg(q ScalarAgg) (int64, Explain, error) {
 			vec.Tiles(length, func(tb, tl int) {
 				b := base + tb
 				s.fillCmp(q.Filter, b, tl)
-				n := vec.SelFromCmpNoBranch(s.cmp[:tl], s.idx)
+				n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
 				// Conditional access: the aggregate is evaluated only for
 				// selected tuples.
 				for j := 0; j < n; j++ {
-					sum += expr.Eval(q.Agg, b+int(s.idx[j]))
+					sum += expr.Eval(q.Agg, b+int(s.Idx[j]))
 				}
 			})
 			parts.Add(w, sum)

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"github.com/reprolab/swole/internal/expr"
+)
+
+// Statistics cache. Sampling selectivities and group cardinalities is how
+// the engine feeds the cost models, and for a repeated query shape the
+// sampling pass dominates planning time: it touches maxSample rows and —
+// for group counts — builds a throwaway map. Columns are immutable once a
+// table is registered (see storage.Database), so a sampled statistic stays
+// exact until the table name is re-bound. The cache therefore keys each
+// entry on (table name, table version, statistic kind, expression text)
+// and never needs explicit eviction for correctness: a stale entry simply
+// stops matching once the version bumps. InvalidateStats drops entries
+// eagerly so replaced tables do not pin dead statistics.
+
+type statsKind uint8
+
+const (
+	statSelectivity statsKind = iota // value stores a float64 in selBits
+	statGroups                       // value stores an int group count
+)
+
+// statsKey identifies one cached statistic. The expression's String() form
+// is the fingerprint: bound expressions over the same column with the same
+// constants render identically, which is exactly the reuse we want.
+type statsKey struct {
+	table string
+	ver   uint64
+	kind  statsKind
+	expr  string
+}
+
+type statsEntry struct {
+	sel    float64
+	groups int
+}
+
+// statsCache is a bounded map of sampled statistics. Zero value is ready.
+type statsCache struct {
+	m map[statsKey]statsEntry
+}
+
+// maxStatsEntries bounds the cache; past it the map is dropped wholesale.
+// Statistics are cheap to recompute relative to queries, so a rare full
+// reset beats LRU bookkeeping on the hit path.
+const maxStatsEntries = 1024
+
+func (c *statsCache) get(k statsKey) (statsEntry, bool) {
+	e, ok := c.m[k]
+	return e, ok
+}
+
+func (c *statsCache) put(k statsKey, e statsEntry) {
+	if c.m == nil || len(c.m) >= maxStatsEntries {
+		c.m = make(map[statsKey]statsEntry)
+	}
+	c.m[k] = e
+}
+
+// invalidate drops every entry that references the named table at any
+// version.
+func (c *statsCache) invalidate(table string) {
+	for k := range c.m {
+		if k.table == table {
+			delete(c.m, k)
+		}
+	}
+}
+
+// InvalidateStats drops cached statistics for the named table. Statistics
+// self-invalidate via table versions, so this is about reclaiming memory
+// (and about making eviction observable to tests), not correctness.
+func (e *Engine) InvalidateStats(table string) {
+	e.mu.Lock()
+	e.stats.invalidate(table)
+	e.mu.Unlock()
+}
+
+// StatsCacheLen reports the number of cached statistics entries; exposed
+// for tests and introspection.
+func (e *Engine) StatsCacheLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.stats.m)
+}
+
+// selectivity returns the predicate's selectivity on the table, from cache
+// when a current-version entry exists. cached reports a hit. A nil filter
+// is selectivity 1 and never touches the cache.
+func (e *Engine) selectivity(table string, rows int, filter expr.Expr, maxSample int) (sel float64, cached bool) {
+	if filter == nil {
+		return 1.0, false
+	}
+	k := statsKey{table: table, ver: e.DB.TableVersion(table), kind: statSelectivity, expr: filter.String()}
+	e.mu.Lock()
+	ent, ok := e.stats.get(k)
+	e.mu.Unlock()
+	if ok {
+		return ent.sel, true
+	}
+	sel = sampleSelectivity(filter, rows, maxSample)
+	e.mu.Lock()
+	e.stats.put(k, statsEntry{sel: sel})
+	e.mu.Unlock()
+	return sel, false
+}
+
+// groupCount returns the estimated distinct count of the key expression on
+// the table, from cache when a current-version entry exists.
+func (e *Engine) groupCount(table string, rows int, key expr.Expr, maxSample int) (groups int, cached bool) {
+	k := statsKey{table: table, ver: e.DB.TableVersion(table), kind: statGroups, expr: key.String()}
+	e.mu.Lock()
+	ent, ok := e.stats.get(k)
+	e.mu.Unlock()
+	if ok {
+		return ent.groups, true
+	}
+	groups = sampleGroups(key, rows, maxSample)
+	e.mu.Lock()
+	e.stats.put(k, statsEntry{groups: groups})
+	e.mu.Unlock()
+	return groups, false
+}

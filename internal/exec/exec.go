@@ -58,8 +58,13 @@ func (p *Pool) NumWorkers() int {
 }
 
 // morselRows returns the resolved morsel length.
-func (p *Pool) morselRows() int {
-	m := p.MorselRows
+func (p *Pool) morselRows() int { return resolveMorselRows(p.MorselRows) }
+
+// resolveMorselRows maps a configured morsel length to an executable one:
+// non-positive selects the default, everything else rounds up to a full
+// tile (which also keeps morsel ranges word-aligned for positional
+// bitmaps).
+func resolveMorselRows(m int) int {
 	if m <= 0 {
 		return DefaultMorselRows
 	}
@@ -137,6 +142,13 @@ func NewPartials(workers int) *Partials {
 
 // Add accumulates v into worker w's partial.
 func (p *Partials) Add(w int, v int64) { p.cells[w*partialStride] += v }
+
+// Reset zeroes the partials for reuse across scans.
+func (p *Partials) Reset() {
+	for i := range p.cells {
+		p.cells[i] = 0
+	}
+}
 
 // Sum merges the partials. Addition of int64 partials is exact and
 // commutative, so the result is identical at every worker count.

@@ -1,0 +1,123 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Workers is a persistent morsel worker gang: the goroutines are spawned
+// once and parked on per-worker wake channels between scans. Pool.Run
+// spawns fresh goroutines (and therefore heap-allocates their closures and
+// stacks) on every call, which is noise for a one-shot query but a
+// steady-state tax for a repeating workload; Workers.Run reuses the parked
+// gang, so the Nth scan of a prepared query performs zero allocations —
+// the only per-scan traffic is one channel token per woken worker and the
+// shared atomic morsel counter.
+//
+// A Workers gang is NOT safe for concurrent Run calls; callers (the
+// engine's prepared-query path) serialize scans on it. Close releases the
+// goroutines; a closed gang must not be Run again.
+type Workers struct {
+	n      int
+	morsel int
+
+	// Per-scan job state: written by Run before the wake tokens are sent,
+	// read by workers only between wake and done (the channel send/receive
+	// pair orders the accesses).
+	fn      func(worker, base, length int)
+	total   int
+	morsels int
+	next    atomic.Int64
+
+	wake []chan struct{}
+	done sync.WaitGroup
+	quit chan struct{}
+}
+
+// NewWorkers returns a parked gang of n workers claiming morselRows-sized
+// morsels (0 selects DefaultMorselRows; values round up to a full tile).
+// Worker 0 is the goroutine that calls Run; n-1 helper goroutines are
+// spawned parked.
+func NewWorkers(n, morselRows int) *Workers {
+	if n < 1 {
+		n = 1
+	}
+	w := &Workers{
+		n:      n,
+		morsel: resolveMorselRows(morselRows),
+		wake:   make([]chan struct{}, n),
+		quit:   make(chan struct{}),
+	}
+	for i := 1; i < n; i++ {
+		w.wake[i] = make(chan struct{}, 1)
+		go w.park(i)
+	}
+	return w
+}
+
+// NumWorkers returns the gang size.
+func (w *Workers) NumWorkers() int { return w.n }
+
+// park is the helper goroutine loop: sleep until woken, drain the morsel
+// counter, report done, repeat.
+func (w *Workers) park(id int) {
+	for {
+		select {
+		case <-w.quit:
+			return
+		case <-w.wake[id]:
+			w.drain(id)
+			w.done.Done()
+		}
+	}
+}
+
+// drain claims and executes morsels until the counter is exhausted.
+func (w *Workers) drain(id int) {
+	m := w.morsel
+	for {
+		i := int(w.next.Add(1)) - 1
+		if i >= w.morsels {
+			return
+		}
+		base := i * m
+		length := w.total - base
+		if length > m {
+			length = m
+		}
+		w.fn(id, base, length)
+	}
+}
+
+// Run splits [0, n) into morsels and invokes fn once per morsel with the
+// claiming worker's id and the morsel's base row and length, exactly like
+// Pool.Run but on the parked gang. Only as many helpers are woken as there
+// are morsels; with one morsel (or a gang of one) fn runs entirely on the
+// calling goroutine.
+func (w *Workers) Run(n int, fn func(worker, base, length int)) {
+	if n <= 0 {
+		return
+	}
+	m := w.morsel
+	morsels := (n + m - 1) / m
+	active := w.n
+	if active > morsels {
+		active = morsels
+	}
+	w.fn, w.total, w.morsels = fn, n, morsels
+	w.next.Store(0)
+	if active > 1 {
+		w.done.Add(active - 1)
+		for i := 1; i < active; i++ {
+			w.wake[i] <- struct{}{}
+		}
+	}
+	w.drain(0)
+	if active > 1 {
+		w.done.Wait()
+	}
+	w.fn = nil
+}
+
+// Close releases the gang's goroutines. The gang must be idle.
+func (w *Workers) Close() { close(w.quit) }

@@ -1,0 +1,27 @@
+package exec
+
+import "github.com/reprolab/swole/internal/vec"
+
+// Scratch is one worker's private tile buffers: the comparison vector,
+// selection vector, and key/value materialization buffers every tiled
+// kernel in internal/core shares. Scratches are allocated once and
+// recycled across queries by the engine (and owned outright by prepared
+// queries), so the steady-state execution path never re-creates them —
+// the buffers are the engine's analogue of the stack arrays the paper's
+// hand-written C kernels declare once per query process.
+type Scratch struct {
+	Cmp  []byte  // 0/1 predicate results, one lane per tuple
+	Idx  []int32 // tile-local selection vector
+	Keys []int64 // materialized group-by keys
+	Vals []int64 // materialized aggregate inputs
+}
+
+// NewScratch returns tile-sized scratch buffers.
+func NewScratch() *Scratch {
+	return &Scratch{
+		Cmp:  make([]byte, vec.TileSize),
+		Idx:  make([]int32, vec.TileSize),
+		Keys: make([]int64, vec.TileSize),
+		Vals: make([]int64, vec.TileSize),
+	}
+}

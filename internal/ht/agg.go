@@ -17,15 +17,24 @@ package ht
 //     whose aggregate happens to be zero.
 //   - Tombstone deletion (eager aggregation, Section III-E): after the
 //     unconditional aggregation, keys filtered by the join are deleted.
+//
+// Tables are built to be recycled across queries: Reset invalidates every
+// slot by bumping an epoch stamp instead of zeroing the arrays, so a
+// steady-state workload reuses one table (and its capacity) forever with
+// an O(1) reset. A slot is live only when its epoch matches the table's
+// current generation; inserts lazily re-zero whatever stale accumulator
+// state a reclaimed slot carries.
 type AggTable struct {
 	nAccs int
 	keys  []int64
 	state []byte
-	accs  []int64 // capacity * nAccs, slot-major
+	epoch []uint32 // slot is from the current generation iff epoch[i] == cur
+	cur   uint32   // current generation
+	accs  []int64  // capacity * nAccs, slot-major
 	count []int64
 	valid []byte
 	len   int // live groups
-	used  int // full + tombstone slots; growth trigger
+	used  int // full + tombstone slots this generation; growth trigger
 	mask  uint64
 
 	// Throwaway receives aggregates for NullKey lookups. Its contents are
@@ -35,6 +44,10 @@ type AggTable struct {
 
 	// Probes counts total probe steps, exposed for cost-model validation.
 	Probes uint64
+	// Grows counts capacity doublings triggered by Lookup. A caller that
+	// preallocated from a cardinality hint (Reserve) can assert that a
+	// scan never grew the table mid-flight: Grows stays 0.
+	Grows uint64
 }
 
 // NewAggTable returns a table with nAccs accumulators per group and room
@@ -43,8 +56,10 @@ func NewAggTable(nAccs, hint int) *AggTable {
 	capacity := nextPow2(hint * 2)
 	return &AggTable{
 		nAccs:     nAccs,
+		cur:       1,
 		keys:      make([]int64, capacity),
 		state:     make([]byte, capacity),
+		epoch:     make([]uint32, capacity),
 		accs:      make([]int64, capacity*nAccs),
 		count:     make([]int64, capacity),
 		valid:     make([]byte, capacity),
@@ -52,6 +67,44 @@ func NewAggTable(nAccs, hint int) *AggTable {
 		Throwaway: make([]int64, nAccs),
 	}
 }
+
+// Reset empties the table in O(1) by advancing the generation counter,
+// keeping the allocated capacity for reuse. Slots from earlier generations
+// read as empty and are re-initialized lazily when an insert reclaims
+// them. The Probes and Grows statistics are preserved (they are
+// cumulative); the throwaway entry is cleared.
+func (t *AggTable) Reset() {
+	t.cur++
+	if t.cur == 0 {
+		// The 32-bit generation wrapped (after ~4 billion resets): stale
+		// stamps could now collide with the new generation, so fall back
+		// to a hard clear once.
+		for i := range t.epoch {
+			t.epoch[i] = 0
+		}
+		t.cur = 1
+	}
+	t.len, t.used = 0, 0
+	for a := range t.Throwaway {
+		t.Throwaway[a] = 0
+	}
+	t.ThrowawayCount = 0
+}
+
+// Reserve grows the table, if needed, so that about hint groups fit
+// without Lookup ever triggering grow() — the cardinality-hinted
+// preallocation used when cached statistics predict the group count. It
+// rehashes any live groups and does not count toward Grows.
+func (t *AggTable) Reserve(hint int) {
+	capacity := nextPow2(hint * 2)
+	if capacity <= len(t.keys) {
+		return
+	}
+	t.rehash(capacity)
+}
+
+// NAccs returns the number of accumulators per group.
+func (t *AggTable) NAccs() int { return t.nAccs }
 
 // Len returns the number of groups, excluding the throwaway entry.
 func (t *AggTable) Len() int { return t.len }
@@ -64,6 +117,14 @@ func (t *AggTable) Cap() int { return len(t.keys) }
 // cost model to decide which cache level the table occupies.
 func (t *AggTable) SlotBytes() int { return 8 + 1 + 8*t.nAccs + 8 + 1 }
 
+// live returns the effective state of slot i in the current generation.
+func (t *AggTable) live(i uint64) byte {
+	if t.epoch[i] != t.cur {
+		return slotEmpty
+	}
+	return t.state[i]
+}
+
 // Lookup returns the slot index for key, inserting an empty group if
 // absent. A NullKey lookup returns -1, which the Add* methods route to the
 // throwaway entry. The returned slot is only valid until the next Lookup,
@@ -74,13 +135,14 @@ func (t *AggTable) Lookup(key int64) int {
 		return -1
 	}
 	if t.used >= len(t.keys)*3/4 {
-		t.grow()
+		t.Grows++
+		t.rehash(len(t.keys) * 2)
 	}
 	i := hash64(uint64(key)) & t.mask
 	grave := -1
 	for {
 		t.Probes++
-		switch t.state[i] {
+		switch t.live(i) {
 		case slotEmpty:
 			// Key is absent; insert into the earliest tombstone on the
 			// probe chain if one was seen, else into this empty slot.
@@ -91,7 +153,16 @@ func (t *AggTable) Lookup(key int64) int {
 				t.used++
 			}
 			t.state[j] = slotFull
+			t.epoch[j] = t.cur
 			t.keys[j] = key
+			// Re-zero whatever a previous generation (or a tombstoned
+			// group) left in the slot.
+			t.count[j] = 0
+			t.valid[j] = 0
+			base := j * t.nAccs
+			for a := 0; a < t.nAccs; a++ {
+				t.accs[base+a] = 0
+			}
 			t.len++
 			return j
 		case slotTombstone:
@@ -116,7 +187,7 @@ func (t *AggTable) Find(key int64) int {
 	i := hash64(uint64(key)) & t.mask
 	for {
 		t.Probes++
-		switch t.state[i] {
+		switch t.live(i) {
 		case slotEmpty:
 			return -2
 		case slotFull:
@@ -139,7 +210,7 @@ func (t *AggTable) Contains(key int64) bool {
 	}
 	i := hash64(uint64(key)) & t.mask
 	for {
-		switch t.state[i] {
+		switch t.live(i) {
 		case slotEmpty:
 			return false
 		case slotFull:
@@ -209,7 +280,7 @@ func (t *AggTable) Delete(key int64) bool {
 	i := hash64(uint64(key)) & t.mask
 	for {
 		t.Probes++
-		switch t.state[i] {
+		switch t.live(i) {
 		case slotEmpty:
 			return false
 		case slotFull:
@@ -234,17 +305,20 @@ func (t *AggTable) Delete(key int64) bool {
 // includeInvalid is true.
 func (t *AggTable) ForEach(includeInvalid bool, fn func(key int64, slot int)) {
 	for i := range t.keys {
-		if t.state[i] == slotFull && (includeInvalid || t.valid[i] != 0) {
+		if t.live(uint64(i)) == slotFull && (includeInvalid || t.valid[i] != 0) {
 			fn(t.keys[i], i)
 		}
 	}
 }
 
-func (t *AggTable) grow() {
+// rehash moves the table to a fresh array of the given power-of-two
+// capacity, re-inserting every live group of the current generation.
+func (t *AggTable) rehash(capacity int) {
 	old := *t
-	capacity := len(t.keys) * 2
 	t.keys = make([]int64, capacity)
 	t.state = make([]byte, capacity)
+	t.epoch = make([]uint32, capacity)
+	t.cur = 1
 	t.accs = make([]int64, capacity*t.nAccs)
 	t.count = make([]int64, capacity)
 	t.valid = make([]byte, capacity)
@@ -252,7 +326,7 @@ func (t *AggTable) grow() {
 	t.len = 0
 	t.used = 0
 	for i := range old.keys {
-		if old.state[i] != slotFull {
+		if old.live(uint64(i)) != slotFull {
 			continue
 		}
 		j := t.Lookup(old.keys[i])

@@ -302,3 +302,194 @@ func TestAggTableContains(t *testing.T) {
 		t.Error("Contains(3) = false after unrelated delete")
 	}
 }
+
+func TestAggTableReset(t *testing.T) {
+	tab := NewAggTable(2, 8)
+	for k := int64(0); k < 10; k++ {
+		s := tab.Lookup(k)
+		tab.Add(s, 0, k*10)
+		tab.Add(s, 1, k)
+	}
+	capBefore := tab.Cap()
+	tab.Add(tab.Lookup(NullKey), 0, 7)
+
+	tab.Reset()
+	if tab.Len() != 0 {
+		t.Fatalf("Len=%d after Reset", tab.Len())
+	}
+	if tab.Cap() != capBefore {
+		t.Errorf("Reset changed capacity %d -> %d", capBefore, tab.Cap())
+	}
+	if tab.Throwaway[0] != 0 || tab.ThrowawayCount != 0 {
+		t.Error("Reset did not clear the throwaway entry")
+	}
+	for k := int64(0); k < 10; k++ {
+		if tab.Find(k) != -2 {
+			t.Errorf("key %d survived Reset", k)
+		}
+		if tab.Contains(k) {
+			t.Errorf("Contains(%d) after Reset", k)
+		}
+	}
+	// Reinsert a key that occupied a slot last generation: the slot's
+	// stale accumulators, count, and validity must read as zero.
+	s := tab.Lookup(3)
+	if got := tab.Acc(s, 0); got != 0 {
+		t.Errorf("stale accumulator visible after Reset: %d", got)
+	}
+	if got := tab.Count(s); got != 0 {
+		t.Errorf("stale count visible after Reset: %d", got)
+	}
+	tab.AddMasked(s, 0, 99, 0) // masked add: must not validate the group
+	n := 0
+	tab.ForEach(false, func(int64, int) { n++ })
+	if n != 0 {
+		t.Errorf("invalid group visible after Reset+masked add: %d groups", n)
+	}
+	tab.Add(s, 0, 5)
+	if got := tab.Acc(s, 0); got != 5 {
+		t.Errorf("Acc=%d after Reset+Add(5)", got)
+	}
+}
+
+func TestAggTableResetAfterDelete(t *testing.T) {
+	tab := NewAggTable(1, 8)
+	for k := int64(0); k < 6; k++ {
+		tab.Add(tab.Lookup(k), 0, 1)
+	}
+	tab.Delete(2)
+	tab.Delete(4)
+	tab.Reset()
+	// Tombstones must not leak into the new generation.
+	for k := int64(0); k < 6; k++ {
+		if tab.Find(k) != -2 {
+			t.Errorf("key %d visible after Reset", k)
+		}
+	}
+	for k := int64(0); k < 6; k++ {
+		tab.Add(tab.Lookup(k), 0, int64(k))
+	}
+	if tab.Len() != 6 {
+		t.Errorf("Len=%d after reinserting 6 keys", tab.Len())
+	}
+}
+
+func TestAggTableResetZeroAlloc(t *testing.T) {
+	tab := NewAggTable(1, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		tab.Reset()
+		for k := int64(0); k < 64; k++ {
+			tab.Add(tab.Lookup(k), 0, k)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Reset+refill allocated %.1f times per run, want 0", allocs)
+	}
+	if tab.Grows != 0 {
+		t.Errorf("Grows=%d with sufficient capacity, want 0", tab.Grows)
+	}
+}
+
+func TestAggTableReserveAndGrows(t *testing.T) {
+	tab := NewAggTable(1, 4)
+	tab.Add(tab.Lookup(1), 0, 10)
+	tab.Reserve(1000)
+	if tab.Cap() < 2000 {
+		t.Errorf("Cap=%d after Reserve(1000)", tab.Cap())
+	}
+	if tab.Grows != 0 {
+		t.Errorf("Reserve counted as a grow: %d", tab.Grows)
+	}
+	if got := tab.Acc(tab.Find(1), 0); got != 10 {
+		t.Errorf("live group lost by Reserve: acc=%d", got)
+	}
+	for k := int64(0); k < 1000; k++ {
+		tab.Add(tab.Lookup(k), 0, 1)
+	}
+	if tab.Grows != 0 {
+		t.Errorf("grow fired despite Reserve(1000): Grows=%d", tab.Grows)
+	}
+	for k := int64(1000); k < 5000; k++ {
+		tab.Add(tab.Lookup(k), 0, 1)
+	}
+	if tab.Grows == 0 {
+		t.Error("Grows not counted past the reserved capacity")
+	}
+	if tab.Len() != 5000 {
+		t.Errorf("Len=%d, want 5000", tab.Len())
+	}
+}
+
+func TestJoinAndSetTableReset(t *testing.T) {
+	jt := NewJoinTable(8)
+	for k := int64(0); k < 8; k++ {
+		jt.Insert(k, int32(k))
+	}
+	jt.Reset()
+	if jt.Len() != 0 {
+		t.Fatalf("JoinTable Len=%d after Reset", jt.Len())
+	}
+	if _, ok := jt.Probe(3); ok {
+		t.Error("JoinTable key survived Reset")
+	}
+	if !jt.Insert(3, 33) {
+		t.Error("reinsert after Reset reported duplicate")
+	}
+	if row, ok := jt.Probe(3); !ok || row != 33 {
+		t.Errorf("Probe(3) = %d,%v after reinsert", row, ok)
+	}
+
+	st := NewSetTable(8)
+	for k := int64(0); k < 8; k++ {
+		st.Insert(k)
+	}
+	st.Reset()
+	if st.Len() != 0 {
+		t.Fatalf("SetTable Len=%d after Reset", st.Len())
+	}
+	if st.Contains(5) {
+		t.Error("SetTable key survived Reset")
+	}
+	if !st.Insert(5) {
+		t.Error("reinsert after Reset reported duplicate")
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		jt.Reset()
+		st.Reset()
+		for k := int64(0); k < 8; k++ {
+			jt.Insert(k, int32(k))
+			st.Insert(k)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("join/set Reset+refill allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestJoinAndSetTableReserve(t *testing.T) {
+	jt := NewJoinTable(4)
+	jt.Insert(7, 70)
+	jt.Reserve(500)
+	if row, ok := jt.Probe(7); !ok || row != 70 {
+		t.Errorf("JoinTable lost key across Reserve: %d,%v", row, ok)
+	}
+	for k := int64(0); k < 500; k++ {
+		jt.Insert(k, int32(k))
+	}
+	if jt.Grows != 0 {
+		t.Errorf("JoinTable grew despite Reserve(500): %d", jt.Grows)
+	}
+	st := NewSetTable(4)
+	st.Insert(7)
+	st.Reserve(500)
+	if !st.Contains(7) {
+		t.Error("SetTable lost key across Reserve")
+	}
+	for k := int64(0); k < 500; k++ {
+		st.Insert(k)
+	}
+	if st.Grows != 0 {
+		t.Errorf("SetTable grew despite Reserve(500): %d", st.Grows)
+	}
+}

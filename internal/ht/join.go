@@ -4,15 +4,24 @@ package ht
 // it. Every join in the paper's workloads is a foreign-key/primary-key join,
 // so keys on the build side are unique; duplicate inserts keep the first row
 // and report false.
+//
+// Like AggTable, a JoinTable is built to be recycled: Reset invalidates
+// every slot by bumping an epoch stamp, so steady-state workloads rebuild
+// into the same capacity with no allocation and no O(capacity) clear.
 type JoinTable struct {
 	keys  []int64
 	rows  []int32
 	state []byte
+	epoch []uint32
+	cur   uint32
 	len   int
 	mask  uint64
 
 	// Probes counts total probe steps, exposed for cost-model validation.
 	Probes uint64
+	// Grows counts capacity doublings triggered by Insert; 0 after a scan
+	// means the preallocation hint was sufficient.
+	Grows uint64
 }
 
 // NewJoinTable returns a join table with room for about hint keys.
@@ -22,8 +31,32 @@ func NewJoinTable(hint int) *JoinTable {
 		keys:  make([]int64, capacity),
 		rows:  make([]int32, capacity),
 		state: make([]byte, capacity),
+		epoch: make([]uint32, capacity),
+		cur:   1,
 		mask:  uint64(capacity - 1),
 	}
+}
+
+// Reset empties the table in O(1), keeping its capacity for reuse.
+func (t *JoinTable) Reset() {
+	t.cur++
+	if t.cur == 0 {
+		for i := range t.epoch {
+			t.epoch[i] = 0
+		}
+		t.cur = 1
+	}
+	t.len = 0
+}
+
+// Reserve grows the table, if needed, so about hint keys fit without
+// Insert triggering a grow.
+func (t *JoinTable) Reserve(hint int) {
+	capacity := nextPow2(hint * 2)
+	if capacity <= len(t.keys) {
+		return
+	}
+	t.rehash(capacity)
 }
 
 // Len returns the number of keys in the table.
@@ -36,16 +69,22 @@ func (t *JoinTable) Cap() int { return len(t.keys) }
 // placement by the cost model.
 func (t *JoinTable) SlotBytes() int { return 8 + 4 + 1 }
 
+func (t *JoinTable) occupied(i uint64) bool {
+	return t.epoch[i] == t.cur && t.state[i] == slotFull
+}
+
 // Insert adds key -> row, reporting whether the key was new.
 func (t *JoinTable) Insert(key int64, row int32) bool {
 	if t.len >= len(t.keys)*3/4 {
-		t.grow()
+		t.Grows++
+		t.rehash(len(t.keys) * 2)
 	}
 	i := hash64(uint64(key)) & t.mask
 	for {
 		t.Probes++
-		if t.state[i] == slotEmpty {
+		if !t.occupied(i) {
 			t.state[i] = slotFull
+			t.epoch[i] = t.cur
 			t.keys[i] = key
 			t.rows[i] = row
 			t.len++
@@ -63,7 +102,7 @@ func (t *JoinTable) Probe(key int64) (int32, bool) {
 	i := hash64(uint64(key)) & t.mask
 	for {
 		t.Probes++
-		if t.state[i] == slotEmpty {
+		if !t.occupied(i) {
 			return 0, false
 		}
 		if t.keys[i] == key {
@@ -73,31 +112,37 @@ func (t *JoinTable) Probe(key int64) (int32, bool) {
 	}
 }
 
-func (t *JoinTable) grow() {
-	oldKeys, oldRows, oldState := t.keys, t.rows, t.state
-	capacity := len(t.keys) * 2
+func (t *JoinTable) rehash(capacity int) {
+	old := *t
 	t.keys = make([]int64, capacity)
 	t.rows = make([]int32, capacity)
 	t.state = make([]byte, capacity)
+	t.epoch = make([]uint32, capacity)
+	t.cur = 1
 	t.mask = uint64(capacity - 1)
 	t.len = 0
-	for i := range oldKeys {
-		if oldState[i] == slotFull {
-			t.Insert(oldKeys[i], oldRows[i])
+	for i := range old.keys {
+		if old.occupied(uint64(i)) {
+			t.Insert(old.keys[i], old.rows[i])
 		}
 	}
 }
 
 // SetTable is a set of 64-bit keys, the hash-based semijoin structure that
-// positional bitmaps replace in SWOLE (Section III-D).
+// positional bitmaps replace in SWOLE (Section III-D). It resets by epoch
+// like the other tables.
 type SetTable struct {
 	keys  []int64
 	state []byte
+	epoch []uint32
+	cur   uint32
 	len   int
 	mask  uint64
 
 	// Probes counts total probe steps, exposed for cost-model validation.
 	Probes uint64
+	// Grows counts capacity doublings triggered by Insert.
+	Grows uint64
 }
 
 // NewSetTable returns a set with room for about hint keys.
@@ -106,23 +151,53 @@ func NewSetTable(hint int) *SetTable {
 	return &SetTable{
 		keys:  make([]int64, capacity),
 		state: make([]byte, capacity),
+		epoch: make([]uint32, capacity),
+		cur:   1,
 		mask:  uint64(capacity - 1),
 	}
+}
+
+// Reset empties the set in O(1), keeping its capacity for reuse.
+func (t *SetTable) Reset() {
+	t.cur++
+	if t.cur == 0 {
+		for i := range t.epoch {
+			t.epoch[i] = 0
+		}
+		t.cur = 1
+	}
+	t.len = 0
+}
+
+// Reserve grows the set, if needed, so about hint keys fit without Insert
+// triggering a grow.
+func (t *SetTable) Reserve(hint int) {
+	capacity := nextPow2(hint * 2)
+	if capacity <= len(t.keys) {
+		return
+	}
+	t.rehash(capacity)
 }
 
 // Len returns the number of keys in the set.
 func (t *SetTable) Len() int { return t.len }
 
+func (t *SetTable) occupied(i uint64) bool {
+	return t.epoch[i] == t.cur && t.state[i] == slotFull
+}
+
 // Insert adds key, reporting whether it was new.
 func (t *SetTable) Insert(key int64) bool {
 	if t.len >= len(t.keys)*3/4 {
-		t.grow()
+		t.Grows++
+		t.rehash(len(t.keys) * 2)
 	}
 	i := hash64(uint64(key)) & t.mask
 	for {
 		t.Probes++
-		if t.state[i] == slotEmpty {
+		if !t.occupied(i) {
 			t.state[i] = slotFull
+			t.epoch[i] = t.cur
 			t.keys[i] = key
 			t.len++
 			return true
@@ -139,7 +214,7 @@ func (t *SetTable) Contains(key int64) bool {
 	i := hash64(uint64(key)) & t.mask
 	for {
 		t.Probes++
-		if t.state[i] == slotEmpty {
+		if !t.occupied(i) {
 			return false
 		}
 		if t.keys[i] == key {
@@ -149,16 +224,17 @@ func (t *SetTable) Contains(key int64) bool {
 	}
 }
 
-func (t *SetTable) grow() {
-	oldKeys, oldState := t.keys, t.state
-	capacity := len(t.keys) * 2
+func (t *SetTable) rehash(capacity int) {
+	old := *t
 	t.keys = make([]int64, capacity)
 	t.state = make([]byte, capacity)
+	t.epoch = make([]uint32, capacity)
+	t.cur = 1
 	t.mask = uint64(capacity - 1)
 	t.len = 0
-	for i := range oldKeys {
-		if oldState[i] == slotFull {
-			t.Insert(oldKeys[i])
+	for i := range old.keys {
+		if old.occupied(uint64(i)) {
+			t.Insert(old.keys[i])
 		}
 	}
 }

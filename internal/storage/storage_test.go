@@ -318,3 +318,21 @@ func mustPanic(t *testing.T, fn func()) {
 	}()
 	fn()
 }
+
+func TestTableVersion(t *testing.T) {
+	db := NewDatabase()
+	if v := db.TableVersion("t"); v != 0 {
+		t.Fatalf("version %d before registration", v)
+	}
+	db.AddTable(MustNewTable("t", Compress("a", []int64{1, 2}, LogInt)))
+	if v := db.TableVersion("t"); v != 1 {
+		t.Fatalf("version %d after first AddTable", v)
+	}
+	db.AddTable(MustNewTable("t", Compress("a", []int64{3, 4}, LogInt)))
+	if v := db.TableVersion("t"); v != 2 {
+		t.Fatalf("version %d after replacement", v)
+	}
+	if v := db.TableVersion("other"); v != 0 {
+		t.Fatalf("unrelated table version %d", v)
+	}
+}

@@ -112,15 +112,35 @@ func BuildFKIndex(child *Table, fk string, parent *Table, pk string) (*FKIndex, 
 type Database struct {
 	tables  map[string]*Table
 	indexes map[string]*FKIndex // keyed child.fk->parent.pk
+	// versions counts registrations per table name. Columns are immutable
+	// once registered (the store is append-only at the table granularity:
+	// the only mutation is replacing a whole table), so a table's version
+	// changes exactly when its data can have changed — which is what the
+	// statistics and plan caches key their validity on.
+	versions map[string]uint64
 }
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database {
-	return &Database{tables: map[string]*Table{}, indexes: map[string]*FKIndex{}}
+	return &Database{
+		tables:   map[string]*Table{},
+		indexes:  map[string]*FKIndex{},
+		versions: map[string]uint64{},
+	}
 }
 
-// AddTable registers a table, replacing any previous table of that name.
-func (db *Database) AddTable(t *Table) { db.tables[t.Name] = t }
+// AddTable registers a table, replacing any previous table of that name
+// and bumping the table's version so caches keyed on it invalidate.
+func (db *Database) AddTable(t *Table) {
+	db.tables[t.Name] = t
+	db.versions[t.Name]++
+}
+
+// TableVersion returns the registration count of the named table: 0 if it
+// was never registered, incremented every time AddTable (re)binds the
+// name. Cached statistics and plans record the versions of the tables
+// they depend on and are stale once any recorded version differs.
+func (db *Database) TableVersion(name string) uint64 { return db.versions[name] }
 
 // Table returns the named table or nil.
 func (db *Database) Table(name string) *Table { return db.tables[name] }

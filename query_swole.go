@@ -29,6 +29,21 @@ type Explain struct {
 	Costs map[string]float64
 	// Merged lists attributes whose accesses were merged.
 	Merged []string
+
+	// PlanCached reports the statement was served from the plan cache:
+	// parsing, statistics, and the cost-model decision were all replayed
+	// from its first execution.
+	PlanCached bool
+	// StatsCached reports the planning statistics came from the engine's
+	// statistics cache rather than a fresh sampling pass.
+	StatsCached bool
+	// HTGrows counts hash-table growth events during execution; 0 means
+	// the cardinality-hinted preallocation held.
+	HTGrows int
+	// FreshAllocs counts execution resources (worker scratch, hash
+	// tables, bitmaps) newly allocated rather than recycled; 0 in steady
+	// state.
+	FreshAllocs int
 }
 
 func fromCore(ex core.Explain) Explain {
@@ -39,6 +54,10 @@ func fromCore(ex core.Explain) Explain {
 		HTBytes:     ex.HTBytes,
 		Costs:       ex.Costs,
 		Merged:      ex.Merged,
+		PlanCached:  ex.PlanCached,
+		StatsCached: ex.StatsCached,
+		HTGrows:     ex.HTGrows,
+		FreshAllocs: ex.FreshAllocs,
 	}
 }
 
@@ -48,14 +67,33 @@ func fromCore(ex core.Explain) Explain {
 // aggregation, and groupjoin aggregation over a registered foreign key.
 // Other statements fall back to the interpreted engine, reported in the
 // Explain as "interpreter-fallback".
+//
+// Supported statements are cached as prepared plans: re-executing one —
+// byte-identical or merely whitespace-reformatted — skips parsing,
+// sampling, and the cost-model decision, and runs on recycled execution
+// state, allocation-free in the steady state. The returned *Result of a
+// cached statement is overwritten by that statement's next execution;
+// copy what must outlive it. Replacing a table with CreateTable evicts
+// every cached plan and statistic that read it.
 func (d *DB) QuerySwole(q string) (*Result, Explain, error) {
+	if res, ex, ok := d.cachedRun(q); ok {
+		return res, ex, nil
+	}
 	p, err := sql.Compile(q, d.db)
 	if err != nil {
 		return nil, Explain{}, err
 	}
-	if res, ex, ok, err := d.trySwole(p); err != nil {
-		return nil, Explain{}, err
-	} else if ok {
+	if shape, ok := d.matchSwole(p); ok {
+		c, err := d.prepareShape(shape)
+		if err != nil {
+			return nil, Explain{}, err
+		}
+		d.storePlan(q, c)
+		d.mu.Lock()
+		res, ex := c.run()
+		d.mu.Unlock()
+		// First execution: the plan was prepared, not replayed.
+		ex.PlanCached = false
 		return res, ex, nil
 	}
 	vres, err := volcano.Run(p, d.db)
@@ -65,15 +103,27 @@ func (d *DB) QuerySwole(q string) (*Result, Explain, error) {
 	return &Result{res: vres}, Explain{Technique: "interpreter-fallback"}, nil
 }
 
-// trySwole pattern-matches the plan against the SWOLE executor shapes.
-func (d *DB) trySwole(p plan.Node) (*Result, Explain, bool, error) {
+// queryShape is a pattern-matched SWOLE statement, ready to prepare.
+type queryShape struct {
+	kind    queryKind
+	scalar  core.ScalarAgg
+	group   core.GroupAgg
+	semi    core.SemiJoinAgg
+	gjoin   core.GroupJoinAgg
+	tables  []string
+	keyName string
+	aggName string
+}
+
+// matchSwole pattern-matches the plan against the SWOLE executor shapes.
+func (d *DB) matchSwole(p plan.Node) (queryShape, bool) {
 	m, ok := p.(*plan.Map)
 	if !ok {
-		return nil, Explain{}, false, nil
+		return queryShape{}, false
 	}
 	agg, ok := m.Input.(*plan.Aggregate)
 	if !ok || len(agg.Aggs) != 1 {
-		return nil, Explain{}, false, nil
+		return queryShape{}, false
 	}
 	spec := agg.Aggs[0]
 	switch {
@@ -83,66 +133,103 @@ func (d *DB) trySwole(p plan.Node) (*Result, Explain, bool, error) {
 		// count(*) is sum(1).
 		spec.Arg = &expr.Const{Val: 1}
 	default:
-		return nil, Explain{}, false, nil
+		return queryShape{}, false
 	}
 
 	switch input := agg.Input.(type) {
 	case *plan.Scan:
 		if len(agg.GroupBy) == 0 {
-			sum, ex, err := d.engine.ScalarAgg(core.ScalarAgg{
-				Table: input.Table, Filter: input.Filter, Agg: spec.Arg,
-			})
-			if err != nil {
-				return nil, Explain{}, false, err
-			}
-			return scalarResult(spec.As, sum), fromCore(ex), true, nil
+			return queryShape{
+				kind: kindScalar,
+				scalar: core.ScalarAgg{
+					Table: input.Table, Filter: input.Filter, Agg: spec.Arg,
+				},
+				tables:  []string{input.Table},
+				aggName: spec.As,
+			}, true
 		}
 		if len(agg.GroupBy) == 1 {
-			groups, ex, err := d.engine.GroupAgg(core.GroupAgg{
-				Table: input.Table, Filter: input.Filter,
-				Key: expr.NewCol(agg.GroupBy[0]), Agg: spec.Arg,
-			})
-			if err != nil {
-				return nil, Explain{}, false, err
-			}
-			return groupResult(agg.GroupBy[0], spec.As, groups), fromCore(ex), true, nil
+			return queryShape{
+				kind: kindGroup,
+				group: core.GroupAgg{
+					Table: input.Table, Filter: input.Filter,
+					Key: expr.NewCol(agg.GroupBy[0]), Agg: spec.Arg,
+				},
+				tables:  []string{input.Table},
+				keyName: agg.GroupBy[0],
+				aggName: spec.As,
+			}, true
 		}
 	case *plan.Join:
 		probe, pok := input.Probe.(*plan.Scan)
 		build, bok := input.Build.(*plan.Scan)
 		if !pok || !bok || input.Residual != nil || input.Semi {
-			return nil, Explain{}, false, nil
+			return queryShape{}, false
 		}
 		// The aggregate must touch only probe columns for the join to be
 		// a semijoin in disguise.
 		if !colsSubset(expr.Cols(spec.Arg), d.db.MustTable(probe.Table)) {
-			return nil, Explain{}, false, nil
+			return queryShape{}, false
 		}
 		if len(agg.GroupBy) == 0 {
-			sum, ex, err := d.engine.SemiJoinAgg(core.SemiJoinAgg{
-				Probe: probe.Table, Build: build.Table,
-				FK: input.ProbeKey, PK: input.BuildKey,
-				ProbeFilter: probe.Filter, BuildFilter: build.Filter,
-				Agg: spec.Arg,
-			})
-			if err != nil {
-				return nil, Explain{}, false, err
-			}
-			return scalarResult(spec.As, sum), fromCore(ex), true, nil
+			return queryShape{
+				kind: kindSemi,
+				semi: core.SemiJoinAgg{
+					Probe: probe.Table, Build: build.Table,
+					FK: input.ProbeKey, PK: input.BuildKey,
+					ProbeFilter: probe.Filter, BuildFilter: build.Filter,
+					Agg: spec.Arg,
+				},
+				tables:  []string{probe.Table, build.Table},
+				aggName: spec.As,
+			}, true
 		}
 		if len(agg.GroupBy) == 1 && agg.GroupBy[0] == input.ProbeKey && probe.Filter == nil {
-			groups, ex, err := d.engine.GroupJoinAgg(core.GroupJoinAgg{
-				Probe: probe.Table, Build: build.Table,
-				FK: input.ProbeKey, PK: input.BuildKey,
-				BuildFilter: build.Filter, Agg: spec.Arg,
-			})
-			if err != nil {
-				return nil, Explain{}, false, err
-			}
-			return groupResult(agg.GroupBy[0], spec.As, groups), fromCore(ex), true, nil
+			return queryShape{
+				kind: kindGroupJoin,
+				gjoin: core.GroupJoinAgg{
+					Probe: probe.Table, Build: build.Table,
+					FK: input.ProbeKey, PK: input.BuildKey,
+					BuildFilter: build.Filter, Agg: spec.Arg,
+				},
+				tables:  []string{probe.Table, build.Table},
+				keyName: agg.GroupBy[0],
+				aggName: spec.As,
+			}, true
 		}
 	}
-	return nil, Explain{}, false, nil
+	return queryShape{}, false
+}
+
+// prepareShape plans the matched statement once and wraps it as a cache
+// entry with its table-version dependencies and reusable result.
+func (d *DB) prepareShape(s queryShape) (*cachedPlan, error) {
+	c := &cachedPlan{kind: s.kind}
+	var err error
+	switch s.kind {
+	case kindScalar:
+		c.scalar, err = d.engine.PrepareScalarAgg(s.scalar)
+	case kindGroup:
+		c.group, err = d.engine.PrepareGroupAgg(s.group)
+	case kindSemi:
+		c.semi, err = d.engine.PrepareSemiJoinAgg(s.semi)
+	case kindGroupJoin:
+		c.gjoin, err = d.engine.PrepareGroupJoinAgg(s.gjoin)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range s.tables {
+		c.deps = append(c.deps, tableDep{name: name, ver: d.db.TableVersion(name)})
+	}
+	switch s.kind {
+	case kindScalar, kindSemi:
+		c.vres.Fields = volcano.Fields{{Name: s.aggName}}
+	default:
+		c.vres.Fields = volcano.Fields{{Name: s.keyName}, {Name: s.aggName}}
+	}
+	c.res = Result{res: &c.vres}
+	return c, nil
 }
 
 func colsSubset(cols []string, t *storage.Table) bool {
@@ -154,6 +241,8 @@ func colsSubset(cols []string, t *storage.Table) bool {
 	return true
 }
 
+// scalarResult and groupResult materialize one-off results for paths that
+// bypass the plan cache (CompareStrategies).
 func scalarResult(name string, v int64) *Result {
 	return &Result{res: &volcano.Result{
 		Fields: volcano.Fields{{Name: name}},

@@ -1,0 +1,226 @@
+package swole
+
+import (
+	"strings"
+
+	"github.com/reprolab/swole/internal/core"
+	"github.com/reprolab/swole/internal/volcano"
+)
+
+// Plan cache: QuerySwole remembers every SWOLE-shaped statement it has
+// executed as a prepared query (see core's Prepared* types). A repeated
+// statement skips the SQL frontend, the sampling pass, and the cost-model
+// evaluation entirely, and executes on preallocated resources — the
+// steady-state path allocates nothing after its first execution.
+//
+// Two keys index the cache. The raw statement text is the fast key: a
+// byte-identical re-execution hits with a single map lookup and zero
+// allocations. A whitespace-normalized form is the slow key, so that
+// reformatted spellings of one statement ("select  sum(x)\nfrom t" vs
+// "select sum(x) from t") share one prepared plan; raw-text aliases are
+// installed on normalized hits, making every spelling fast from its
+// second use.
+//
+// Each entry records the versions of the tables it reads. Entries whose
+// tables have been replaced are dropped lazily on lookup, and
+// CreateTable evicts eagerly (plans and statistics both), so a mutated
+// table can never serve a stale answer.
+//
+// The *Result returned by a cached execution is owned by the cache entry
+// and overwritten by the next execution of the same statement; callers
+// that need the answer past that point copy it (Rows already copies row
+// headers; the data itself is immutable until the next run).
+
+// maxCachedPlans bounds the cache. Past the bound the cache is cleared
+// wholesale: plans re-prepare in one execution, and a workload with more
+// than maxCachedPlans distinct steady-state statements is not steady.
+const maxCachedPlans = 256
+
+type queryKind int
+
+const (
+	kindScalar queryKind = iota
+	kindGroup
+	kindSemi
+	kindGroupJoin
+)
+
+// tableDep pins one input table at the version the plan was prepared
+// against.
+type tableDep struct {
+	name string
+	ver  uint64
+}
+
+// cachedPlan is one prepared statement plus its reusable result
+// materialization.
+type cachedPlan struct {
+	kind   queryKind
+	scalar *core.PreparedScalarAgg
+	group  *core.PreparedGroupAgg
+	semi   *core.PreparedSemiJoinAgg
+	gjoin  *core.PreparedGroupJoinAgg
+	deps   []tableDep
+
+	// Reused result: vres's rows are slice headers into flat.
+	res  Result
+	vres volcano.Result
+	flat []int64
+}
+
+// fresh reports whether every input table is still at its prepared
+// version.
+func (c *cachedPlan) fresh(d *DB) bool {
+	for _, dep := range c.deps {
+		if d.db.TableVersion(dep.name) != dep.ver {
+			return false
+		}
+	}
+	return true
+}
+
+// dependsOn reports whether the plan reads the named table.
+func (c *cachedPlan) dependsOn(table string) bool {
+	for _, dep := range c.deps {
+		if dep.name == table {
+			return true
+		}
+	}
+	return false
+}
+
+// run executes the prepared plan and rematerializes the entry's result in
+// place. Allocation-free once flat and the row-header array have reached
+// the result's size.
+func (c *cachedPlan) run() (*Result, Explain) {
+	switch c.kind {
+	case kindScalar, kindSemi:
+		var sum int64
+		var ex core.Explain
+		if c.kind == kindScalar {
+			sum, ex = c.scalar.Run()
+		} else {
+			sum, ex = c.semi.Run()
+		}
+		c.flat = append(c.flat[:0], sum)
+		c.vres.Rows = append(c.vres.Rows[:0], c.flat[0:1])
+		return &c.res, fromCore(ex)
+	default:
+		var g *core.GroupResult
+		var ex core.Explain
+		if c.kind == kindGroup {
+			g, ex = c.group.Run()
+		} else {
+			g, ex = c.gjoin.Run()
+		}
+		c.flat = c.flat[:0]
+		for i := range g.Keys {
+			c.flat = append(c.flat, g.Keys[i], g.Sums[i])
+		}
+		c.vres.Rows = c.vres.Rows[:0]
+		for i := range g.Keys {
+			c.vres.Rows = append(c.vres.Rows, c.flat[2*i:2*i+2])
+		}
+		return &c.res, fromCore(ex)
+	}
+}
+
+// normalizeQuery collapses runs of whitespace to single spaces so
+// reformatted spellings of one statement share a cache entry. Case is
+// preserved: string literals are case-significant, and a lowercased key
+// would conflate them.
+func normalizeQuery(q string) string {
+	return strings.Join(strings.Fields(q), " ")
+}
+
+// cachedRun serves a statement from the plan cache. The DB mutex is held
+// across the run: cached executions reuse per-entry result buffers, and
+// the engine serializes prepared scans on its own lock anyway.
+func (d *DB) cachedRun(q string) (*Result, Explain, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c := d.plans[q]
+	if c == nil {
+		norm := normalizeQuery(q)
+		if c = d.normPlans[norm]; c == nil {
+			return nil, Explain{}, false
+		}
+		// Alias the raw spelling so its next execution is a single lookup.
+		d.plans[q] = c
+	}
+	if !c.fresh(d) {
+		d.dropPlanLocked(c)
+		return nil, Explain{}, false
+	}
+	res, ex := c.run()
+	return res, ex, true
+}
+
+// storePlan inserts a freshly prepared statement under both keys.
+func (d *DB) storePlan(q string, c *cachedPlan) {
+	d.mu.Lock()
+	if len(d.plans) >= maxCachedPlans || len(d.normPlans) >= maxCachedPlans {
+		d.plans = map[string]*cachedPlan{}
+		d.normPlans = map[string]*cachedPlan{}
+	}
+	d.plans[q] = c
+	d.normPlans[normalizeQuery(q)] = c
+	d.mu.Unlock()
+}
+
+// dropPlanLocked removes every key pointing at the entry. Callers hold
+// d.mu.
+func (d *DB) dropPlanLocked(c *cachedPlan) {
+	for k, v := range d.plans {
+		if v == c {
+			delete(d.plans, k)
+		}
+	}
+	for k, v := range d.normPlans {
+		if v == c {
+			delete(d.normPlans, k)
+		}
+	}
+}
+
+// invalidateTable evicts cached statistics and plans that read the named
+// table. Called on every CreateTable.
+func (d *DB) invalidateTable(table string) {
+	d.engine.InvalidateStats(table)
+	d.mu.Lock()
+	for k, c := range d.plans {
+		if c.dependsOn(table) {
+			delete(d.plans, k)
+		}
+	}
+	for k, c := range d.normPlans {
+		if c.dependsOn(table) {
+			delete(d.normPlans, k)
+		}
+	}
+	d.mu.Unlock()
+}
+
+// PlanCacheLen reports the number of distinct raw-text keys in the plan
+// cache; exposed for tests and introspection.
+func (d *DB) PlanCacheLen() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.plans)
+}
+
+// SetWorkers pins the SWOLE executor's morsel worker count; 0 restores
+// the default (one per CPU). Prepared plans bake in their worker count,
+// so changing it clears the plan cache.
+func (d *DB) SetWorkers(n int) {
+	d.mu.Lock()
+	d.plans = map[string]*cachedPlan{}
+	d.normPlans = map[string]*cachedPlan{}
+	d.mu.Unlock()
+	d.engine.Workers = n
+}
+
+// Close releases the executor's persistent worker goroutines. The DB
+// remains usable after Close (the gang respawns on demand); Close exists
+// for goroutine hygiene when many DBs are created in one process.
+func (d *DB) Close() { d.engine.Close() }

@@ -1,0 +1,213 @@
+package swole
+
+import (
+	"testing"
+)
+
+// cacheTestDB builds a small mutable table for invalidation tests.
+func cacheTestDB(t *testing.T, scale int64) *DB {
+	t.Helper()
+	d := NewDB()
+	n := 4096
+	a := make([]int64, n)
+	x := make([]int64, n)
+	c := make([]int64, n)
+	for i := 0; i < n; i++ {
+		a[i] = scale * int64(i%7)
+		x[i] = int64(i % 10)
+		c[i] = int64(i % 5)
+	}
+	if err := d.CreateTable("t", IntColumn("a", a), IntColumn("x", x), IntColumn("c", c)); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// rowsAsMap keys a two-column result by its first column.
+func rowsAsMap(t *testing.T, r *Result) map[int64]int64 {
+	t.Helper()
+	out := map[int64]int64{}
+	for _, row := range r.Rows() {
+		if len(row) != 2 {
+			t.Fatalf("want 2 columns, got %d", len(row))
+		}
+		out[row[0]] = row[1]
+	}
+	return out
+}
+
+// TestPlanCacheHit checks a repeated statement is served from the plan
+// cache with the same answer, and that a whitespace-reformatted spelling
+// shares the entry.
+func TestPlanCacheHit(t *testing.T) {
+	d := cacheTestDB(t, 1)
+	defer d.Close()
+	q := "select sum(a) from t where x < 5"
+	res1, ex1, err := d.QuerySwole(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex1.Technique == "interpreter-fallback" {
+		t.Fatalf("shape not matched: %+v", ex1)
+	}
+	if ex1.PlanCached {
+		t.Error("first execution reported PlanCached")
+	}
+	want := res1.Rows()[0][0]
+
+	res2, ex2, err := d.QuerySwole(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex2.PlanCached {
+		t.Error("second execution not served from plan cache")
+	}
+	if got := res2.Rows()[0][0]; got != want {
+		t.Errorf("cached answer %d, want %d", got, want)
+	}
+
+	// A reformatted spelling normalizes onto the same plan.
+	res3, ex3, err := d.QuerySwole("select  sum(a)\n\tfrom t   where x < 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex3.PlanCached {
+		t.Error("whitespace-normalized spelling missed the cache")
+	}
+	if got := res3.Rows()[0][0]; got != want {
+		t.Errorf("normalized-spelling answer %d, want %d", got, want)
+	}
+	// Both raw spellings are now aliased.
+	if n := d.PlanCacheLen(); n != 2 {
+		t.Errorf("plan cache holds %d raw keys, want 2", n)
+	}
+}
+
+// TestPlanCacheInvalidation is the correctness core of the cache: after a
+// table is replaced, cached plans and statistics must not serve stale
+// answers, and the fresh answers must match the interpreted engine.
+func TestPlanCacheInvalidation(t *testing.T) {
+	d := cacheTestDB(t, 1)
+	defer d.Close()
+	scalarQ := "select sum(a) from t where x < 5"
+	groupQ := "select c, sum(a) from t where x < 5 group by c"
+
+	for _, q := range []string{scalarQ, groupQ, scalarQ, groupQ} {
+		if _, _, err := d.QuerySwole(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := d.PlanCacheLen(); n != 2 {
+		t.Fatalf("plan cache holds %d entries, want 2", n)
+	}
+	if d.engine.StatsCacheLen() == 0 {
+		t.Fatal("stats cache empty after repeated planning")
+	}
+
+	// Replace t with data scaled 3x: every cached plan and statistic for
+	// t must go.
+	d2 := cacheTestDB(t, 3) // reference DB with the new data
+	defer d2.Close()
+	n := 4096
+	a := make([]int64, n)
+	x := make([]int64, n)
+	c := make([]int64, n)
+	for i := 0; i < n; i++ {
+		a[i] = 3 * int64(i%7)
+		x[i] = int64(i % 10)
+		c[i] = int64(i % 5)
+	}
+	if err := d.CreateTable("t", IntColumn("a", a), IntColumn("x", x), IntColumn("c", c)); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.PlanCacheLen(); got != 0 {
+		t.Errorf("plan cache holds %d entries after table replacement, want 0", got)
+	}
+	if got := d.engine.StatsCacheLen(); got != 0 {
+		t.Errorf("stats cache holds %d entries after table replacement, want 0", got)
+	}
+
+	// Scalar: answer must match the interpreted engine on the new data.
+	wantRes, err := d2.Query(scalarQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ex, err := d.QuerySwole(scalarQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.PlanCached {
+		t.Error("post-mutation execution claims a plan cache hit")
+	}
+	if g, w := got.Rows()[0][0], wantRes.Rows()[0][0]; g != w {
+		t.Errorf("post-mutation scalar answer %d, want %d (stale cache?)", g, w)
+	}
+
+	// Group-by: compare as maps against the interpreted engine.
+	wantG, err := d2.Query(groupQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotG, _, err := d.QuerySwole(groupQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, gm := rowsAsMap(t, wantG), rowsAsMap(t, gotG)
+	if len(wm) != len(gm) {
+		t.Fatalf("group counts differ: got %d, want %d", len(gm), len(wm))
+	}
+	for k, w := range wm {
+		if gm[k] != w {
+			t.Errorf("group %d: got %d, want %d", k, gm[k], w)
+		}
+	}
+}
+
+// TestSetWorkersClearsCache checks worker reconfiguration invalidates
+// prepared plans (they bake in their worker count) and answers stay
+// identical across counts.
+func TestSetWorkersClearsCache(t *testing.T) {
+	d := cacheTestDB(t, 1)
+	defer d.Close()
+	q := "select sum(a) from t where x < 5"
+	res1, _, err := d.QuerySwole(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res1.Rows()[0][0]
+	if d.PlanCacheLen() != 1 {
+		t.Fatal("expected one cached plan")
+	}
+	d.SetWorkers(4)
+	if d.PlanCacheLen() != 0 {
+		t.Error("SetWorkers left stale plans cached")
+	}
+	res2, ex, err := d.QuerySwole(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.PlanCached {
+		t.Error("first post-SetWorkers execution claims a cache hit")
+	}
+	if got := res2.Rows()[0][0]; got != want {
+		t.Errorf("answer changed across worker counts: got %d, want %d", got, want)
+	}
+}
+
+// TestFallbackNotCached checks unsupported shapes still fall back to the
+// interpreter and are not inserted into the plan cache.
+func TestFallbackNotCached(t *testing.T) {
+	d := cacheTestDB(t, 1)
+	defer d.Close()
+	q := "select c, x, sum(a) from t group by c, x"
+	_, ex, err := d.QuerySwole(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Technique != "interpreter-fallback" {
+		t.Fatalf("expected fallback, got %s", ex.Technique)
+	}
+	if d.PlanCacheLen() != 0 {
+		t.Errorf("fallback statement was cached")
+	}
+}

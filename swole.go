@@ -23,6 +23,7 @@ package swole
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/reprolab/swole/internal/core"
 	"github.com/reprolab/swole/internal/plan"
@@ -35,12 +36,28 @@ import (
 type DB struct {
 	db     *storage.Database
 	engine *core.Engine
+
+	// Plan cache (querycache.go): prepared SWOLE statements keyed by raw
+	// and whitespace-normalized query text, invalidated by table version.
+	mu        sync.Mutex
+	plans     map[string]*cachedPlan
+	normPlans map[string]*cachedPlan
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB {
-	db := storage.NewDatabase()
-	return &DB{db: db, engine: core.NewEngine(db)}
+	return newDBWith(storage.NewDatabase())
+}
+
+// newDBWith wraps an existing storage database (built-in dataset
+// generators use this).
+func newDBWith(db *storage.Database) *DB {
+	return &DB{
+		db:        db,
+		engine:    core.NewEngine(db),
+		plans:     map[string]*cachedPlan{},
+		normPlans: map[string]*cachedPlan{},
+	}
 }
 
 // Column is a column under construction; create with IntColumn,
@@ -98,6 +115,9 @@ func (d *DB) CreateTable(name string, cols ...Column) error {
 		return err
 	}
 	d.db.AddTable(t)
+	// Registering a name — first time or replacement — bumps the table's
+	// version; drop statistics and plans that read the old data.
+	d.invalidateTable(name)
 	return nil
 }
 
