@@ -9,6 +9,7 @@
 //	swolebench -fig 2            # the technique summary table
 //	swolebench -fig scaling -workers 8   # morsel scaling sweep, 1..8 workers
 //	swolebench -repeat 10        # steady state: cold vs plan-cached warm runs
+//	swolebench -repeat 10 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Scales come from the environment (SWOLE_SF, SWOLE_MICRO_R, SWOLE_REPS,
 // SWOLE_WORKERS); see internal/harness. Paper scales are SF=10 and R=100M —
@@ -19,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/reprolab/swole/internal/harness"
@@ -26,22 +29,55 @@ import (
 )
 
 func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintln(os.Stderr, "swolebench:", err)
+		os.Exit(1)
+	}
+}
+
+// realMain carries the program body so that os.Exit cannot skip the
+// profile-flushing defers.
+func realMain() error {
 	fig := flag.String("fig", "all", "figure to regenerate: 2, 6, 8, 9, 10, 11, 12, scaling, or all")
 	csv := flag.Bool("csv", false, "emit micro figures as CSV for plotting")
 	workers := flag.Int("workers", 0, "max morsel workers the scaling figure sweeps to (0 = SWOLE_WORKERS or NumCPU)")
 	repeat := flag.Int("repeat", 0, "steady-state demo: run each supported query shape N times and report cold vs plan-cached warm timings")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "swolebench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "swolebench:", err)
+			}
+		}()
+	}
 
 	cfg := harness.FromEnv()
 	if *workers > 0 {
 		cfg.Workers = *workers
 	}
 	if *repeat > 0 {
-		if err := runSteady(cfg, *repeat); err != nil {
-			fmt.Fprintln(os.Stderr, "swolebench:", err)
-			os.Exit(1)
-		}
-		return
+		return runSteady(cfg, *repeat)
 	}
 	fmt.Printf("config: SF=%g micro R=%d reps=%d workers=%d\n\n", cfg.SF, cfg.MicroR, cfg.Reps, cfg.Workers)
 
@@ -103,10 +139,10 @@ func main() {
 	}
 	for _, f := range figs {
 		if err := run(f); err != nil {
-			fmt.Fprintln(os.Stderr, "swolebench:", err)
-			os.Exit(1)
+			return err
 		}
 	}
+	return nil
 }
 
 // techniqueTable is the paper's Figure 2.

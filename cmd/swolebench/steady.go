@@ -64,9 +64,15 @@ func runSteady(cfg harness.Config, reps int) error {
 			}
 			lastEx = ex
 		}
-		fmt.Printf("%-14s %12s %12s %7.2fx  plan-cached=%v fresh-allocs=%d ht-grows=%d\n",
+		counters := fmt.Sprintf("plan-cached=%v fresh-allocs=%d ht-grows=%d",
+			lastEx.PlanCached, lastEx.FreshAllocs, lastEx.HTGrows)
+		if lastEx.Partitioned {
+			counters += fmt.Sprintf(" partitioned=%d(p1=%s)",
+				lastEx.Partitions, lastEx.PartitionTime.Round(time.Microsecond))
+		}
+		fmt.Printf("%-14s %12s %12s %7.2fx  %s\n",
 			tc.name, cold.Round(time.Microsecond), warmMin.Round(time.Microsecond),
-			float64(cold)/float64(warmMin), lastEx.PlanCached, lastEx.FreshAllocs, lastEx.HTGrows)
+			float64(cold)/float64(warmMin), counters)
 	}
 	return nil
 }

@@ -70,6 +70,18 @@ type Explain struct {
 	// per-worker partial states.
 	MergeTime time.Duration
 
+	// Partitioned reports that the radix-partitioned two-phase path ran
+	// instead of direct per-worker hash tables: phase 1 scatters (key,
+	// value) pairs into radix partition buffers, phase 2 aggregates each
+	// partition in a cache-resident table.
+	Partitioned bool
+	// Partitions is the radix fan-out of the partitioned path (power of
+	// two); 0 when Partitioned is false.
+	Partitions int
+	// PartitionTime is the wall time of phase 1, the partition-scatter
+	// scan; included in ScanTime.
+	PartitionTime time.Duration
+
 	// StatsCached reports that the selectivity/group statistics above came
 	// from the engine's statistics cache instead of a fresh sampling pass.
 	StatsCached bool
@@ -86,9 +98,41 @@ type Explain struct {
 }
 
 func (e Explain) String() string {
-	return fmt.Sprintf("technique=%s sel=%.3f comp=%.1f ht=%dB workers=%d scan=%s merge=%s costs=%v merged=%v",
-		e.Technique, e.Selectivity, e.CompCost, e.HTBytes, e.Workers,
+	part := ""
+	if e.Partitioned {
+		part = fmt.Sprintf(" partitioned=%d(p1=%s)", e.Partitions, e.PartitionTime)
+	}
+	return fmt.Sprintf("technique=%s sel=%.3f comp=%.1f ht=%dB workers=%d%s scan=%s merge=%s costs=%v merged=%v",
+		e.Technique, e.Selectivity, e.CompCost, e.HTBytes, e.Workers, part,
 		e.ScanTime, e.MergeTime, e.Costs, e.Merged)
+}
+
+// PartitionMode selects how the engine decides between direct and radix-
+// partitioned group-by execution.
+type PartitionMode int
+
+// Partition modes.
+const (
+	// PartitionAuto lets the cost model choose (the default): partition
+	// when the estimated hash-table footprint overflows the partition
+	// budget and the two-phase model is cheaper than the direct one.
+	PartitionAuto PartitionMode = iota
+	// PartitionOff forces the direct path.
+	PartitionOff
+	// PartitionOn forces the partitioned path regardless of cost (tests,
+	// experiments, benchmarks).
+	PartitionOn
+)
+
+// String names the mode.
+func (m PartitionMode) String() string {
+	switch m {
+	case PartitionOff:
+		return "off"
+	case PartitionOn:
+		return "on"
+	}
+	return "auto"
 }
 
 // Engine executes queries over a database with a given cost model.
@@ -112,13 +156,17 @@ type Engine struct {
 	// MorselRows overrides the executor's morsel length in rows; 0 keeps
 	// exec.DefaultMorselRows. Exposed for tests and experiments.
 	MorselRows int
+	// Partition selects direct vs radix-partitioned group-by execution;
+	// the zero value (PartitionAuto) defers to the cost model.
+	Partition PartitionMode
 
 	// Resource pools (see pools.go) and the statistics cache (stats.go).
-	mu          sync.Mutex
-	freeStates  [][]workerState
-	freeTables  []*ht.AggTable
-	freeBitmaps []*bitmap.Bitmap
-	stats       statsCache
+	mu               sync.Mutex
+	freeStates       [][]workerState
+	freeTables       []*ht.AggTable
+	freeBitmaps      []*bitmap.Bitmap
+	freePartitioners []*ht.Partitioner
+	stats            statsCache
 
 	// The persistent worker gang for prepared (steady-state) execution;
 	// execMu serializes prepared scans on it.
@@ -245,3 +293,28 @@ func maxInt(a, b int) int {
 
 // aggSlotBytes approximates ht.AggTable's per-group footprint.
 func aggSlotBytes(nAccs int) int { return 8 + 1 + 8*nAccs + 8 + 1 }
+
+// forcedPartitions is the minimum fan-out under PartitionOn, so forced
+// runs exercise a real multi-partition shape even on tables the budget
+// would leave unpartitioned.
+const forcedPartitions = 16
+
+// choosePartition resolves the engine's partition mode against the cost
+// model for a group-by of rows tuples into a table of htBytes. It returns
+// whether to run the radix-partitioned path, the fan-out, and the modeled
+// partitioned cost (meaningful whenever parts > 1, so callers can record
+// it in Explain.Costs even when the direct path wins).
+func (e *Engine) choosePartition(params cost.Params, rows int, comp float64, htBytes int, directCost float64) (bool, int, float64) {
+	switch e.Partition {
+	case PartitionOff:
+		return false, 0, 0
+	case PartitionOn:
+		parts := params.PartitionsFor(htBytes)
+		if parts < forcedPartitions {
+			parts = forcedPartitions
+		}
+		return true, parts, params.PartitionedGroup(rows, comp, htBytes, parts)
+	}
+	use, parts, c := params.ChoosePartitionedGroup(rows, comp, htBytes, directCost)
+	return use, parts, c
+}

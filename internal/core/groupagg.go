@@ -58,7 +58,8 @@ func (e *Engine) GroupAgg(q GroupAgg) (map[int64]int64, Explain, error) {
 	comp := expr.CompCost(q.Agg, params)
 	groups, grpHit := e.groupCount(q.Table, rows, q.Key, 16384)
 	htBytes := groups * aggSlotBytes(1)
-	strat, _ := params.ChooseGroupAgg(rows, sel, comp, 1, htBytes)
+	strat, directCost := params.ChooseGroupAgg(rows, sel, comp, 1, htBytes)
+	usePart, parts, partCost := e.choosePartition(params, rows, comp, htBytes, directCost)
 
 	ex := Explain{
 		Selectivity: sel,
@@ -72,6 +73,18 @@ func (e *Engine) GroupAgg(q GroupAgg) (map[int64]int64, Explain, error) {
 			"value-masking": params.ValueMaskingGroup(rows, comp+params.CompMul, htBytes),
 			"key-masking":   params.KeyMasking(rows, sel, comp+params.CompCmp, htBytes),
 		},
+	}
+	if parts > 1 {
+		ex.Costs["partitioned"] = partCost
+	}
+	ex.Technique = [...]Technique{
+		cost.ChooseHybrid:       TechHybrid,
+		cost.ChooseValueMasking: TechValueMasking,
+		cost.ChooseKeyMasking:   TechKeyMasking,
+	}[strat]
+	if usePart {
+		out := e.runPartitionedGroupAgg(&ex, q, rows, workers, groups, parts, strat)
+		return out, ex, nil
 	}
 
 	pool := e.pool()

@@ -213,6 +213,22 @@ func (e *Engine) GroupJoinAgg(q GroupJoinAgg) (map[int64]int64, Explain, error) 
 		Costs:       map[string]float64{"groupjoin": gj, "eager-aggregation": ea},
 	}
 
+	// The eager build is itself a group-by of the probe side into a table
+	// of |Build| groups, so the radix decision applies to it: compare the
+	// two-phase model against the probe-side aggregation term.
+	if eager {
+		probeDirect := float64(rows) * params.BestAggPerTuple(rows, 1.0, comp, 1, htBytes)
+		usePart, parts, partCost := e.choosePartition(params, rows, comp, htBytes, probeDirect)
+		if parts > 1 {
+			ex.Costs["partitioned"] = partCost
+		}
+		if usePart {
+			ex.Technique = TechEagerAggregation
+			out := e.runPartitionedEagerGroupJoin(&ex, q, fkCol, pkCol, rows, build.Rows(), workers, parts)
+			return out, ex, nil
+		}
+	}
+
 	pool := e.pool()
 	states, freshS := e.getStates(workers)
 	defer e.putStates(states)

@@ -18,9 +18,10 @@ import (
 // bounded so a one-off giant query cannot pin its working set forever.
 
 const (
-	maxFreeStates  = 16 // pooled []workerState slices
-	maxFreeTables  = 64 // pooled *ht.AggTable
-	maxFreeBitmaps = 32 // pooled *bitmap.Bitmap
+	maxFreeStates       = 16 // pooled []workerState slices
+	maxFreeTables       = 64 // pooled *ht.AggTable
+	maxFreeBitmaps      = 32 // pooled *bitmap.Bitmap
+	maxFreePartitioners = 32 // pooled *ht.Partitioner
 )
 
 // getStates checks out a worker-state slice with at least n entries,
@@ -84,6 +85,46 @@ func (e *Engine) putAggTables(tabs []*ht.AggTable) {
 			break
 		}
 		e.freeTables = append(e.freeTables, t)
+	}
+	e.mu.Unlock()
+}
+
+// getPartitioners checks out n radix partitioners with the given fan-out,
+// Reset but keeping their grown buffer capacity. A recycled partitioner
+// with a different fan-out is re-made (the per-partition buffers are
+// keyed to the fan-out), which counts as fresh. fresh counts newly
+// allocated partitioners.
+func (e *Engine) getPartitioners(n, parts int) (ps []*ht.Partitioner, fresh int) {
+	ps = make([]*ht.Partitioner, n)
+	e.mu.Lock()
+	for i := 0; i < n && len(e.freePartitioners) > 0; i++ {
+		k := len(e.freePartitioners)
+		ps[i] = e.freePartitioners[k-1]
+		e.freePartitioners = e.freePartitioners[:k-1]
+	}
+	e.mu.Unlock()
+	for i := range ps {
+		if ps[i] == nil || ps[i].Parts() != parts {
+			ps[i] = ht.NewPartitioner(parts)
+			fresh++
+		} else {
+			ps[i].Reset()
+		}
+	}
+	return ps, fresh
+}
+
+// putPartitioners returns partitioners to the pool.
+func (e *Engine) putPartitioners(ps []*ht.Partitioner) {
+	e.mu.Lock()
+	for _, p := range ps {
+		if p == nil {
+			continue
+		}
+		if len(e.freePartitioners) >= maxFreePartitioners {
+			break
+		}
+		e.freePartitioners = append(e.freePartitioners, p)
 	}
 	e.mu.Unlock()
 }

@@ -195,6 +195,19 @@ type PreparedGroupAgg struct {
 	out     GroupResult
 	sorter  kvSorter
 	kernel  func(w, base, length int)
+
+	// Radix-partitioned variant: kernel becomes the phase-1 scatter and
+	// phase2 folds claimed partitions into a per-worker cache-resident
+	// table, emitting final groups into per-worker buffers that Run
+	// concatenates and sorts. All buffers are owned here and recycled, so
+	// steady-state runs stay allocation-free.
+	partitioned bool
+	parts       int
+	parters     []*ht.Partitioner
+	smalls      []*ht.AggTable
+	emitKeys    [][]int64
+	emitSums    [][]int64
+	phase2      func(w, part int)
 }
 
 // PrepareGroupAgg plans a group-by aggregation once, sizing each worker's
@@ -220,16 +233,13 @@ func (e *Engine) PrepareGroupAgg(q GroupAgg) (*PreparedGroupAgg, error) {
 	comp := expr.CompCost(q.Agg, params)
 	groups, grpHit := e.groupCount(q.Table, rows, q.Key, 16384)
 	htBytes := groups * aggSlotBytes(1)
-	strat, _ := params.ChooseGroupAgg(rows, sel, comp, 1, htBytes)
+	strat, directCost := params.ChooseGroupAgg(rows, sel, comp, 1, htBytes)
+	usePart, parts, partCost := e.choosePartition(params, rows, comp, htBytes, directCost)
 
 	p := &PreparedGroupAgg{e: e, workers: workers, rows: rows}
 	p.states = make([]workerState, workers)
 	for i := range p.states {
 		p.states[i] = newWorkerState()
-	}
-	p.tabs = make([]*ht.AggTable, workers)
-	for i := range p.tabs {
-		p.tabs[i] = ht.NewAggTable(1, groups)
 	}
 	p.ex = Explain{
 		Selectivity: sel,
@@ -244,6 +254,44 @@ func (e *Engine) PrepareGroupAgg(q GroupAgg) (*PreparedGroupAgg, error) {
 			"value-masking": params.ValueMaskingGroup(rows, comp+params.CompMul, htBytes),
 			"key-masking":   params.KeyMasking(rows, sel, comp+params.CompCmp, htBytes),
 		},
+	}
+	if parts > 1 {
+		p.ex.Costs["partitioned"] = partCost
+	}
+	p.ex.Technique = [...]Technique{
+		cost.ChooseHybrid:       TechHybrid,
+		cost.ChooseValueMasking: TechValueMasking,
+		cost.ChooseKeyMasking:   TechKeyMasking,
+	}[strat]
+
+	if usePart {
+		p.partitioned, p.parts = true, parts
+		p.ex.Partitioned, p.ex.Partitions = true, parts
+		p.parters = make([]*ht.Partitioner, workers)
+		for i := range p.parters {
+			p.parters[i] = ht.NewPartitioner(parts)
+		}
+		p.smalls = make([]*ht.AggTable, workers)
+		for i := range p.smalls {
+			p.smalls[i] = ht.NewAggTable(1, subTableHint(groups, parts))
+		}
+		p.emitKeys = make([][]int64, workers)
+		p.emitSums = make([][]int64, workers)
+		p.kernel = partitionKernelGroupAgg(q, p.states, p.parters, strat)
+		p.phase2 = func(w, part int) {
+			tab := p.smalls[w]
+			foldPartition(tab, p.parters, part)
+			tab.ForEach(false, func(key int64, s int) {
+				p.emitKeys[w] = append(p.emitKeys[w], key)
+				p.emitSums[w] = append(p.emitSums[w], tab.Acc(s, 0))
+			})
+		}
+		return p, nil
+	}
+
+	p.tabs = make([]*ht.AggTable, workers)
+	for i := range p.tabs {
+		p.tabs[i] = ht.NewAggTable(1, groups)
 	}
 
 	filter, key, agg := q.Filter, q.Key, q.Agg
@@ -307,6 +355,11 @@ func (e *Engine) PrepareGroupAgg(q GroupAgg) (*PreparedGroupAgg, error) {
 func (p *PreparedGroupAgg) Run() (*GroupResult, Explain) {
 	e := p.e
 	e.execMu.Lock()
+	if p.partitioned {
+		p.runPartitioned()
+		e.execMu.Unlock()
+		return &p.out, p.ex
+	}
 	for _, tab := range p.tabs {
 		tab.Reset()
 	}
@@ -335,6 +388,37 @@ func (p *PreparedGroupAgg) Run() (*GroupResult, Explain) {
 	p.ex.MergeTime = time.Since(start)
 	e.execMu.Unlock()
 	return &p.out, p.ex
+}
+
+// runPartitioned is the two-phase steady-state scan: one RunTwoPhase call
+// covers the partition scatter, the in-gang barrier, and the partition-
+// wise fold; the merge that remains on this goroutine is a concatenation
+// of already-final per-worker emissions plus the key sort. Caller holds
+// execMu.
+func (p *PreparedGroupAgg) runPartitioned() {
+	for _, pr := range p.parters {
+		pr.Reset()
+	}
+	for w := range p.emitKeys {
+		p.emitKeys[w] = p.emitKeys[w][:0]
+		p.emitSums[w] = p.emitSums[w][:0]
+	}
+	grows0 := growsSum(p.smalls)
+	start := time.Now()
+	p.ex.PartitionTime = p.e.steadyLocked(p.workers).RunTwoPhase(p.rows, p.kernel, p.parts, p.phase2)
+	p.ex.ScanTime = time.Since(start)
+	p.ex.HTGrows = int(growsSum(p.smalls) - grows0)
+
+	start = time.Now()
+	p.out.Keys = p.out.Keys[:0]
+	p.out.Sums = p.out.Sums[:0]
+	for w := range p.emitKeys {
+		p.out.Keys = append(p.out.Keys, p.emitKeys[w]...)
+		p.out.Sums = append(p.out.Sums, p.emitSums[w]...)
+	}
+	p.sorter.keys, p.sorter.sums = p.out.Keys, p.out.Sums
+	sort.Sort(&p.sorter)
+	p.ex.MergeTime = time.Since(start)
 }
 
 // PreparedSemiJoinAgg is a planned, resource-owning semijoin aggregation.
@@ -500,6 +584,17 @@ type PreparedGroupJoinAgg struct {
 	keyTabs   []*ht.AggTable
 	keys      *ht.AggTable
 	aggKernel func(w, base, length int)
+
+	// Radix-partitioned eager variant (see PreparedGroupAgg): probeKernel
+	// becomes the phase-1 (fk, value) scatter and phase2 folds partitions,
+	// skipping keys the merged fail bitmap disqualified.
+	partitioned bool
+	parts       int
+	parters     []*ht.Partitioner
+	smalls      []*ht.AggTable
+	emitKeys    [][]int64
+	emitSums    [][]int64
+	phase2      func(w, part int)
 }
 
 // PrepareGroupJoinAgg plans a groupjoin once, freezing the eager-vs-
@@ -564,13 +659,69 @@ func (e *Engine) PrepareGroupJoinAgg(q GroupJoinAgg) (*PreparedGroupJoinAgg, err
 	buildFilter, agg := q.BuildFilter, q.Agg
 	if eager {
 		p.ex.Technique = TechEagerAggregation
-		p.tabs = make([]*ht.AggTable, workers)
-		for i := range p.tabs {
-			p.tabs[i] = ht.NewAggTable(1, build.Rows())
-		}
 		p.fails = make([]*bitmap.Bitmap, workers)
 		for i := range p.fails {
 			p.fails[i] = bitmap.New(build.Rows())
+		}
+		p.buildKernel = func(w, base, length int) {
+			s, fail := &p.states[w], p.fails[w]
+			vec.Tiles(length, func(tb, tl int) {
+				b := base + tb
+				s.fillCmp(buildFilter, b, tl)
+				for j := 0; j < tl; j++ {
+					fail.OrBit(int(pkCol.Get(b+j)), s.Cmp[j]^1)
+				}
+			})
+		}
+
+		// The eager build is a group-by of the probe side into |Build|
+		// groups; the radix decision applies to it.
+		probeDirect := float64(rows) * params.BestAggPerTuple(rows, 1.0, comp, 1, htBytes)
+		usePart, parts, partCost := e.choosePartition(params, rows, comp, htBytes, probeDirect)
+		if parts > 1 {
+			p.ex.Costs["partitioned"] = partCost
+		}
+		if usePart {
+			p.partitioned, p.parts = true, parts
+			p.ex.Partitioned, p.ex.Partitions = true, parts
+			p.parters = make([]*ht.Partitioner, workers)
+			for i := range p.parters {
+				p.parters[i] = ht.NewPartitioner(parts)
+			}
+			p.smalls = make([]*ht.AggTable, workers)
+			for i := range p.smalls {
+				p.smalls[i] = ht.NewAggTable(1, subTableHint(build.Rows(), parts))
+			}
+			p.emitKeys = make([][]int64, workers)
+			p.emitSums = make([][]int64, workers)
+			p.probeKernel = func(w, base, length int) {
+				s, pr := &p.states[w], p.parters[w]
+				vec.Tiles(length, func(tb, tl int) {
+					b := base + tb
+					s.ev.EvalInt(agg, b, tl, s.Vals)
+					for j := 0; j < tl; j++ {
+						pr.Append(fkCol.Get(b+j), s.Vals[j])
+					}
+				})
+			}
+			fail := p.fails[0] // the OrInto merge target Run populates
+			p.phase2 = func(w, part int) {
+				tab := p.smalls[w]
+				foldPartition(tab, p.parters, part)
+				tab.ForEach(false, func(key int64, s int) {
+					if key >= 0 && key < int64(fail.Len()) && fail.Test(int(key)) {
+						return
+					}
+					p.emitKeys[w] = append(p.emitKeys[w], key)
+					p.emitSums[w] = append(p.emitSums[w], tab.Acc(s, 0))
+				})
+			}
+			return p, nil
+		}
+
+		p.tabs = make([]*ht.AggTable, workers)
+		for i := range p.tabs {
+			p.tabs[i] = ht.NewAggTable(1, build.Rows())
 		}
 		p.probeKernel = func(w, base, length int) {
 			s, tab := &p.states[w], p.tabs[w]
@@ -580,16 +731,6 @@ func (e *Engine) PrepareGroupJoinAgg(q GroupJoinAgg) (*PreparedGroupJoinAgg, err
 				for j := 0; j < tl; j++ {
 					slot := tab.Lookup(fkCol.Get(b + j))
 					tab.Add(slot, 0, s.Vals[j])
-				}
-			})
-		}
-		p.buildKernel = func(w, base, length int) {
-			s, fail := &p.states[w], p.fails[w]
-			vec.Tiles(length, func(tb, tl int) {
-				b := base + tb
-				s.fillCmp(buildFilter, b, tl)
-				for j := 0; j < tl; j++ {
-					fail.OrBit(int(pkCol.Get(b+j)), s.Cmp[j]^1)
 				}
 			})
 		}
@@ -639,6 +780,43 @@ func (p *PreparedGroupJoinAgg) Run() (*GroupResult, Explain) {
 	e.execMu.Lock()
 	p.out.Keys = p.out.Keys[:0]
 	p.out.Sums = p.out.Sums[:0]
+	if p.partitioned {
+		// Fail bitmap first — phase-2 emission reads it — then one
+		// RunTwoPhase covering scatter, barrier, and partition-wise fold.
+		for _, pr := range p.parters {
+			pr.Reset()
+		}
+		for w := range p.emitKeys {
+			p.emitKeys[w] = p.emitKeys[w][:0]
+			p.emitSums[w] = p.emitSums[w][:0]
+		}
+		for _, bm := range p.fails {
+			bm.Reset(p.buildRows)
+		}
+		grows0 := growsSum(p.smalls)
+		start := time.Now()
+		e.runSteady(p.workers, p.buildRows, p.buildKernel)
+		p.ex.ScanTime = time.Since(start)
+		start = time.Now()
+		p.fails[0].OrInto(p.fails[1:]...)
+		p.ex.MergeTime = time.Since(start)
+
+		start = time.Now()
+		p.ex.PartitionTime = e.steadyLocked(p.workers).RunTwoPhase(p.probeRows, p.probeKernel, p.parts, p.phase2)
+		p.ex.ScanTime += time.Since(start)
+		p.ex.HTGrows = int(growsSum(p.smalls) - grows0)
+
+		start = time.Now()
+		for w := range p.emitKeys {
+			p.out.Keys = append(p.out.Keys, p.emitKeys[w]...)
+			p.out.Sums = append(p.out.Sums, p.emitSums[w]...)
+		}
+		p.sorter.keys, p.sorter.sums = p.out.Keys, p.out.Sums
+		sort.Sort(&p.sorter)
+		p.ex.MergeTime += time.Since(start)
+		e.execMu.Unlock()
+		return &p.out, p.ex
+	}
 	if p.eager {
 		for _, tab := range p.tabs {
 			tab.Reset()

@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count gates are skipped under it (see partition_test.go).
+const raceEnabled = false

@@ -47,6 +47,17 @@ type Params struct {
 	CompDiv float64
 	CompCmp float64
 
+	// PartitionBudget is the per-partition hash-table footprint the radix
+	// planner aims for. Partition fan-out is chosen so htBytes/parts fits
+	// the budget; half the per-core L2 by default, leaving room for the
+	// partition buffers being streamed in beside the table.
+	PartitionBudget int
+	// PartitionWrite is the per-tuple cost of appending a (key,value) pair
+	// to a radix partition buffer: one hash, one indexed store, mostly
+	// sequential within a partition. It rides the memory bus, so
+	// ForWorkers inflates it with the other bandwidth-bound primitives.
+	PartitionWrite float64
+
 	// MemSaturation is the number of concurrent scan workers whose
 	// combined sequential-read demand saturates the memory bus. Below it,
 	// adding workers costs nothing per worker; above it, each worker sees
@@ -80,6 +91,9 @@ func Default() Params {
 		CompDiv: 20,
 		CompCmp: 0.5,
 
+		PartitionBudget: 128 << 10,
+		PartitionWrite:  1.5,
+
 		MemSaturation: 4,
 	}
 }
@@ -108,6 +122,7 @@ func (p Params) ForWorkers(workers int) Params {
 	q.ReadCond *= f
 	q.HitLLC *= f
 	q.HitMem *= f
+	q.PartitionWrite *= f
 	return q
 }
 
@@ -285,6 +300,68 @@ func (p Params) ChooseGroupAgg(r int, sel, comp float64, nAggs, htBytes int) (Ag
 func (p Params) BestAggPerTuple(r int, sel, comp float64, nAggs, htBytes int) float64 {
 	_, c := p.ChooseGroupAgg(r, sel, comp, nAggs, htBytes)
 	return c / float64(r)
+}
+
+// maxPartitions mirrors ht.MaxPartitions (the package is not imported to
+// keep cost dependency-free): past 1024-way fan-out the per-partition
+// buffer tails waste more cache than the smaller sub-tables save.
+const maxPartitions = 1024
+
+// PartitionsFor returns the power-of-two radix fan-out that brings a hash
+// table of htBytes under PartitionBudget per partition, clamped to
+// [1, 1024]. A table already inside the budget needs no partitioning and
+// returns 1.
+func (p Params) PartitionsFor(htBytes int) int {
+	budget := p.PartitionBudget
+	if budget <= 0 {
+		budget = Default().PartitionBudget
+	}
+	parts := 1
+	for parts < maxPartitions && htBytes > parts*budget {
+		parts <<= 1
+	}
+	return parts
+}
+
+// PartitionedGroup is the two-phase radix model for group-by aggregation.
+// Phase 1 streams every tuple once, computes the aggregate input, and
+// appends the (key,value) pair to a radix partition buffer — no hash
+// table is touched, so the random-probe term vanishes:
+//
+//	P1 = R * (read_seq + max(comp, read_seq) + partition_write)
+//
+// Phase 2 re-reads the pairs sequentially and probes a per-partition
+// table of htBytes/parts, which the fan-out was chosen to keep
+// cache-resident:
+//
+//	P2 = R * (read_seq + max(read_seq, ht_lookup(htBytes/parts)))
+//
+// Selectivity does not appear: masked tuples flow through both phases as
+// NullKey pairs (the cheap throwaway probe in phase 2 is approximated by
+// the same small-table lookup). The crossover against the direct models
+// is therefore exactly the paper's logic one level down — pay two
+// guaranteed sequential passes to avoid R random DRAM probes.
+func (p Params) PartitionedGroup(r int, comp float64, htBytes, parts int) float64 {
+	if parts < 1 {
+		parts = 1
+	}
+	phase1 := p.ReadSeq + max2(comp, p.ReadSeq) + p.PartitionWrite
+	phase2 := p.ReadSeq + max2(p.ReadSeq, p.HTLookup(htBytes/parts))
+	return float64(r) * (phase1 + phase2)
+}
+
+// ChoosePartitionedGroup decides direct vs radix-partitioned execution
+// for a group-by aggregation whose direct-path cost is directCost (the
+// winner of ChooseGroupAgg). It returns whether to partition, the chosen
+// fan-out, and the partitioned cost. Partitioning is only considered when
+// the table overflows the budget — a cache-resident table cannot benefit.
+func (p Params) ChoosePartitionedGroup(r int, comp float64, htBytes int, directCost float64) (bool, int, float64) {
+	parts := p.PartitionsFor(htBytes)
+	if parts <= 1 {
+		return false, 1, directCost
+	}
+	pc := p.PartitionedGroup(r, comp, htBytes, parts)
+	return pc < directCost, parts, pc
 }
 
 // ChooseGroupjoin reports whether eager aggregation should replace the

@@ -226,6 +226,74 @@ func TestStrategyStrings(t *testing.T) {
 	}
 }
 
+func TestPartitionsFor(t *testing.T) {
+	p := Default()
+	// A table inside the budget needs no fan-out.
+	if got := p.PartitionsFor(p.PartitionBudget); got != 1 {
+		t.Errorf("PartitionsFor(budget) = %d, want 1", got)
+	}
+	// Fan-out is the smallest power of two bringing each partition under
+	// budget.
+	for _, tc := range []struct{ bytes, want int }{
+		{p.PartitionBudget + 1, 2},
+		{4 * p.PartitionBudget, 4},
+		{26 << 20, 256}, // ~1M groups at 26 B/slot
+	} {
+		got := p.PartitionsFor(tc.bytes)
+		if got != tc.want {
+			t.Errorf("PartitionsFor(%d) = %d, want %d", tc.bytes, got, tc.want)
+		}
+		if tc.bytes/got > p.PartitionBudget {
+			t.Errorf("PartitionsFor(%d) = %d leaves %d B/partition over budget",
+				tc.bytes, got, tc.bytes/got)
+		}
+	}
+	// Clamped at 1024 even for tables no fan-out can shrink enough.
+	if got := p.PartitionsFor(1 << 40); got != maxPartitions {
+		t.Errorf("PartitionsFor(1TB) = %d, want clamp %d", got, maxPartitions)
+	}
+}
+
+func TestChoosePartitionedGroupCrossover(t *testing.T) {
+	p := Default()
+	r := 4_000_000
+	comp := compMulAgg(p)
+
+	// Cache-resident table: never partitioned, direct cost passes through.
+	_, direct := p.ChooseGroupAgg(r, 1.0, comp, 1, 1000*slotBytes)
+	part, parts, c := p.ChoosePartitionedGroup(r, comp, 1000*slotBytes, direct)
+	if part || parts != 1 || c != direct {
+		t.Errorf("1K groups: partitioned=%v parts=%d cost=%v, want direct passthrough", part, parts, c)
+	}
+
+	// DRAM-resident table (1M groups): two sequential passes plus small-
+	// table probes must beat R random DRAM probes.
+	htBytes := 1_000_000 * slotBytes
+	_, direct = p.ChooseGroupAgg(r, 1.0, comp, 1, htBytes)
+	part, parts, c = p.ChoosePartitionedGroup(r, comp, htBytes, direct)
+	if !part {
+		t.Fatalf("1M groups: partitioned (%.0f) should beat direct (%.0f)", c, direct)
+	}
+	if htBytes/parts > p.PartitionBudget {
+		t.Errorf("chosen fan-out %d leaves partitions over budget", parts)
+	}
+	if c >= direct {
+		t.Errorf("partitioned cost %.0f not below direct %.0f", c, direct)
+	}
+}
+
+func TestPartitionWriteScalesWithWorkers(t *testing.T) {
+	// Partition-buffer appends ride the memory bus: past saturation they
+	// inflate with the other bandwidth-bound primitives.
+	p := Default()
+	w := int(p.MemSaturation) * 2
+	q := p.ForWorkers(w)
+	f := float64(w) / p.MemSaturation
+	if q.PartitionWrite != p.PartitionWrite*f {
+		t.Errorf("PartitionWrite = %v after ForWorkers(%d), want %v", q.PartitionWrite, w, p.PartitionWrite*f)
+	}
+}
+
 func TestForWorkersBandwidthShare(t *testing.T) {
 	p := Default()
 	// At or below the saturation point the parameters are untouched.

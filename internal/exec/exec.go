@@ -125,6 +125,43 @@ func (p *Pool) Run(n int, fn func(worker, base, length int)) {
 	wg.Wait()
 }
 
+// RunParts invokes fn once per partition index in [0, parts) with the
+// claiming worker's id — the one-shot analogue of Workers.RunParts for
+// the radix-partitioned aggregate phase. Partition indices are claimed
+// dynamically; callers keep all mutable state private per worker id or
+// per partition (distinct partitions never share state by construction).
+func (p *Pool) RunParts(parts int, fn func(worker, part int)) {
+	if parts <= 0 {
+		return
+	}
+	workers := p.NumWorkers()
+	if workers > parts {
+		workers = parts
+	}
+	if workers <= 1 {
+		for i := 0; i < parts; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= parts {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // partialStride spaces per-worker int64 partials a cache line apart so
 // concurrent accumulation does not false-share.
 const partialStride = 8

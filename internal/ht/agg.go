@@ -51,9 +51,10 @@ type AggTable struct {
 }
 
 // NewAggTable returns a table with nAccs accumulators per group and room
-// for about hint groups before growing.
+// for about hint groups before growing. Non-positive hints get the
+// minimum capacity.
 func NewAggTable(nAccs, hint int) *AggTable {
-	capacity := nextPow2(hint * 2)
+	capacity := hintCap(hint)
 	return &AggTable{
 		nAccs:     nAccs,
 		cur:       1,
@@ -91,12 +92,25 @@ func (t *AggTable) Reset() {
 	t.ThrowawayCount = 0
 }
 
+// setEpochForTest forces the generation counter to cur, re-stamping every
+// slot of the current generation so it stays live. Tests use it to reach
+// the 32-bit wrap fallback in Reset without four billion calls.
+func (t *AggTable) setEpochForTest(cur uint32) {
+	for i := range t.epoch {
+		if t.epoch[i] == t.cur {
+			t.epoch[i] = cur
+		}
+	}
+	t.cur = cur
+}
+
 // Reserve grows the table, if needed, so that about hint groups fit
 // without Lookup ever triggering grow() — the cardinality-hinted
 // preallocation used when cached statistics predict the group count. It
-// rehashes any live groups and does not count toward Grows.
+// rehashes any live groups and does not count toward Grows. Non-positive
+// hints never shrink the table and are no-ops.
 func (t *AggTable) Reserve(hint int) {
-	capacity := nextPow2(hint * 2)
+	capacity := hintCap(hint)
 	if capacity <= len(t.keys) {
 		return
 	}

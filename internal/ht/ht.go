@@ -42,3 +42,24 @@ func nextPow2(n int) int {
 	}
 	return c
 }
+
+// maxHint caps cardinality hints. 2^40 groups is far past addressable
+// memory for any slot layout in this package; the cap exists so that a
+// corrupt or adversarial hint near MaxInt cannot overflow the hint*2
+// sizing arithmetic below into a tiny (or negative) capacity.
+const maxHint = 1 << 40
+
+// hintCap maps a caller-supplied cardinality hint to a slot capacity:
+// twice the hint, rounded up to a power of two. Non-positive hints (an
+// empty table, a zero or failed estimate) clamp to zero explicitly and
+// get nextPow2's minimum capacity of 8 rather than relying on what a
+// negative product happens to do.
+func hintCap(hint int) int {
+	if hint < 0 {
+		hint = 0
+	}
+	if hint > maxHint {
+		hint = maxHint
+	}
+	return nextPow2(hint * 2)
+}

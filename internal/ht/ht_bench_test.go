@@ -70,6 +70,94 @@ func BenchmarkSetProbe(b *testing.B) {
 	sinkSlot += hits
 }
 
+// BenchmarkRadixAggregate1M pits the direct single-table aggregation of
+// 1M distinct keys (random DRAM probes) against the two-phase radix form:
+// scatter into 256 partition buffers, then aggregate each partition in a
+// table 1/256 the size. Same input, same result; the radix form trades
+// one extra sequential pass for cache-resident probes.
+func BenchmarkRadixAggregate1M(b *testing.B) {
+	const keys = 1 << 20
+	const parts = 256
+	in := make([]int64, 1<<22)
+	rng := rand.New(rand.NewSource(11))
+	for i := range in {
+		in[i] = int64(rng.Intn(keys))
+	}
+	b.Run("direct", func(b *testing.B) {
+		t := NewAggTable(1, keys)
+		for i := 0; i < b.N; i++ {
+			t.Reset()
+			for _, k := range in {
+				t.Add(t.Lookup(k), 0, 1)
+			}
+			sinkSlot += t.Len()
+		}
+	})
+	b.Run("partitioned", func(b *testing.B) {
+		p := NewPartitioner(parts)
+		t := NewAggTable(1, 2*keys/parts)
+		for i := 0; i < b.N; i++ {
+			p.Reset()
+			for _, k := range in {
+				p.Append(k, 1)
+			}
+			total := 0
+			for part := 0; part < parts; part++ {
+				t.Reset()
+				pk, pv := p.Part(part)
+				for j, k := range pk {
+					t.Add(t.Lookup(k), 0, pv[j])
+				}
+				total += t.Len()
+			}
+			sinkSlot += total
+		}
+	})
+}
+
+// BenchmarkRadixJoinBuildProbe compares a monolithic JoinTable build and
+// probe against the PartitionedJoinTable at 1M build keys.
+func BenchmarkRadixJoinBuildProbe(b *testing.B) {
+	const keys = 1 << 20
+	probe := make([]int64, 1<<22)
+	rng := rand.New(rand.NewSource(13))
+	for i := range probe {
+		probe[i] = int64(rng.Intn(2 * keys))
+	}
+	b.Run("direct", func(b *testing.B) {
+		t := NewJoinTable(keys)
+		for i := 0; i < b.N; i++ {
+			t.Reset()
+			for k := 0; k < keys; k++ {
+				t.Insert(int64(k), int32(k))
+			}
+			hits := 0
+			for _, k := range probe {
+				if _, ok := t.Probe(k); ok {
+					hits++
+				}
+			}
+			sinkSlot += hits
+		}
+	})
+	b.Run("partitioned", func(b *testing.B) {
+		t := NewPartitionedJoinTable(256, keys)
+		for i := 0; i < b.N; i++ {
+			t.Reset()
+			for k := 0; k < keys; k++ {
+				t.Insert(int64(k), int32(k))
+			}
+			hits := 0
+			for _, k := range probe {
+				if _, ok := t.Probe(k); ok {
+					hits++
+				}
+			}
+			sinkSlot += hits
+		}
+	})
+}
+
 func size(keys int) string {
 	switch {
 	case keys < 1<<10:

@@ -25,8 +25,9 @@ type JoinTable struct {
 }
 
 // NewJoinTable returns a join table with room for about hint keys.
+// Non-positive hints get the minimum capacity.
 func NewJoinTable(hint int) *JoinTable {
-	capacity := nextPow2(hint * 2)
+	capacity := hintCap(hint)
 	return &JoinTable{
 		keys:  make([]int64, capacity),
 		rows:  make([]int32, capacity),
@@ -49,10 +50,21 @@ func (t *JoinTable) Reset() {
 	t.len = 0
 }
 
+// setEpochForTest forces the generation counter to cur, re-stamping the
+// current generation's slots so they stay live; see AggTable.setEpochForTest.
+func (t *JoinTable) setEpochForTest(cur uint32) {
+	for i := range t.epoch {
+		if t.epoch[i] == t.cur {
+			t.epoch[i] = cur
+		}
+	}
+	t.cur = cur
+}
+
 // Reserve grows the table, if needed, so about hint keys fit without
-// Insert triggering a grow.
+// Insert triggering a grow. Non-positive hints are no-ops.
 func (t *JoinTable) Reserve(hint int) {
-	capacity := nextPow2(hint * 2)
+	capacity := hintCap(hint)
 	if capacity <= len(t.keys) {
 		return
 	}
@@ -145,9 +157,10 @@ type SetTable struct {
 	Grows uint64
 }
 
-// NewSetTable returns a set with room for about hint keys.
+// NewSetTable returns a set with room for about hint keys. Non-positive
+// hints get the minimum capacity.
 func NewSetTable(hint int) *SetTable {
-	capacity := nextPow2(hint * 2)
+	capacity := hintCap(hint)
 	return &SetTable{
 		keys:  make([]int64, capacity),
 		state: make([]byte, capacity),
@@ -170,9 +183,9 @@ func (t *SetTable) Reset() {
 }
 
 // Reserve grows the set, if needed, so about hint keys fit without Insert
-// triggering a grow.
+// triggering a grow. Non-positive hints are no-ops.
 func (t *SetTable) Reserve(hint int) {
-	capacity := nextPow2(hint * 2)
+	capacity := hintCap(hint)
 	if capacity <= len(t.keys) {
 		return
 	}

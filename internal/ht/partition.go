@@ -1,0 +1,190 @@
+package ht
+
+// Radix partitioning: the paper's pullup philosophy applied one level
+// below the operators. A hash table that exceeds the cache turns every
+// Lookup into a random DRAM access; SWOLE's thesis — trade extra
+// sequential work for access locality — says to split that one random
+// pass into two sequential ones. Phase 1 appends each (key, value) pair
+// into the partition selected by the top bits of the key's hash: a pure
+// sequential write per tuple, no probes. Phase 2 visits one partition at
+// a time and aggregates (or builds) it in a table 1/P the size, which the
+// cost model picks P to make cache-resident. Partitions are disjoint in
+// key space, so phase 2 parallelizes across partitions with no shared
+// mutable state and no final cross-worker fold.
+//
+// Partitioner is one worker's phase-1 buffer set; PartitionedJoinTable is
+// the phase-2 structure for equijoin build sides (AggTable, recycled per
+// partition, serves aggregation phase 2 directly).
+
+// MaxPartitions bounds the radix fan-out. 1024 partitions keep the
+// per-worker slice-header array trivial while letting a ~256 MB table be
+// cut into L2-sized pieces.
+const MaxPartitions = 1024
+
+// PartitionCount rounds a requested fan-out to the power of two the
+// partitioning primitives require, clamped to [1, MaxPartitions].
+func PartitionCount(parts int) int {
+	if parts < 1 {
+		return 1
+	}
+	if parts > MaxPartitions {
+		parts = MaxPartitions
+	}
+	p := 1
+	for p < parts {
+		p <<= 1
+	}
+	return p
+}
+
+// partitionShift returns the right-shift that maps a 64-bit hash to a
+// partition index in [0, parts) using the hash's top bits. parts must be
+// a power of two; parts == 1 shifts by 64, which Go defines as 0.
+func partitionShift(parts int) uint {
+	s := uint(64)
+	for p := 1; p < parts; p <<= 1 {
+		s--
+	}
+	return s
+}
+
+// PartitionOf returns key's partition under the given shift — the same
+// routing Partitioner.Append and PartitionedJoinTable use, exposed so
+// tests and phase-2 consumers can agree on placement.
+func PartitionOf(key int64, shift uint) int {
+	return int(hash64(uint64(key)) >> shift)
+}
+
+// Partitioner is one worker's per-partition (key, value) append buffers.
+// Appends are sequential writes into the partition selected by the key
+// hash's top bits; a scan over the buffered pairs of one partition is a
+// sequential read. Like the tables in this package, a Partitioner is
+// built to be recycled: Reset truncates every buffer but keeps its
+// capacity, so a steady-state workload appends into warm memory and
+// allocates nothing after the first run at a given shape.
+type Partitioner struct {
+	shift uint
+	keys  [][]int64
+	vals  [][]int64
+}
+
+// NewPartitioner returns a partitioner with the given fan-out (rounded to
+// a power of two, clamped to [1, MaxPartitions]).
+func NewPartitioner(parts int) *Partitioner {
+	parts = PartitionCount(parts)
+	return &Partitioner{
+		shift: partitionShift(parts),
+		keys:  make([][]int64, parts),
+		vals:  make([][]int64, parts),
+	}
+}
+
+// Parts returns the fan-out.
+func (p *Partitioner) Parts() int { return len(p.keys) }
+
+// Shift returns the hash shift that routes keys to partitions.
+func (p *Partitioner) Shift() uint { return p.shift }
+
+// Reset truncates every partition buffer, keeping capacity for reuse.
+func (p *Partitioner) Reset() {
+	for i := range p.keys {
+		p.keys[i] = p.keys[i][:0]
+		p.vals[i] = p.vals[i][:0]
+	}
+}
+
+// Append buffers one (key, value) pair in key's partition.
+func (p *Partitioner) Append(key, val int64) {
+	i := hash64(uint64(key)) >> p.shift
+	p.keys[i] = append(p.keys[i], key)
+	p.vals[i] = append(p.vals[i], val)
+}
+
+// Part returns partition i's buffered keys and values. The slices are
+// owned by the partitioner and invalidated by the next Reset.
+func (p *Partitioner) Part(i int) (keys, vals []int64) {
+	return p.keys[i], p.vals[i]
+}
+
+// Rows returns the total number of buffered pairs.
+func (p *Partitioner) Rows() int {
+	n := 0
+	for _, k := range p.keys {
+		n += len(k)
+	}
+	return n
+}
+
+// PairBytes approximates the partitioner's buffered-data footprint (two
+// int64 per pair), for memory accounting and the cost model.
+func (p *Partitioner) PairBytes() int { return 16 * p.Rows() }
+
+// PartitionedJoinTable is a radix-partitioned equijoin build side: P
+// independent JoinTables, each covering one slice of the hash space. The
+// two-phase build writes (key, row) pairs through Partitioners in phase 1;
+// in phase 2 each worker claims whole partitions and inserts into that
+// partition's sub-table — disjoint key ranges, so no synchronization —
+// each sub-table 1/P the footprint of a monolithic build and therefore
+// cache-resident during both its build and its probes.
+type PartitionedJoinTable struct {
+	shift uint
+	subs  []*JoinTable
+}
+
+// NewPartitionedJoinTable returns a partitioned join table with the given
+// fan-out (rounded to a power of two, clamped to [1, MaxPartitions]) and
+// room for about hint total keys spread across the sub-tables.
+func NewPartitionedJoinTable(parts, hint int) *PartitionedJoinTable {
+	parts = PartitionCount(parts)
+	sub := hint / parts
+	t := &PartitionedJoinTable{
+		shift: partitionShift(parts),
+		subs:  make([]*JoinTable, parts),
+	}
+	for i := range t.subs {
+		t.subs[i] = NewJoinTable(sub)
+	}
+	return t
+}
+
+// Parts returns the fan-out.
+func (t *PartitionedJoinTable) Parts() int { return len(t.subs) }
+
+// Sub returns partition i's sub-table. Phase-2 build workers that have
+// claimed partition i insert into it directly; distinct partitions may be
+// built concurrently.
+func (t *PartitionedJoinTable) Sub(i int) *JoinTable { return t.subs[i] }
+
+// PartitionOf returns the partition key routes to.
+func (t *PartitionedJoinTable) PartitionOf(key int64) int {
+	return int(hash64(uint64(key)) >> t.shift)
+}
+
+// Reset empties every sub-table in O(parts), keeping capacity.
+func (t *PartitionedJoinTable) Reset() {
+	for _, s := range t.subs {
+		s.Reset()
+	}
+}
+
+// Len returns the total number of keys across all partitions.
+func (t *PartitionedJoinTable) Len() int {
+	n := 0
+	for _, s := range t.subs {
+		n += s.Len()
+	}
+	return n
+}
+
+// Insert adds key -> row to key's partition, reporting whether the key
+// was new. Safe only for callers that serialize inserts per partition
+// (the phase-2 contract).
+func (t *PartitionedJoinTable) Insert(key int64, row int32) bool {
+	return t.subs[t.PartitionOf(key)].Insert(key, row)
+}
+
+// Probe returns the build row matching key and whether a match exists.
+// Read-only; safe for concurrent probes once the build phase is done.
+func (t *PartitionedJoinTable) Probe(key int64) (int32, bool) {
+	return t.subs[t.PartitionOf(key)].Probe(key)
+}

@@ -1,0 +1,184 @@
+package ht
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPartitionCount(t *testing.T) {
+	cases := map[int]int{
+		-4: 1, 0: 1, 1: 1, 2: 2, 3: 4, 64: 64, 65: 128,
+		MaxPartitions: MaxPartitions, MaxPartitions + 1: MaxPartitions,
+	}
+	for in, want := range cases {
+		if got := PartitionCount(in); got != want {
+			t.Errorf("PartitionCount(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// TestPartitionerRouting checks every appended pair lands in the
+// partition its key hashes to, across fan-outs including the degenerate
+// single partition.
+func TestPartitionerRouting(t *testing.T) {
+	for _, parts := range []int{1, 2, 16, 256} {
+		p := NewPartitioner(parts)
+		if p.Parts() != parts {
+			t.Fatalf("parts=%d: Parts()=%d", parts, p.Parts())
+		}
+		rng := rand.New(rand.NewSource(1))
+		n := 10_000
+		for i := 0; i < n; i++ {
+			k := rng.Int63n(1 << 40)
+			p.Append(k, int64(i))
+		}
+		p.Append(NullKey, 99) // the masked key routes like any other
+		if got := p.Rows(); got != n+1 {
+			t.Fatalf("parts=%d: Rows()=%d, want %d", parts, got, n+1)
+		}
+		for i := 0; i < parts; i++ {
+			keys, vals := p.Part(i)
+			if len(keys) != len(vals) {
+				t.Fatalf("parts=%d part=%d: %d keys vs %d vals", parts, i, len(keys), len(vals))
+			}
+			for _, k := range keys {
+				if got := PartitionOf(k, p.Shift()); got != i {
+					t.Fatalf("parts=%d: key %d buffered in partition %d, hashes to %d", parts, k, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionerReset checks Reset keeps buffer capacity so the second
+// identical fill performs no allocation.
+func TestPartitionerReset(t *testing.T) {
+	p := NewPartitioner(8)
+	fill := func() {
+		for i := int64(0); i < 4096; i++ {
+			p.Append(i*2654435761, i)
+		}
+	}
+	fill()
+	if p.Rows() != 4096 {
+		t.Fatalf("Rows()=%d after fill", p.Rows())
+	}
+	p.Reset()
+	if p.Rows() != 0 {
+		t.Fatalf("Rows()=%d after Reset", p.Rows())
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		p.Reset()
+		fill()
+	})
+	if allocs != 0 {
+		t.Errorf("warm Reset+fill allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestPartitionedAggParity drives the full two-phase flow sequentially —
+// per-"worker" partitioners, then per-partition aggregation into one
+// small recycled table — and checks the result is bit-identical to a
+// single monolithic AggTable over the same stream.
+func TestPartitionedAggParity(t *testing.T) {
+	const workers, parts, n = 3, 16, 30_000
+	direct := NewAggTable(1, 1024)
+	ps := make([]*Partitioner, workers)
+	for w := range ps {
+		ps[w] = NewPartitioner(parts)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		k, v := rng.Int63n(5000), rng.Int63n(100)
+		if i%5 == 0 {
+			k = NullKey // masked tuples flow through both paths
+		}
+		direct.Add(direct.Lookup(k), 0, v)
+		ps[i%workers].Append(k, v)
+	}
+
+	got := map[int64]int64{}
+	small := NewAggTable(1, 2*5000/parts)
+	var throwaway int64
+	for part := 0; part < parts; part++ {
+		small.Reset()
+		for _, p := range ps {
+			keys, vals := p.Part(part)
+			for i, k := range keys {
+				small.Add(small.Lookup(k), 0, vals[i])
+			}
+		}
+		throwaway += small.Throwaway[0]
+		small.ForEach(false, func(key int64, s int) { got[key] = small.Acc(s, 0) })
+	}
+
+	want := map[int64]int64{}
+	direct.ForEach(false, func(key int64, s int) { want[key] = direct.Acc(s, 0) })
+	if len(got) != len(want) {
+		t.Fatalf("%d partitioned groups, want %d", len(got), len(want))
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("key %d: partitioned %d, direct %d", k, got[k], w)
+		}
+	}
+	if throwaway != direct.Throwaway[0] {
+		t.Errorf("throwaway sum %d, direct %d", throwaway, direct.Throwaway[0])
+	}
+}
+
+// TestPartitionedJoinTable checks the partitioned build/probe against a
+// monolithic JoinTable: same membership, same rows, duplicate handling,
+// and correct sub-table routing.
+func TestPartitionedJoinTable(t *testing.T) {
+	const parts, n = 32, 20_000
+	pt := NewPartitionedJoinTable(parts, n)
+	direct := NewJoinTable(n)
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(1 << 50)
+		pt.Insert(keys[i], int32(i))
+		direct.Insert(keys[i], int32(i))
+	}
+	if pt.Len() != direct.Len() {
+		t.Fatalf("partitioned len %d, direct %d", pt.Len(), direct.Len())
+	}
+	for _, k := range keys {
+		grow, gok := pt.Probe(k)
+		drow, dok := direct.Probe(k)
+		if gok != dok || grow != drow {
+			t.Fatalf("key %d: partitioned %d,%v direct %d,%v", k, grow, gok, drow, dok)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		k := rng.Int63n(1<<50) | (1 << 51) // disjoint from inserted range
+		if _, ok := pt.Probe(k); ok {
+			t.Fatalf("absent key %d probed true", k)
+		}
+	}
+	// Duplicate inserts keep the first row, as in JoinTable.
+	if pt.Insert(keys[0], 999) {
+		t.Error("duplicate insert reported new")
+	}
+	if row, _ := pt.Probe(keys[0]); row != 0 {
+		t.Errorf("duplicate insert overwrote row: %d", row)
+	}
+	// Sub-table routing agrees with PartitionOf.
+	for i := 0; i < parts; i++ {
+		if pt.Sub(i) == nil {
+			t.Fatalf("nil sub-table %d", i)
+		}
+	}
+	if p := pt.PartitionOf(keys[1]); pt.Sub(p).Len() == 0 {
+		t.Errorf("key %d routed to empty sub-table %d", keys[1], p)
+	}
+
+	pt.Reset()
+	if pt.Len() != 0 {
+		t.Fatalf("len %d after Reset", pt.Len())
+	}
+	if _, ok := pt.Probe(keys[0]); ok {
+		t.Error("key survived Reset")
+	}
+}

@@ -2,6 +2,7 @@ package swole
 
 import (
 	"sort"
+	"time"
 
 	"github.com/reprolab/swole/internal/core"
 	"github.com/reprolab/swole/internal/expr"
@@ -44,20 +45,34 @@ type Explain struct {
 	// tables, bitmaps) newly allocated rather than recycled; 0 in steady
 	// state.
 	FreshAllocs int
+
+	// Partitioned reports the radix-partitioned two-phase path executed
+	// the aggregation: phase 1 scattered (key, value) pairs into radix
+	// partition buffers, phase 2 aggregated each partition in a
+	// cache-resident table (see SetPartitionMode).
+	Partitioned bool
+	// Partitions is the radix fan-out (power of two); 0 when the direct
+	// path ran.
+	Partitions int
+	// PartitionTime is the wall time of the phase-1 partition scatter.
+	PartitionTime time.Duration
 }
 
 func fromCore(ex core.Explain) Explain {
 	return Explain{
-		Technique:   ex.Technique.String(),
-		Selectivity: ex.Selectivity,
-		Groups:      ex.Groups,
-		HTBytes:     ex.HTBytes,
-		Costs:       ex.Costs,
-		Merged:      ex.Merged,
-		PlanCached:  ex.PlanCached,
-		StatsCached: ex.StatsCached,
-		HTGrows:     ex.HTGrows,
-		FreshAllocs: ex.FreshAllocs,
+		Technique:     ex.Technique.String(),
+		Selectivity:   ex.Selectivity,
+		Groups:        ex.Groups,
+		HTBytes:       ex.HTBytes,
+		Costs:         ex.Costs,
+		Merged:        ex.Merged,
+		PlanCached:    ex.PlanCached,
+		StatsCached:   ex.StatsCached,
+		HTGrows:       ex.HTGrows,
+		FreshAllocs:   ex.FreshAllocs,
+		Partitioned:   ex.Partitioned,
+		Partitions:    ex.Partitions,
+		PartitionTime: ex.PartitionTime,
 	}
 }
 

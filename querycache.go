@@ -220,6 +220,34 @@ func (d *DB) SetWorkers(n int) {
 	d.engine.Workers = n
 }
 
+// PartitionMode selects how the SWOLE executor decides between direct
+// and radix-partitioned group-by execution; see SetPartitionMode.
+type PartitionMode = core.PartitionMode
+
+// Partition modes, re-exported from the core engine.
+const (
+	// PartitionAuto defers to the cost model (the default): the radix
+	// path runs when the estimated hash-table footprint overflows the
+	// cache budget and the two-phase model is cheaper.
+	PartitionAuto = core.PartitionAuto
+	// PartitionOff forces the direct per-worker hash-table path.
+	PartitionOff = core.PartitionOff
+	// PartitionOn forces the radix-partitioned path (benchmarks,
+	// experiments).
+	PartitionOn = core.PartitionOn
+)
+
+// SetPartitionMode pins the direct-vs-partitioned execution decision for
+// group-by aggregations. Prepared plans bake the decision in, so changing
+// the mode clears the plan cache, like SetWorkers.
+func (d *DB) SetPartitionMode(m PartitionMode) {
+	d.mu.Lock()
+	d.plans = map[string]*cachedPlan{}
+	d.normPlans = map[string]*cachedPlan{}
+	d.mu.Unlock()
+	d.engine.Partition = m
+}
+
 // Close releases the executor's persistent worker goroutines. The DB
 // remains usable after Close (the gang respawns on demand); Close exists
 // for goroutine hygiene when many DBs are created in one process.

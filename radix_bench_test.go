@@ -1,0 +1,116 @@
+package swole
+
+// Radix-partitioning benchmarks: direct vs partitioned group-by execution
+// at hash-table footprints far past the cache budget — the regime the
+// two-phase radix path exists for. At 1M groups the direct path's
+// per-worker tables are ~26MB of random-access DRAM; the radix path
+// scatters (key, value) pairs sequentially and aggregates each partition
+// in a cache-resident table, with no cross-worker merge.
+//
+// CI publishes these as BENCH_radix.json next to the steady-state
+// numbers; the partitioned/direct ratio is the headline. These are
+// deliberately named BenchmarkRadix*, not BenchmarkSteady*: the direct
+// variant at this scale reallocates nothing either, but the gate that
+// scans BenchmarkSteady lines enforces 0 allocs/op and these runs are
+// about time, not allocation.
+
+import (
+	"fmt"
+	"testing"
+)
+
+const (
+	radixRows   = 2_097_152
+	radixGroups = 1_048_576
+)
+
+// benchRadix measures warm plan-cached executions of q under the given
+// partition mode.
+func benchRadix(b *testing.B, mode PartitionMode, workers int, q string, wantPartitioned bool) {
+	b.Helper()
+	d := steadyDB(b, radixRows, 1024, radixGroups)
+	d.SetPartitionMode(mode)
+	d.SetWorkers(workers)
+	defer d.SetPartitionMode(PartitionAuto)
+	defer d.SetWorkers(0)
+	// Warm run: compile, sample, plan, allocate.
+	_, ex, err := d.QuerySwole(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if ex.Partitioned != wantPartitioned {
+		b.Fatalf("Partitioned=%v, want %v (Partitions=%d)", ex.Partitioned, wantPartitioned, ex.Partitions)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := d.QuerySwole(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += int64(res.NumRows())
+	}
+}
+
+// BenchmarkRadixGroupAgg1M is the acceptance benchmark: a 1M-group
+// aggregation at 4 workers, direct vs radix-partitioned.
+func BenchmarkRadixGroupAgg1M(b *testing.B) {
+	q := "select r_c, sum(r_a) from r where r_x < 50 group by r_c"
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("direct/workers%d", workers), func(b *testing.B) {
+			benchRadix(b, PartitionOff, workers, q, false)
+		})
+		b.Run(fmt.Sprintf("partitioned/workers%d", workers), func(b *testing.B) {
+			benchRadix(b, PartitionOn, workers, q, true)
+		})
+	}
+}
+
+// BenchmarkRadixGroupJoinAgg1M runs the eager groupjoin over a 1M-key
+// foreign key, direct vs radix-partitioned.
+func BenchmarkRadixGroupJoinAgg1M(b *testing.B) {
+	q := "select r_fk, sum(r_a) from r, s where r_fk = s_pk and s_x < 50 group by r_fk"
+	d := steadyDB(b, radixRows, radixGroups, 128)
+	d.SetPartitionMode(PartitionOff)
+	_, ex, err := d.QuerySwole(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.SetPartitionMode(PartitionAuto)
+	if ex.Technique != "eager-aggregation" {
+		b.Skipf("planner chose %s; the radix path only applies to eager groupjoin", ex.Technique)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("direct/workers%d", workers), func(b *testing.B) {
+			benchRadixJoin(b, PartitionOff, workers, q, false)
+		})
+		b.Run(fmt.Sprintf("partitioned/workers%d", workers), func(b *testing.B) {
+			benchRadixJoin(b, PartitionOn, workers, q, true)
+		})
+	}
+}
+
+func benchRadixJoin(b *testing.B, mode PartitionMode, workers int, q string, wantPartitioned bool) {
+	b.Helper()
+	d := steadyDB(b, radixRows, radixGroups, 128)
+	d.SetPartitionMode(mode)
+	d.SetWorkers(workers)
+	defer d.SetPartitionMode(PartitionAuto)
+	defer d.SetWorkers(0)
+	_, ex, err := d.QuerySwole(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if ex.Partitioned != wantPartitioned {
+		b.Fatalf("Partitioned=%v, want %v (Partitions=%d)", ex.Partitioned, wantPartitioned, ex.Partitions)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := d.QuerySwole(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += int64(res.NumRows())
+	}
+}
