@@ -1,0 +1,334 @@
+package core
+
+import (
+	"cmp"
+	"slices"
+	"time"
+
+	"github.com/reprolab/swole/internal/bitmap"
+	"github.com/reprolab/swole/internal/cost"
+	"github.com/reprolab/swole/internal/exec"
+	"github.com/reprolab/swole/internal/ht"
+)
+
+// The compiled-plan layer. Every shape executes through one pipeline:
+//
+//	compile(shape) — validate and bind expressions, sample statistics
+//	                 (through the cache), evaluate the cost models, pick
+//	                 the technique and the direct-vs-partitioned mode
+//	bind            — point the plan's prebuilt kernel closures at the
+//	                 chosen technique and size its owned buffers (worker
+//	                 scratch, hash tables, bitmaps, partials), reusing
+//	                 whatever a previous binding left behind
+//	run()           — scan on the engine's persistent worker gang and
+//	                 merge per-worker partials; no planning, no
+//	                 allocation in the steady state
+//
+// The three public entry points are thin modes of this pipeline. Prepare*
+// is compile-and-keep: the caller owns the plan and re-runs it. One-shot
+// (ScalarAgg, GroupAgg, ...) is compile-once-and-cache: the engine keys
+// the compiled plan by the query value, and a repeated query whose
+// environment and input tables are unchanged replays the plan without
+// recompiling — the warm one-shot path allocates nothing but the result
+// map for group shapes. *Forced is compile-with-override: the technique
+// is the caller's, the scan is sequential (forced runs measure kernel
+// character, not parallel speedup), and the plan husk returns to a free
+// list afterwards so comparison loops recycle buffers across techniques.
+//
+// A plan's kernels are closures built once per husk (newScalarPlan and
+// friends) that read the plan's current fields, so rebinding a recycled
+// husk to a new query never rebuilds closures. Kernels are the single
+// implementation per (shape, technique); no other execution path exists.
+
+// kernelFn is a morsel kernel: worker w processes rows [base, base+length).
+type kernelFn = func(w, base, length int)
+
+// techAuto asks compile to choose the technique with the cost model;
+// any real Technique value forces it.
+const techAuto Technique = -1
+
+// planEnv snapshots everything outside the query that a compiled plan
+// baked in. A cached plan is replayable only while the engine's current
+// environment compares equal to the one it was compiled under.
+type planEnv struct {
+	workers   int
+	morsel    int
+	partition PartitionMode
+	params    cost.Params
+}
+
+func (e *Engine) planEnv() planEnv {
+	return planEnv{
+		workers:   e.workers(),
+		morsel:    e.MorselRows,
+		partition: e.Partition,
+		params:    e.Params,
+	}
+}
+
+// planDep pins one input table at the version the plan was compiled
+// against.
+type planDep struct {
+	table string
+	ver   uint64
+}
+
+// planCore is the part of a compiled plan every shape shares: the engine,
+// the environment snapshot, the table dependencies, the Explain record
+// the compile filled in, and the per-worker scratch states.
+type planCore struct {
+	e      *Engine
+	env    planEnv
+	nw     int  // worker count the kernels run on (1 when seq)
+	seq    bool // forced plans scan inline, off the gang
+	nd     int
+	deps   [2]planDep
+	ex     Explain
+	states []workerState
+}
+
+// bindCore resets the shared plan state for a (re)compile and sizes the
+// worker scratch. It returns the number of freshly allocated states.
+func (p *planCore) bindCore(e *Engine, env planEnv, seq bool) int {
+	p.e, p.env, p.seq = e, env, seq
+	p.nw = env.workers
+	if seq {
+		p.nw = 1
+	}
+	p.nd = 0
+	var fresh int
+	p.states, fresh = ensureStates(p.states, p.nw)
+	return fresh
+}
+
+// dep records an input-table dependency at its current version.
+func (p *planCore) dep(table string) {
+	p.deps[p.nd] = planDep{table: table, ver: p.e.DB.TableVersion(table)}
+	p.nd++
+}
+
+// valid reports whether the plan can replay under the given environment:
+// same environment snapshot and every input table still at its compiled
+// version. Sequential (forced) plans never replay.
+func (p *planCore) valid(env planEnv) bool {
+	if p.seq || p.env != env {
+		return false
+	}
+	for i := 0; i < p.nd; i++ {
+		if p.e.DB.TableVersion(p.deps[i].table) != p.deps[i].ver {
+			return false
+		}
+	}
+	return true
+}
+
+// dependsOn reports whether the plan reads the named table.
+func (p *planCore) dependsOn(table string) bool {
+	for i := 0; i < p.nd; i++ {
+		if p.deps[i].table == table {
+			return true
+		}
+	}
+	return false
+}
+
+// scan runs a kernel over [0, rows): on the persistent gang normally, or
+// inline on this goroutine for sequential (forced) plans. Callers hold
+// e.execMu.
+func (p *planCore) scan(rows int, kernel kernelFn) {
+	if p.seq {
+		if rows > 0 {
+			kernel(0, 0, rows)
+		}
+		return
+	}
+	p.e.steadyLocked(p.nw).Run(rows, kernel)
+}
+
+// scanTwoPhase runs the partitioned two-phase form (morsel scatter,
+// barrier, partition-wise fold) and returns the phase-1 duration. Callers
+// hold e.execMu.
+func (p *planCore) scanTwoPhase(rows int, kernel kernelFn, parts int, phase2 func(w, part int)) time.Duration {
+	if p.seq {
+		start := time.Now()
+		if rows > 0 {
+			kernel(0, 0, rows)
+		}
+		d := time.Since(start)
+		for part := 0; part < parts; part++ {
+			phase2(0, part)
+		}
+		return d
+	}
+	return p.e.steadyLocked(p.nw).RunTwoPhase(rows, kernel, parts, phase2)
+}
+
+// snapshot copies the Explain for return and zeroes the one-execution
+// counters so replays report a settled steady state.
+func (p *planCore) snapshot() Explain {
+	ex := p.ex
+	p.ex.FreshAllocs = 0
+	return ex
+}
+
+// finishOneShot adjusts a plan's Explain for the one-shot entry points:
+// a replayed plan implies both caches hit; a fresh compile is, by
+// definition, not a plan-cache hit.
+func finishOneShot(ex *Explain, replayed bool) {
+	if replayed {
+		ex.StatsCached = true
+	} else {
+		ex.PlanCached = false
+	}
+}
+
+// GroupResult is a reusable grouped-aggregation answer: parallel arrays of
+// group keys (ascending) and their sums. The arrays are owned by the
+// compiled plan and overwritten by its next run.
+type GroupResult struct {
+	Keys []int64
+	Sums []int64
+}
+
+// Map copies the result into a freshly allocated map (the one-shot API's
+// shape).
+func (g *GroupResult) Map() map[int64]int64 {
+	out := make(map[int64]int64, len(g.Keys))
+	for i, k := range g.Keys {
+		out[k] = g.Sums[i]
+	}
+	return out
+}
+
+// kv is one (group key, sum) pair awaiting the final sort.
+type kv struct {
+	k, v int64
+}
+
+// groupEmit collects a group-shape plan's merge output and materializes
+// it sorted. Both buffers persist across runs.
+type groupEmit struct {
+	out   GroupResult
+	pairs []kv
+}
+
+func (g *groupEmit) reset() { g.pairs = g.pairs[:0] }
+
+func (g *groupEmit) add(k, v int64) { g.pairs = append(g.pairs, kv{k, v}) }
+
+// finish sorts the collected pairs by key and unzips them into the
+// GroupResult arrays.
+func (g *groupEmit) finish() {
+	slices.SortFunc(g.pairs, func(a, b kv) int { return cmp.Compare(a.k, b.k) })
+	g.out.Keys = g.out.Keys[:0]
+	g.out.Sums = g.out.Sums[:0]
+	for _, p := range g.pairs {
+		g.out.Keys = append(g.out.Keys, p.k)
+		g.out.Sums = append(g.out.Sums, p.v)
+	}
+}
+
+// ensure helpers: size a plan-owned buffer slice to exactly n entries,
+// recycling what a previous binding allocated. Shrinking keeps the extra
+// entries alive in the backing array, so a later wider binding recovers
+// them instead of reallocating. Each returns the fresh-allocation count
+// feeding Explain.FreshAllocs.
+
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	ns := make([]T, n)
+	copy(ns, s[:cap(s)])
+	return ns
+}
+
+func ensureStates(states []workerState, n int) ([]workerState, int) {
+	states = growSlice(states, n)
+	fresh := 0
+	for i := range states {
+		if states[i].ev == nil {
+			states[i] = newWorkerState()
+			fresh++
+		}
+	}
+	return states, fresh
+}
+
+func ensureTables(tabs []*ht.AggTable, n, hint int) ([]*ht.AggTable, int) {
+	tabs = growSlice(tabs, n)
+	fresh := 0
+	for i := range tabs {
+		if tabs[i] == nil {
+			tabs[i] = ht.NewAggTable(1, hint)
+			fresh++
+		} else {
+			tabs[i].Reset()
+			tabs[i].Reserve(hint)
+		}
+	}
+	return tabs, fresh
+}
+
+func ensureTable(tab *ht.AggTable, hint int) (*ht.AggTable, int) {
+	if tab == nil {
+		return ht.NewAggTable(1, hint), 1
+	}
+	tab.Reset()
+	tab.Reserve(hint)
+	return tab, 0
+}
+
+func ensureBitmaps(bms []*bitmap.Bitmap, n, rows int) ([]*bitmap.Bitmap, int) {
+	bms = growSlice(bms, n)
+	fresh := 0
+	for i := range bms {
+		if bms[i] == nil {
+			bms[i] = bitmap.New(rows)
+			fresh++
+		} else {
+			bms[i].Reset(rows)
+		}
+	}
+	return bms, fresh
+}
+
+func ensurePartitioners(ps []*ht.Partitioner, n, parts int) ([]*ht.Partitioner, int) {
+	ps = growSlice(ps, n)
+	fresh := 0
+	for i := range ps {
+		if ps[i] == nil || ps[i].Parts() != parts {
+			ps[i] = ht.NewPartitioner(parts)
+			fresh++
+		} else {
+			ps[i].Reset()
+		}
+	}
+	return ps, fresh
+}
+
+// ensurePartials reuses a partials block when it already covers n workers
+// (summing a wider block's zero tail is free); have tracks the allocated
+// width.
+func ensurePartials(cur *exec.Partials, have, n int) (*exec.Partials, int, int) {
+	if cur == nil || have < n {
+		return exec.NewPartials(n), n, 1
+	}
+	return cur, have, 0
+}
+
+func ensureEmit(emit [][]kv, n int) [][]kv {
+	return growSlice(emit, n)
+}
+
+// Close releases the engine's persistent worker gang. Pools and caches
+// are garbage-collected with the engine; Close only matters for goroutine
+// hygiene when engines are created in bulk (tests, short-lived tools).
+func (e *Engine) Close() {
+	e.execMu.Lock()
+	if e.gang != nil {
+		e.gang.Close()
+		e.gang = nil
+	}
+	e.execMu.Unlock()
+}

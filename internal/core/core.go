@@ -6,6 +6,15 @@
 // kernels. Each execution returns an Explain describing the decision, the
 // model costs, and the statistics they were based on.
 //
+// Every shape executes through one compiled-plan pipeline (compile.go):
+// compile validates and plans the query, binds the chosen kernel and
+// plan-owned buffers, and run() executes on the engine's persistent
+// morsel-worker gang. The public entry points are modes of that pipeline —
+// Prepare* compiles and keeps, the one-shot methods compile once and cache
+// the plan by query value (replays allocate nothing), and *Forced compiles
+// with a technique override and recycles the plan husk through a free
+// list. There is exactly one kernel per (shape, technique).
+//
 // The hand-specialized kernels in internal/micro and internal/tpch are the
 // measured reproductions of the paper's figures (the paper hand-coded each
 // strategy); this package is what a downstream user calls for their own
@@ -19,11 +28,9 @@ import (
 	"sync"
 	"time"
 
-	"github.com/reprolab/swole/internal/bitmap"
 	"github.com/reprolab/swole/internal/cost"
 	"github.com/reprolab/swole/internal/exec"
 	"github.com/reprolab/swole/internal/expr"
-	"github.com/reprolab/swole/internal/ht"
 	"github.com/reprolab/swole/internal/storage"
 	"github.com/reprolab/swole/internal/vec"
 )
@@ -102,9 +109,10 @@ func (e Explain) String() string {
 	if e.Partitioned {
 		part = fmt.Sprintf(" partitioned=%d(p1=%s)", e.Partitions, e.PartitionTime)
 	}
-	return fmt.Sprintf("technique=%s sel=%.3f comp=%.1f ht=%dB workers=%d%s scan=%s merge=%s costs=%v merged=%v",
+	return fmt.Sprintf("technique=%s sel=%.3f comp=%.1f ht=%dB workers=%d%s scan=%s merge=%s stats_cached=%t plan_cached=%t ht_grows=%d fresh_allocs=%d costs=%v merged=%v",
 		e.Technique, e.Selectivity, e.CompCost, e.HTBytes, e.Workers, part,
-		e.ScanTime, e.MergeTime, e.Costs, e.Merged)
+		e.ScanTime, e.MergeTime, e.StatsCached, e.PlanCached, e.HTGrows, e.FreshAllocs,
+		e.Costs, e.Merged)
 }
 
 // PartitionMode selects how the engine decides between direct and radix-
@@ -137,13 +145,14 @@ func (m PartitionMode) String() string {
 
 // Engine executes queries over a database with a given cost model.
 //
-// The engine recycles execution resources across queries: per-worker
-// scratch buffers, aggregation hash tables, and positional bitmaps return
-// to internal free lists after each query and are handed out Reset (epoch
-// invalidation, not re-zeroing) to the next one, and sampled statistics
-// are cached per (table version, expression) so a repeated shape skips
-// the sampling pass. Engine methods are safe for concurrent use; the
-// pools hand each in-flight query private resources.
+// The engine recycles execution state at plan granularity: each shape's
+// one-shot entry point caches its compiled plans by query value and
+// replays them (re-running an unchanged query samples nothing, plans
+// nothing, and allocates nothing), the forced entry points recycle plan
+// husks through bounded free lists, and sampled statistics are cached per
+// (table version, expression) so even a fresh compile of a repeated shape
+// skips the sampling pass. Engine methods are safe for concurrent use;
+// executions serialize on the persistent worker gang's lock.
 type Engine struct {
 	DB     *storage.Database
 	Params cost.Params
@@ -160,16 +169,21 @@ type Engine struct {
 	// the zero value (PartitionAuto) defers to the cost model.
 	Partition PartitionMode
 
-	// Resource pools (see pools.go) and the statistics cache (stats.go).
-	mu               sync.Mutex
-	freeStates       [][]workerState
-	freeTables       []*ht.AggTable
-	freeBitmaps      []*bitmap.Bitmap
-	freePartitioners []*ht.Partitioner
-	stats            statsCache
+	// The statistics cache (stats.go), the per-shape one-shot plan caches,
+	// and the husk free lists (pools.go); mu guards them all.
+	mu         sync.Mutex
+	stats      statsCache
+	planScalar map[ScalarAgg]*PreparedScalarAgg
+	planGroup  map[GroupAgg]*PreparedGroupAgg
+	planSemi   map[SemiJoinAgg]*PreparedSemiJoinAgg
+	planGJoin  map[GroupJoinAgg]*PreparedGroupJoinAgg
+	freeScalar []*PreparedScalarAgg
+	freeGroup  []*PreparedGroupAgg
+	freeSemi   []*PreparedSemiJoinAgg
+	freeGJoin  []*PreparedGroupJoinAgg
 
-	// The persistent worker gang for prepared (steady-state) execution;
-	// execMu serializes prepared scans on it.
+	// The persistent worker gang every plan scans on; execMu serializes
+	// executions on it.
 	execMu     sync.Mutex
 	gang       *exec.Workers
 	gangN      int
@@ -188,11 +202,6 @@ func (e *Engine) workers() int {
 		return e.Workers
 	}
 	return runtime.NumCPU()
-}
-
-// pool returns a morsel pool for this engine's configuration.
-func (e *Engine) pool() *exec.Pool {
-	return &exec.Pool{Workers: e.workers(), MorselRows: e.MorselRows}
 }
 
 // workerState is the private scratch one morsel worker evaluates tiles
@@ -279,16 +288,9 @@ func sampleGroups(key expr.Expr, rows, maxSample int) int {
 	d := len(seen)
 	// If nearly every sampled row had a fresh key, extrapolate.
 	if d > n*3/4 {
-		return d * (rows / maxInt(n, 1))
+		return d * (rows / max(n, 1))
 	}
 	return d
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // aggSlotBytes approximates ht.AggTable's per-group footprint.
@@ -299,13 +301,15 @@ func aggSlotBytes(nAccs int) int { return 8 + 1 + 8*nAccs + 8 + 1 }
 // would leave unpartitioned.
 const forcedPartitions = 16
 
-// choosePartition resolves the engine's partition mode against the cost
-// model for a group-by of rows tuples into a table of htBytes. It returns
-// whether to run the radix-partitioned path, the fan-out, and the modeled
-// partitioned cost (meaningful whenever parts > 1, so callers can record
-// it in Explain.Costs even when the direct path wins).
-func (e *Engine) choosePartition(params cost.Params, rows int, comp float64, htBytes int, directCost float64) (bool, int, float64) {
-	switch e.Partition {
+// choosePartition resolves a partition mode against the cost model for a
+// group-by of rows tuples into a table of htBytes. It returns whether to
+// run the radix-partitioned path, the fan-out, and the modeled partitioned
+// cost (meaningful whenever parts > 1, so callers can record it in
+// Explain.Costs even when the direct path wins). The mode comes from the
+// plan's environment snapshot, not the live engine, so a replay validity
+// check and the decision it guards always agree.
+func choosePartition(mode PartitionMode, params cost.Params, rows int, comp float64, htBytes int, directCost float64) (bool, int, float64) {
+	switch mode {
 	case PartitionOff:
 		return false, 0, 0
 	case PartitionOn:

@@ -2,139 +2,54 @@ package core
 
 import (
 	"fmt"
-
-	"github.com/reprolab/swole/internal/expr"
-	"github.com/reprolab/swole/internal/ht"
-	"github.com/reprolab/swole/internal/vec"
 )
 
 // Forced-technique execution: run a query shape under a *chosen* strategy
 // instead of the cost model's pick. This powers strategy comparisons on
 // user queries (the public CompareStrategies API) and ablation studies.
-// Forced runs are sequential by design (they measure kernel character,
-// not parallel speedup) but share the engine's recycled worker scratch
-// and hash tables, so a comparison loop over techniques does not
-// reallocate tile buffers per call.
+//
+// A forced run is the compile pipeline with the technique override: the
+// plan compiles exactly like a prepared query but sequential (forced runs
+// measure kernel character, not parallel speedup), runs once inline, and
+// its husk returns to the free list — so a comparison loop over
+// techniques recycles tile buffers and hash tables across calls instead
+// of reallocating them.
 
 // ScalarAggForced executes a scalar aggregation under the given technique
 // (TechDataCentric, TechHybrid, or TechValueMasking).
 func (e *Engine) ScalarAggForced(q ScalarAgg, tech Technique) (int64, error) {
-	t := e.DB.Table(q.Table)
-	if t == nil {
-		return 0, errNoTable(q.Table)
-	}
-	if q.Filter != nil {
-		if err := expr.Bind(q.Filter, t); err != nil {
-			return 0, err
-		}
-	}
-	if err := expr.Bind(q.Agg, t); err != nil {
-		return 0, err
-	}
-	rows := t.Rows()
-	states, _ := e.getStates(1)
-	defer e.putStates(states)
-	s := &states[0]
-	var sum int64
 	switch tech {
-	case TechDataCentric:
-		// Single tuple-at-a-time loop with a branch (Figure 1, left).
-		for i := 0; i < rows; i++ {
-			if q.Filter == nil || expr.Eval(q.Filter, i) != 0 {
-				sum += expr.Eval(q.Agg, i)
-			}
-		}
-	case TechHybrid:
-		vec.Tiles(rows, func(base, length int) {
-			s.fillCmp(q.Filter, base, length)
-			n := vec.SelFromCmpNoBranch(s.Cmp[:length], s.Idx)
-			for j := 0; j < n; j++ {
-				sum += expr.Eval(q.Agg, base+int(s.Idx[j]))
-			}
-		})
-	case TechValueMasking, TechAccessMerging:
-		vec.Tiles(rows, func(base, length int) {
-			s.fillCmp(q.Filter, base, length)
-			s.ev.EvalInt(q.Agg, base, length, s.Vals)
-			for j := 0; j < length; j++ {
-				sum += s.Vals[j] * int64(s.Cmp[j])
-			}
-		})
+	case TechDataCentric, TechHybrid, TechValueMasking, TechAccessMerging:
 	default:
 		return 0, fmt.Errorf("core: technique %s does not apply to scalar aggregation", tech)
 	}
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	p, err := e.compileScalarAgg(nil, q, tech, e.planEnv())
+	if err != nil {
+		return 0, err
+	}
+	sum, _ := p.runLocked()
+	pushFree(e, &e.freeScalar, p)
 	return sum, nil
 }
 
 // GroupAggForced executes a group-by aggregation under the given technique
 // (TechDataCentric, TechHybrid, TechValueMasking, or TechKeyMasking).
 func (e *Engine) GroupAggForced(q GroupAgg, tech Technique) (map[int64]int64, error) {
-	t := e.DB.Table(q.Table)
-	if t == nil {
-		return nil, errNoTable(q.Table)
-	}
-	for _, x := range []expr.Expr{q.Filter, q.Key, q.Agg} {
-		if x == nil {
-			continue
-		}
-		if err := expr.Bind(x, t); err != nil {
-			return nil, err
-		}
-	}
-	rows := t.Rows()
-	groups, _ := e.groupCount(q.Table, rows, q.Key, 16384)
-	tabs, _ := e.getAggTables(1, groups)
-	defer e.putAggTables(tabs)
-	tab := tabs[0]
-	states, _ := e.getStates(1)
-	defer e.putStates(states)
-	s := &states[0]
 	switch tech {
-	case TechDataCentric:
-		for i := 0; i < rows; i++ {
-			if q.Filter == nil || expr.Eval(q.Filter, i) != 0 {
-				slot := tab.Lookup(expr.Eval(q.Key, i))
-				tab.Add(slot, 0, expr.Eval(q.Agg, i))
-			}
-		}
-	case TechHybrid:
-		vec.Tiles(rows, func(base, length int) {
-			s.fillCmp(q.Filter, base, length)
-			n := vec.SelFromCmpNoBranch(s.Cmp[:length], s.Idx)
-			for j := 0; j < n; j++ {
-				i := base + int(s.Idx[j])
-				slot := tab.Lookup(expr.Eval(q.Key, i))
-				tab.Add(slot, 0, expr.Eval(q.Agg, i))
-			}
-		})
-	case TechValueMasking:
-		vec.Tiles(rows, func(base, length int) {
-			s.fillCmp(q.Filter, base, length)
-			s.ev.EvalInt(q.Key, base, length, s.Keys)
-			s.ev.EvalInt(q.Agg, base, length, s.Vals)
-			for j := 0; j < length; j++ {
-				slot := tab.Lookup(s.Keys[j])
-				tab.AddMasked(slot, 0, s.Vals[j], s.Cmp[j])
-			}
-		})
-	case TechKeyMasking:
-		vec.Tiles(rows, func(base, length int) {
-			s.fillCmp(q.Filter, base, length)
-			s.ev.EvalInt(q.Key, base, length, s.Keys)
-			s.ev.EvalInt(q.Agg, base, length, s.Vals)
-			for j := 0; j < length; j++ {
-				k := s.Keys[j]
-				if s.Cmp[j] == 0 {
-					k = ht.NullKey
-				}
-				slot := tab.Lookup(k)
-				tab.Add(slot, 0, s.Vals[j])
-			}
-		})
+	case TechDataCentric, TechHybrid, TechValueMasking, TechKeyMasking:
 	default:
 		return nil, fmt.Errorf("core: technique %s does not apply to group-by aggregation", tech)
 	}
-	out := make(map[int64]int64, tab.Len())
-	tab.ForEach(false, func(key int64, s int) { out[key] = tab.Acc(s, 0) })
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	p, err := e.compileGroupAgg(nil, q, tech, e.planEnv())
+	if err != nil {
+		return nil, err
+	}
+	res, _ := p.runLocked()
+	out := res.Map()
+	pushFree(e, &e.freeGroup, p)
 	return out, nil
 }

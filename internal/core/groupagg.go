@@ -19,155 +19,352 @@ type GroupAgg struct {
 	Agg    expr.Expr // summed expression
 }
 
-// Run plans and executes the aggregation, choosing among hybrid pushdown,
-// value masking, and key masking with the Section III-B cost models
-// evaluated with each worker's bandwidth share, and returns the per-group
-// sums.
-//
-// Execution is morsel-parallel with per-worker hash tables: each worker
-// aggregates the morsels it claims into a private ht.AggTable (masked
-// tuples still hit that worker's throwaway entry under key masking, and
-// per-group validity flags are maintained per worker under value
-// masking), and the merge phase folds the partial tables into the result
-// map. A group is emitted iff some worker saw a valid tuple for it, and
-// partial sums of rejected tuples are zero under masking, so the merged
-// result is identical to the sequential one.
-//
-// The per-worker tables come from the engine pool, Reserved to the
-// estimated group count before the scan: every worker can in principle
-// see every group, so each table is sized for the full estimate and —
-// when the estimate holds — never rehashes mid-scan (Explain.HTGrows
-// counts the times it did anyway).
-func (e *Engine) GroupAgg(q GroupAgg) (map[int64]int64, Explain, error) {
+// PreparedGroupAgg is the compiled plan for a group-by aggregation. The
+// compile decides the masking strategy AND the direct-vs-radix execution
+// mode; the plan owns per-worker hash tables (direct) or partitioners,
+// cache-resident fold tables, and emission buffers (radix).
+type PreparedGroupAgg struct {
+	planCore
+	groupEmit
+	rows   int
+	filter expr.Expr
+	key    expr.Expr
+	agg    expr.Expr
+	tabs   []*ht.AggTable
+
+	// Radix-partitioned two-phase variant (see partition.go): the kernel
+	// becomes the phase-1 scatter and phase2 folds claimed partitions,
+	// emitting final groups into per-worker buffers.
+	partitioned bool
+	parts       int
+	parters     []*ht.Partitioner
+	smalls      []*ht.AggTable
+	emit        [][]kv
+
+	kernel kernelFn
+	phase2 func(w, part int)
+
+	// Technique menu (direct kernels, phase-1 scatters, phase-2 fold).
+	kTuple       kernelFn
+	kHybrid      kernelFn
+	kValueMask   kernelFn
+	kKeyMask     kernelFn
+	kScatterHyb  kernelFn
+	kScatterMask kernelFn
+	kFold        func(w, part int)
+}
+
+// newGroupPlan builds an empty husk with its kernel menu.
+func newGroupPlan() *PreparedGroupAgg {
+	p := &PreparedGroupAgg{}
+	p.kTuple = func(w, base, length int) {
+		tab := p.tabs[w]
+		for i := base; i < base+length; i++ {
+			if p.filter == nil || expr.Eval(p.filter, i) != 0 {
+				slot := tab.Lookup(expr.Eval(p.key, i))
+				tab.Add(slot, 0, expr.Eval(p.agg, i))
+			}
+		}
+	}
+	p.kHybrid = func(w, base, length int) {
+		s, tab := &p.states[w], p.tabs[w]
+		vec.Tiles(length, func(tb, tl int) {
+			b := base + tb
+			s.fillCmp(p.filter, b, tl)
+			n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
+			for j := 0; j < n; j++ {
+				i := b + int(s.Idx[j])
+				slot := tab.Lookup(expr.Eval(p.key, i))
+				tab.Add(slot, 0, expr.Eval(p.agg, i))
+			}
+		})
+	}
+	p.kValueMask = func(w, base, length int) {
+		s, tab := &p.states[w], p.tabs[w]
+		vec.Tiles(length, func(tb, tl int) {
+			b := base + tb
+			s.fillCmp(p.filter, b, tl)
+			s.ev.EvalInt(p.key, b, tl, s.Keys)
+			s.ev.EvalInt(p.agg, b, tl, s.Vals)
+			for j := 0; j < tl; j++ {
+				slot := tab.Lookup(s.Keys[j])
+				tab.AddMasked(slot, 0, s.Vals[j], s.Cmp[j])
+			}
+		})
+	}
+	p.kKeyMask = func(w, base, length int) {
+		s, tab := &p.states[w], p.tabs[w]
+		vec.Tiles(length, func(tb, tl int) {
+			b := base + tb
+			s.fillCmp(p.filter, b, tl)
+			s.ev.EvalInt(p.key, b, tl, s.Keys)
+			s.ev.EvalInt(p.agg, b, tl, s.Vals)
+			for j := 0; j < tl; j++ {
+				k := s.Keys[j]
+				if s.Cmp[j] == 0 {
+					k = ht.NullKey
+				}
+				slot := tab.Lookup(k)
+				tab.Add(slot, 0, s.Vals[j])
+			}
+		})
+	}
+	// Phase-1 scatters: hybrid appends only selected tuples through its
+	// selection vector; value and key masking both collapse to key-masked
+	// appends — a rejected tuple's key becomes ht.NullKey, which phase 2
+	// routes to the throwaway entry, so a group is emitted iff some valid
+	// tuple reached it and the result is bit-identical to the direct path
+	// under every strategy.
+	p.kScatterHyb = func(w, base, length int) {
+		s, pr := &p.states[w], p.parters[w]
+		vec.Tiles(length, func(tb, tl int) {
+			b := base + tb
+			s.fillCmp(p.filter, b, tl)
+			n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
+			for j := 0; j < n; j++ {
+				i := b + int(s.Idx[j])
+				pr.Append(expr.Eval(p.key, i), expr.Eval(p.agg, i))
+			}
+		})
+	}
+	p.kScatterMask = func(w, base, length int) {
+		s, pr := &p.states[w], p.parters[w]
+		vec.Tiles(length, func(tb, tl int) {
+			b := base + tb
+			s.fillCmp(p.filter, b, tl)
+			s.ev.EvalInt(p.key, b, tl, s.Keys)
+			s.ev.EvalInt(p.agg, b, tl, s.Vals)
+			for j := 0; j < tl; j++ {
+				k := s.Keys[j]
+				if s.Cmp[j] == 0 {
+					k = ht.NullKey
+				}
+				pr.Append(k, s.Vals[j])
+			}
+		})
+	}
+	p.kFold = func(w, part int) {
+		tab := p.smalls[w]
+		foldPartition(tab, p.parters, part)
+		tab.ForEach(false, func(key int64, s int) {
+			p.emit[w] = append(p.emit[w], kv{key, tab.Acc(s, 0)})
+		})
+	}
+	return p
+}
+
+// compileGroupAgg plans a group-by aggregation into p: masking strategy
+// from the Section III-B models, direct-vs-radix from the partition
+// crossover, kernels and buffers bound for the winner.
+func (e *Engine) compileGroupAgg(p *PreparedGroupAgg, q GroupAgg, tech Technique, env planEnv) (*PreparedGroupAgg, error) {
 	t := e.DB.Table(q.Table)
 	if t == nil {
-		return nil, Explain{}, errNoTable(q.Table)
+		return nil, errNoTable(q.Table)
 	}
 	for _, x := range []expr.Expr{q.Filter, q.Key, q.Agg} {
 		if x == nil {
 			continue
 		}
 		if err := expr.Bind(x, t); err != nil {
-			return nil, Explain{}, err
+			return nil, err
 		}
 	}
-	rows := t.Rows()
-	workers := e.workers()
-	params := e.Params.ForWorkers(workers)
-	sel, selHit := e.selectivity(q.Table, rows, q.Filter, 16384)
-	comp := expr.CompCost(q.Agg, params)
-	groups, grpHit := e.groupCount(q.Table, rows, q.Key, 16384)
-	htBytes := groups * aggSlotBytes(1)
-	strat, directCost := params.ChooseGroupAgg(rows, sel, comp, 1, htBytes)
-	usePart, parts, partCost := e.choosePartition(params, rows, comp, htBytes, directCost)
+	if p == nil {
+		if p = popFree(e, &e.freeGroup); p == nil {
+			p = newGroupPlan()
+		}
+	}
+	fresh := p.bindCore(e, env, tech != techAuto)
+	p.dep(q.Table)
+	p.rows = t.Rows()
+	p.filter, p.key, p.agg = q.Filter, q.Key, q.Agg
 
-	ex := Explain{
+	params := env.params.ForWorkers(p.nw)
+	sel, selHit := e.selectivity(q.Table, p.rows, q.Filter, 16384)
+	comp := expr.CompCost(q.Agg, params)
+	groups, grpHit := e.groupCount(q.Table, p.rows, q.Key, 16384)
+	htBytes := groups * aggSlotBytes(1)
+	strat, directCost := params.ChooseGroupAgg(p.rows, sel, comp, 1, htBytes)
+	p.ex = Explain{
 		Selectivity: sel,
 		CompCost:    comp,
 		Groups:      groups,
 		HTBytes:     htBytes,
-		Workers:     workers,
+		Workers:     p.nw,
 		StatsCached: selHit && grpHit,
+		PlanCached:  true,
 		Costs: map[string]float64{
-			"hybrid":        params.HybridGroup(rows, sel, comp, htBytes),
-			"value-masking": params.ValueMaskingGroup(rows, comp+params.CompMul, htBytes),
-			"key-masking":   params.KeyMasking(rows, sel, comp+params.CompCmp, htBytes),
+			"hybrid":        params.HybridGroup(p.rows, sel, comp, htBytes),
+			"value-masking": params.ValueMaskingGroup(p.rows, comp+params.CompMul, htBytes),
+			"key-masking":   params.KeyMasking(p.rows, sel, comp+params.CompCmp, htBytes),
 		},
 	}
-	if parts > 1 {
-		ex.Costs["partitioned"] = partCost
+	if tech == techAuto {
+		tech = [...]Technique{
+			cost.ChooseHybrid:       TechHybrid,
+			cost.ChooseValueMasking: TechValueMasking,
+			cost.ChooseKeyMasking:   TechKeyMasking,
+		}[strat]
 	}
-	ex.Technique = [...]Technique{
-		cost.ChooseHybrid:       TechHybrid,
-		cost.ChooseValueMasking: TechValueMasking,
-		cost.ChooseKeyMasking:   TechKeyMasking,
-	}[strat]
-	if usePart {
-		out := e.runPartitionedGroupAgg(&ex, q, rows, workers, groups, parts, strat)
-		return out, ex, nil
+	p.ex.Technique = tech
+
+	// The radix decision applies only to gang execution; forced runs
+	// measure the masking kernel itself.
+	p.partitioned = false
+	if !p.seq {
+		usePart, parts, partCost := choosePartition(env.partition, params, p.rows, comp, htBytes, directCost)
+		if parts > 1 {
+			p.ex.Costs["partitioned"] = partCost
+		}
+		if usePart {
+			p.partitioned, p.parts = true, parts
+			p.ex.Partitioned, p.ex.Partitions = true, parts
+			var f int
+			p.parters, f = ensurePartitioners(p.parters, p.nw, parts)
+			fresh += f
+			p.smalls, f = ensureTables(p.smalls, p.nw, subTableHint(groups, parts))
+			fresh += f
+			p.emit = ensureEmit(p.emit, p.nw)
+			if tech == TechHybrid {
+				p.kernel = p.kScatterHyb
+			} else {
+				p.kernel = p.kScatterMask
+			}
+			p.phase2 = p.kFold
+		}
 	}
-
-	pool := e.pool()
-	states, freshS := e.getStates(workers)
-	defer e.putStates(states)
-	tabs, freshT := e.getAggTables(workers, groups)
-	defer e.putAggTables(tabs)
-	ex.FreshAllocs = freshS + freshT
-	grows0 := growsSum(tabs)
-
-	start := time.Now()
-	switch strat {
-	case cost.ChooseValueMasking:
-		ex.Technique = TechValueMasking
-		pool.Run(rows, func(w, base, length int) {
-			s, tab := &states[w], tabs[w]
-			vec.Tiles(length, func(tb, tl int) {
-				b := base + tb
-				s.fillCmp(q.Filter, b, tl)
-				s.ev.EvalInt(q.Key, b, tl, s.Keys)
-				s.ev.EvalInt(q.Agg, b, tl, s.Vals)
-				for j := 0; j < tl; j++ {
-					slot := tab.Lookup(s.Keys[j])
-					tab.AddMasked(slot, 0, s.Vals[j], s.Cmp[j])
-				}
-			})
-		})
-	case cost.ChooseKeyMasking:
-		ex.Technique = TechKeyMasking
-		pool.Run(rows, func(w, base, length int) {
-			s, tab := &states[w], tabs[w]
-			vec.Tiles(length, func(tb, tl int) {
-				b := base + tb
-				s.fillCmp(q.Filter, b, tl)
-				s.ev.EvalInt(q.Key, b, tl, s.Keys)
-				s.ev.EvalInt(q.Agg, b, tl, s.Vals)
-				for j := 0; j < tl; j++ {
-					k := s.Keys[j]
-					if s.Cmp[j] == 0 {
-						k = ht.NullKey
-					}
-					slot := tab.Lookup(k)
-					tab.Add(slot, 0, s.Vals[j])
-				}
-			})
-		})
-	default:
-		ex.Technique = TechHybrid
-		pool.Run(rows, func(w, base, length int) {
-			s, tab := &states[w], tabs[w]
-			vec.Tiles(length, func(tb, tl int) {
-				b := base + tb
-				s.fillCmp(q.Filter, b, tl)
-				n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
-				for j := 0; j < n; j++ {
-					i := b + int(s.Idx[j])
-					slot := tab.Lookup(expr.Eval(q.Key, i))
-					tab.Add(slot, 0, expr.Eval(q.Agg, i))
-				}
-			})
-		})
+	if !p.partitioned {
+		var f int
+		p.tabs, f = ensureTables(p.tabs, p.nw, groups)
+		fresh += f
+		switch tech {
+		case TechDataCentric:
+			p.kernel = p.kTuple
+		case TechValueMasking:
+			p.kernel = p.kValueMask
+		case TechKeyMasking:
+			p.kernel = p.kKeyMask
+		default:
+			p.kernel = p.kHybrid
+		}
 	}
-	ex.ScanTime = time.Since(start)
-	ex.HTGrows = int(growsSum(tabs) - grows0)
-
-	start = time.Now()
-	out := mergeTables(tabs)
-	ex.MergeTime = time.Since(start)
-	return out, ex, nil
+	p.ex.FreshAllocs = fresh
+	return p, nil
 }
 
-// mergeTables folds per-worker partial aggregation tables into one result
-// map. Only valid groups are visited, and a rejected tuple's masked
-// contribution is zero, so summing per key across workers reproduces the
-// sequential result exactly.
-func mergeTables(tabs []*ht.AggTable) map[int64]int64 {
-	n := 0
-	for _, tab := range tabs {
-		n += tab.Len()
+// runLocked executes the bound plan. Callers hold e.execMu.
+func (p *PreparedGroupAgg) runLocked() (*GroupResult, Explain) {
+	if p.partitioned {
+		p.runRadix()
+	} else {
+		p.runDirect()
 	}
-	out := make(map[int64]int64, n)
-	for _, tab := range tabs {
-		tab.ForEach(false, func(key int64, s int) { out[key] += tab.Acc(s, 0) })
+	return &p.out, p.snapshot()
+}
+
+// runDirect scans into per-worker tables, merges them into worker 0's,
+// and emits the result sorted.
+func (p *PreparedGroupAgg) runDirect() {
+	for _, tab := range p.tabs {
+		tab.Reset()
 	}
-	return out
+	grows0 := growsSum(p.tabs)
+	start := time.Now()
+	p.scan(p.rows, p.kernel)
+	p.ex.ScanTime = time.Since(start)
+	p.ex.HTGrows = int(growsSum(p.tabs) - grows0)
+
+	start = time.Now()
+	merged := p.tabs[0]
+	for _, tab := range p.tabs[1:] {
+		tab.ForEach(false, func(key int64, s int) {
+			merged.Add(merged.Lookup(key), 0, tab.Acc(s, 0))
+		})
+	}
+	p.reset()
+	merged.ForEach(false, func(key int64, s int) {
+		p.add(key, merged.Acc(s, 0))
+	})
+	p.finish()
+	p.ex.MergeTime = time.Since(start)
+}
+
+// runRadix is the two-phase steady-state scan: one scanTwoPhase call
+// covers the partition scatter, the in-gang barrier, and the partition-
+// wise fold; the merge that remains on this goroutine is a concatenation
+// of already-final per-worker emissions plus the key sort.
+func (p *PreparedGroupAgg) runRadix() {
+	for _, pr := range p.parters {
+		pr.Reset()
+	}
+	for w := range p.emit {
+		p.emit[w] = p.emit[w][:0]
+	}
+	grows0 := growsSum(p.smalls)
+	start := time.Now()
+	p.ex.PartitionTime = p.scanTwoPhase(p.rows, p.kernel, p.parts, p.phase2)
+	p.ex.ScanTime = time.Since(start)
+	p.ex.HTGrows = int(growsSum(p.smalls) - grows0)
+
+	start = time.Now()
+	p.reset()
+	for w := range p.emit {
+		p.pairs = append(p.pairs, p.emit[w]...)
+	}
+	p.finish()
+	p.ex.MergeTime = time.Since(start)
+}
+
+// Run executes the prepared aggregation and returns the reused result.
+// Allocation-free once the result arrays and any under-estimated hash
+// capacity have warmed (first call).
+func (p *PreparedGroupAgg) Run() (*GroupResult, Explain) {
+	p.e.execMu.Lock()
+	res, ex := p.runLocked()
+	p.e.execMu.Unlock()
+	return res, ex
+}
+
+// PrepareGroupAgg compiles a group-by aggregation once, sizing each
+// worker's hash table for the estimated group count so steady-state runs
+// never rehash.
+func (e *Engine) PrepareGroupAgg(q GroupAgg) (*PreparedGroupAgg, error) {
+	return e.compileGroupAgg(nil, q, techAuto, e.planEnv())
+}
+
+// GroupAgg plans and executes the aggregation, choosing among hybrid
+// pushdown, value masking, and key masking with the Section III-B cost
+// models evaluated with each worker's bandwidth share, and returns the
+// per-group sums.
+//
+// Execution is morsel-parallel with per-worker hash tables: each worker
+// aggregates the morsels it claims into a private ht.AggTable (masked
+// tuples still hit that worker's throwaway entry under key masking, and
+// per-group validity flags are maintained per worker under value
+// masking), and the merge phase folds the partial tables into the result.
+// A group is emitted iff some worker saw a valid tuple for it, and
+// partial sums of rejected tuples are zero under masking, so the merged
+// result is identical to the sequential one. When the estimated table
+// overflows the cache budget, the radix-partitioned two-phase path runs
+// instead (see partition.go). The compiled plan is cached by query value
+// and replayed while tables and engine settings are unchanged.
+func (e *Engine) GroupAgg(q GroupAgg) (map[int64]int64, Explain, error) {
+	e.execMu.Lock()
+	env := e.planEnv()
+	p := lookupPlan(e, e.planGroup, q)
+	replay := p != nil && p.valid(env)
+	if !replay {
+		var err error
+		if p, err = e.compileGroupAgg(p, q, techAuto, env); err != nil {
+			dropPlan(e, e.planGroup, q)
+			e.execMu.Unlock()
+			return nil, Explain{}, err
+		}
+		cachePlan(e, &e.planGroup, q, p)
+	}
+	res, ex := p.runLocked()
+	out := res.Map()
+	e.execMu.Unlock()
+	finishOneShot(&ex, replay)
+	return out, ex, nil
 }

@@ -3,8 +3,11 @@ package core
 import (
 	"time"
 
+	"github.com/reprolab/swole/internal/bitmap"
 	"github.com/reprolab/swole/internal/exec"
 	"github.com/reprolab/swole/internal/expr"
+	"github.com/reprolab/swole/internal/ht"
+	"github.com/reprolab/swole/internal/storage"
 	"github.com/reprolab/swole/internal/vec"
 )
 
@@ -27,116 +30,200 @@ type SemiJoinAgg struct {
 	Agg         expr.Expr // over probe columns
 }
 
-// Run executes the semijoin with SWOLE's positional bitmap (Section III-D:
-// "Always Better" in Figure 2 — the technique needs no cost decision, only
-// the choice between predicated and selection-vector construction, which
-// the value-masking model makes).
-//
-// Both passes are morsel-parallel. Build-side workers set bits in private
-// positional bitmaps — recycled from the engine pool — that are OR-merged
-// into the first worker's bitmap once the scan finishes (morsels partition
-// the build range, so each position is written by exactly one worker);
-// probe-side workers then read the merged bitmap — immutable from here on
-// — and accumulate masked partial sums.
-func (e *Engine) SemiJoinAgg(q SemiJoinAgg) (int64, Explain, error) {
-	probe := e.DB.Table(q.Probe)
-	build := e.DB.Table(q.Build)
-	if probe == nil {
-		return 0, Explain{}, errNoTable(q.Probe)
-	}
-	if build == nil {
-		return 0, Explain{}, errNoTable(q.Build)
-	}
-	fkCol := probe.Column(q.FK)
-	if fkCol == nil {
-		return 0, Explain{}, errNoColumn(q.Probe, q.FK)
-	}
-	if q.ProbeFilter != nil {
-		if err := expr.Bind(q.ProbeFilter, probe); err != nil {
-			return 0, Explain{}, err
-		}
-	}
-	if q.BuildFilter != nil {
-		if err := expr.Bind(q.BuildFilter, build); err != nil {
-			return 0, Explain{}, err
-		}
-	}
-	if err := expr.Bind(q.Agg, probe); err != nil {
-		return 0, Explain{}, err
-	}
+// PreparedSemiJoinAgg is the compiled plan for a semijoin aggregation:
+// the build-side store variant (predicated vs selection-vector), both
+// phase kernels, and the per-worker positional bitmaps.
+type PreparedSemiJoinAgg struct {
+	planCore
+	probeRows   int
+	buildRows   int
+	probeFilter expr.Expr
+	buildFilter expr.Expr
+	agg         expr.Expr
+	fkCol       *storage.Column
+	parts       *exec.Partials
+	partsN      int
+	bms         []*bitmap.Bitmap
+	buildKernel kernelFn
+	probeKernel kernelFn
 
-	workers := e.workers()
-	buildSel, statsHit := e.selectivity(q.Build, build.Rows(), q.BuildFilter, 16384)
-	ex := Explain{
-		Technique:   TechPositionalBitmap,
-		Selectivity: buildSel,
-		HTBytes:     (build.Rows() + 7) / 8,
-		Workers:     workers,
-		StatsCached: statsHit,
-		Costs: map[string]float64{
-			"bitmap-bytes": float64((build.Rows() + 7) / 8),
-		},
-	}
+	// The build-store menu (Section III-D options 1 and 2); the probe side
+	// has a single masked form.
+	kBuildSel  kernelFn // selection-vector store, for very selective builds
+	kBuildPred kernelFn // predicated store
+	kProbe     kernelFn
+}
 
-	// Build per-worker positional bitmaps with a sequential scan; the
-	// predicated store is chosen unless the build predicate is very
-	// selective (Section III-D options 1 and 2).
-	pool := e.pool()
-	states, freshS := e.getStates(workers)
-	defer e.putStates(states)
-	bms, freshB := e.getBitmaps(workers, build.Rows())
-	defer e.putBitmaps(bms)
-	ex.FreshAllocs = freshS + freshB
-	start := time.Now()
-	if buildSel < 0.05 && q.BuildFilter != nil {
-		pool.Run(build.Rows(), func(w, base, length int) {
-			s, bm := &states[w], bms[w]
-			vec.Tiles(length, func(tb, tl int) {
-				b := base + tb
-				s.ev.EvalBool(q.BuildFilter, b, tl, s.Cmp)
-				n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
-				bm.SetFromSel(b, s.Idx, n)
-			})
-		})
-	} else {
-		pool.Run(build.Rows(), func(w, base, length int) {
-			s, bm := &states[w], bms[w]
-			vec.Tiles(length, func(tb, tl int) {
-				b := base + tb
-				s.fillCmp(q.BuildFilter, b, tl)
-				bm.SetFromCmp(b, s.Cmp[:tl])
-			})
+// newSemiPlan builds an empty husk with its kernel menu.
+func newSemiPlan() *PreparedSemiJoinAgg {
+	p := &PreparedSemiJoinAgg{}
+	p.kBuildSel = func(w, base, length int) {
+		s, bm := &p.states[w], p.bms[w]
+		vec.Tiles(length, func(tb, tl int) {
+			b := base + tb
+			s.ev.EvalBool(p.buildFilter, b, tl, s.Cmp)
+			n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
+			bm.SetFromSel(b, s.Idx, n)
 		})
 	}
-	ex.ScanTime = time.Since(start)
-
-	start = time.Now()
-	bm := bms[0]
-	bm.OrInto(bms[1:]...)
-	ex.MergeTime = time.Since(start)
-
-	// Probe sequentially, masking with the positional bit.
-	parts := exec.NewPartials(workers)
-	start = time.Now()
-	pool.Run(probe.Rows(), func(w, base, length int) {
-		s := &states[w]
+	p.kBuildPred = func(w, base, length int) {
+		s, bm := &p.states[w], p.bms[w]
+		vec.Tiles(length, func(tb, tl int) {
+			b := base + tb
+			s.fillCmp(p.buildFilter, b, tl)
+			bm.SetFromCmp(b, s.Cmp[:tl])
+		})
+	}
+	p.kProbe = func(w, base, length int) {
+		s, bm := &p.states[w], p.bms[0]
 		var sum int64
 		vec.Tiles(length, func(tb, tl int) {
 			b := base + tb
-			s.fillCmp(q.ProbeFilter, b, tl)
-			s.ev.EvalInt(q.Agg, b, tl, s.Vals)
+			s.fillCmp(p.probeFilter, b, tl)
+			s.ev.EvalInt(p.agg, b, tl, s.Vals)
 			for j := 0; j < tl; j++ {
-				pos := int(fkCol.Get(b + j))
+				pos := int(p.fkCol.Get(b + j))
 				m := s.Cmp[j] & bm.TestBit(pos)
 				sum += s.Vals[j] * int64(m)
 			}
 		})
-		parts.Add(w, sum)
-	})
-	ex.ScanTime += time.Since(start)
+		p.parts.Add(w, sum)
+	}
+	return p
+}
+
+// compileSemiJoinAgg plans a semijoin into p. The positional bitmap needs
+// no cost decision ("Always Better" in Figure 2), only the choice between
+// predicated and selection-vector construction, which the value-masking
+// model makes.
+func (e *Engine) compileSemiJoinAgg(p *PreparedSemiJoinAgg, q SemiJoinAgg, env planEnv) (*PreparedSemiJoinAgg, error) {
+	probe := e.DB.Table(q.Probe)
+	build := e.DB.Table(q.Build)
+	if probe == nil {
+		return nil, errNoTable(q.Probe)
+	}
+	if build == nil {
+		return nil, errNoTable(q.Build)
+	}
+	fkCol := probe.Column(q.FK)
+	if fkCol == nil {
+		return nil, errNoColumn(q.Probe, q.FK)
+	}
+	if q.ProbeFilter != nil {
+		if err := expr.Bind(q.ProbeFilter, probe); err != nil {
+			return nil, err
+		}
+	}
+	if q.BuildFilter != nil {
+		if err := expr.Bind(q.BuildFilter, build); err != nil {
+			return nil, err
+		}
+	}
+	if err := expr.Bind(q.Agg, probe); err != nil {
+		return nil, err
+	}
+	if p == nil {
+		if p = popFree(e, &e.freeSemi); p == nil {
+			p = newSemiPlan()
+		}
+	}
+	fresh := p.bindCore(e, env, false)
+	p.dep(q.Probe)
+	p.dep(q.Build)
+	p.probeRows, p.buildRows = probe.Rows(), build.Rows()
+	p.probeFilter, p.buildFilter, p.agg = q.ProbeFilter, q.BuildFilter, q.Agg
+	p.fkCol = fkCol
+	var f int
+	p.parts, p.partsN, f = ensurePartials(p.parts, p.partsN, p.nw)
+	fresh += f
+	p.bms, f = ensureBitmaps(p.bms, p.nw, p.buildRows)
+	fresh += f
+
+	buildSel, statsHit := e.selectivity(q.Build, p.buildRows, q.BuildFilter, 16384)
+	p.ex = Explain{
+		Technique:   TechPositionalBitmap,
+		Selectivity: buildSel,
+		HTBytes:     (p.buildRows + 7) / 8,
+		Workers:     p.nw,
+		StatsCached: statsHit,
+		PlanCached:  true,
+		FreshAllocs: fresh,
+		Costs: map[string]float64{
+			"bitmap-bytes": float64((p.buildRows + 7) / 8),
+		},
+	}
+	if buildSel < 0.05 && q.BuildFilter != nil {
+		p.buildKernel = p.kBuildSel
+	} else {
+		p.buildKernel = p.kBuildPred
+	}
+	p.probeKernel = p.kProbe
+	return p, nil
+}
+
+// runLocked executes the bound plan. Callers hold e.execMu.
+func (p *PreparedSemiJoinAgg) runLocked() (int64, Explain) {
+	for _, bm := range p.bms {
+		bm.Reset(p.buildRows)
+	}
+	p.parts.Reset()
+	start := time.Now()
+	p.scan(p.buildRows, p.buildKernel)
+	p.ex.ScanTime = time.Since(start)
 	start = time.Now()
-	sum := parts.Sum()
-	ex.MergeTime += time.Since(start)
+	// Morsels partition the build range, so each position was written by
+	// exactly one worker; OR-merging is exact.
+	p.bms[0].OrInto(p.bms[1:]...)
+	p.ex.MergeTime = time.Since(start)
+	start = time.Now()
+	p.scan(p.probeRows, p.probeKernel)
+	p.ex.ScanTime += time.Since(start)
+	start = time.Now()
+	sum := p.parts.Sum()
+	p.ex.MergeTime += time.Since(start)
+	return sum, p.snapshot()
+}
+
+// Run executes the prepared semijoin. Allocation-free after the first
+// call.
+func (p *PreparedSemiJoinAgg) Run() (int64, Explain) {
+	p.e.execMu.Lock()
+	sum, ex := p.runLocked()
+	p.e.execMu.Unlock()
+	return sum, ex
+}
+
+// PrepareSemiJoinAgg compiles a semijoin aggregation once for the caller
+// to keep and re-run.
+func (e *Engine) PrepareSemiJoinAgg(q SemiJoinAgg) (*PreparedSemiJoinAgg, error) {
+	return e.compileSemiJoinAgg(nil, q, e.planEnv())
+}
+
+// SemiJoinAgg executes the semijoin with SWOLE's positional bitmap
+// (Section III-D: "Always Better" in Figure 2).
+//
+// Both passes are morsel-parallel. Build-side workers set bits in private
+// positional bitmaps that are OR-merged into the first worker's bitmap
+// once the scan finishes; probe-side workers then read the merged bitmap
+// — immutable from here on — and accumulate masked partial sums. The
+// compiled plan is cached by query value and replayed while tables and
+// engine settings are unchanged.
+func (e *Engine) SemiJoinAgg(q SemiJoinAgg) (int64, Explain, error) {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	env := e.planEnv()
+	p := lookupPlan(e, e.planSemi, q)
+	replay := p != nil && p.valid(env)
+	if !replay {
+		var err error
+		if p, err = e.compileSemiJoinAgg(p, q, env); err != nil {
+			dropPlan(e, e.planSemi, q)
+			return 0, Explain{}, err
+		}
+		cachePlan(e, &e.planSemi, q, p)
+	}
+	sum, ex := p.runLocked()
+	finishOneShot(&ex, replay)
 	return sum, ex, nil
 }
 
@@ -155,204 +242,395 @@ type GroupJoinAgg struct {
 	Agg         expr.Expr // over probe columns
 }
 
-// Run chooses between the traditional groupjoin and eager aggregation
-// using the Section III-E cost models evaluated with each worker's
-// bandwidth share.
-//
-// Both paths are morsel-parallel. Eager aggregation aggregates the probe
-// side unconditionally into per-worker tables while the inverted build
-// predicate marks non-qualifying positions in per-worker bitmaps (the
-// parallel form of the sequential path's deletes); the merge folds the
-// tables, skipping marked keys. The traditional path inserts qualifying
-// build keys into per-worker key tables, merges them into one table that
-// probe workers consult read-only (ht.AggTable.Contains), and aggregates
-// matches into per-worker tables merged at the end. All tables and
-// bitmaps are recycled from the engine pool, pre-Reserved so the scan
-// phases do not rehash (Explain.HTGrows counts residual growth events).
-func (e *Engine) GroupJoinAgg(q GroupJoinAgg) (map[int64]int64, Explain, error) {
-	probe := e.DB.Table(q.Probe)
-	build := e.DB.Table(q.Build)
-	if probe == nil {
-		return nil, Explain{}, errNoTable(q.Probe)
-	}
-	if build == nil {
-		return nil, Explain{}, errNoTable(q.Build)
-	}
-	fkCol := probe.Column(q.FK)
-	if fkCol == nil {
-		return nil, Explain{}, errNoColumn(q.Probe, q.FK)
-	}
-	pkCol := build.Column(q.PK)
-	if pkCol == nil {
-		return nil, Explain{}, errNoColumn(q.Build, q.PK)
-	}
-	if q.BuildFilter != nil {
-		if err := expr.Bind(q.BuildFilter, build); err != nil {
-			return nil, Explain{}, err
-		}
-	}
-	if err := expr.Bind(q.Agg, probe); err != nil {
-		return nil, Explain{}, err
-	}
+// PreparedGroupJoinAgg is the compiled plan for a groupjoin: the eager-vs-
+// traditional decision frozen, both phase kernels for the chosen path, and
+// every table and bitmap the execution needs.
+type PreparedGroupJoinAgg struct {
+	planCore
+	groupEmit
+	probeRows   int
+	buildRows   int
+	buildFilter expr.Expr
+	agg         expr.Expr
+	fkCol       *storage.Column
+	pkCol       *storage.Column
+	eager       bool
 
-	rows := probe.Rows()
-	workers := e.workers()
-	params := e.Params.ForWorkers(workers)
-	selS, statsHit := e.selectivity(q.Build, build.Rows(), q.BuildFilter, 16384)
-	comp := expr.CompCost(q.Agg, params)
-	htBytes := build.Rows() * aggSlotBytes(1)
-	eager, gj, ea := params.ChooseGroupjoin(build.Rows(), selS, rows, 1.0, selS, comp, htBytes)
+	// Eager-aggregation path.
+	tabs        []*ht.AggTable
+	fails       []*bitmap.Bitmap
+	probeKernel kernelFn
+	buildKernel kernelFn
 
-	ex := Explain{
-		Selectivity: selS,
-		CompCost:    comp,
-		Groups:      build.Rows(),
-		HTBytes:     htBytes,
-		Workers:     workers,
-		StatsCached: statsHit,
-		Costs:       map[string]float64{"groupjoin": gj, "eager-aggregation": ea},
-	}
+	// Traditional path.
+	keyTabs   []*ht.AggTable
+	keys      *ht.AggTable
+	aggKernel kernelFn
 
-	// The eager build is itself a group-by of the probe side into a table
-	// of |Build| groups, so the radix decision applies to it: compare the
-	// two-phase model against the probe-side aggregation term.
-	if eager {
-		probeDirect := float64(rows) * params.BestAggPerTuple(rows, 1.0, comp, 1, htBytes)
-		usePart, parts, partCost := e.choosePartition(params, rows, comp, htBytes, probeDirect)
-		if parts > 1 {
-			ex.Costs["partitioned"] = partCost
-		}
-		if usePart {
-			ex.Technique = TechEagerAggregation
-			out := e.runPartitionedEagerGroupJoin(&ex, q, fkCol, pkCol, rows, build.Rows(), workers, parts)
-			return out, ex, nil
-		}
-	}
+	// Radix-partitioned eager variant (see partition.go): probeKernel
+	// becomes the phase-1 (fk, value) scatter and phase2 folds partitions,
+	// skipping keys the merged fail bitmap disqualified.
+	partitioned bool
+	parts       int
+	parters     []*ht.Partitioner
+	smalls      []*ht.AggTable
+	emit        [][]kv
+	phase2      func(w, part int)
 
-	pool := e.pool()
-	states, freshS := e.getStates(workers)
-	defer e.putStates(states)
-	ex.FreshAllocs = freshS
-	var out map[int64]int64
-	if eager {
-		ex.Technique = TechEagerAggregation
-		// Unconditional aggregation of the probe side, grouped by FK,
-		// into per-worker tables.
-		tabs, freshT := e.getAggTables(workers, build.Rows())
-		defer e.putAggTables(tabs)
-		fails, freshB := e.getBitmaps(workers, build.Rows())
-		defer e.putBitmaps(fails)
-		ex.FreshAllocs += freshT + freshB
-		grows0 := growsSum(tabs)
-		start := time.Now()
-		pool.Run(rows, func(w, base, length int) {
-			s, tab := &states[w], tabs[w]
-			vec.Tiles(length, func(tb, tl int) {
-				b := base + tb
-				s.ev.EvalInt(q.Agg, b, tl, s.Vals)
-				for j := 0; j < tl; j++ {
-					slot := tab.Lookup(fkCol.Get(b + j))
-					tab.Add(slot, 0, s.Vals[j])
-				}
-			})
+	// The kernel menu.
+	kProbeEager kernelFn
+	kBuildFail  kernelFn // inverted build predicate into fail bitmaps
+	kScatter    kernelFn
+	kBuildTrad  kernelFn
+	kAgg        kernelFn
+	kFold       func(w, part int)
+}
+
+// newGJoinPlan builds an empty husk with its kernel menu.
+func newGJoinPlan() *PreparedGroupJoinAgg {
+	p := &PreparedGroupJoinAgg{}
+	p.kProbeEager = func(w, base, length int) {
+		s, tab := &p.states[w], p.tabs[w]
+		vec.Tiles(length, func(tb, tl int) {
+			b := base + tb
+			s.ev.EvalInt(p.agg, b, tl, s.Vals)
+			for j := 0; j < tl; j++ {
+				slot := tab.Lookup(p.fkCol.Get(b + j))
+				tab.Add(slot, 0, s.Vals[j])
+			}
 		})
+	}
+	p.kBuildFail = func(w, base, length int) {
 		// Inverted predicate marks non-qualifying groups — the parallel
 		// analogue of the sequential path's hash table deletes, recorded
 		// positionally in per-worker bitmaps.
-		pool.Run(build.Rows(), func(w, base, length int) {
-			s, fail := &states[w], fails[w]
-			vec.Tiles(length, func(tb, tl int) {
-				b := base + tb
-				s.fillCmp(q.BuildFilter, b, tl)
-				for j := 0; j < tl; j++ {
-					fail.OrBit(int(pkCol.Get(b+j)), s.Cmp[j]^1)
-				}
-			})
+		s, fail := &p.states[w], p.fails[w]
+		vec.Tiles(length, func(tb, tl int) {
+			b := base + tb
+			s.fillCmp(p.buildFilter, b, tl)
+			for j := 0; j < tl; j++ {
+				fail.OrBit(int(p.pkCol.Get(b+j)), s.Cmp[j]^1)
+			}
 		})
-		ex.ScanTime = time.Since(start)
-		ex.HTGrows = int(growsSum(tabs) - grows0)
-
-		start = time.Now()
-		fail := fails[0]
-		fail.OrInto(fails[1:]...)
-		n := 0
-		for _, tab := range tabs {
-			n += tab.Len()
-		}
-		out = make(map[int64]int64, n)
-		for _, tab := range tabs {
-			tab.ForEach(false, func(key int64, s int) {
-				// Keys without a build row in [0, |Build|) mirror the
-				// sequential path: nothing ever deletes them.
-				if key >= 0 && key < int64(fail.Len()) && fail.Test(int(key)) {
-					return
-				}
-				out[key] += tab.Acc(s, 0)
-			})
-		}
-		ex.MergeTime = time.Since(start)
-	} else {
-		ex.Technique = TechHybrid
-		// Traditional groupjoin: build qualifying keys, probe and
-		// aggregate on match. Per-worker key tables are merged into one
-		// table the probe workers consult read-only.
-		hint := int(selS*float64(build.Rows())) + 1
-		keyTabs, freshK := e.getAggTables(workers, hint)
-		defer e.putAggTables(keyTabs)
-		ex.FreshAllocs += freshK
-		grows0 := growsSum(keyTabs)
-		start := time.Now()
-		pool.Run(build.Rows(), func(w, base, length int) {
-			s, tab := &states[w], keyTabs[w]
-			vec.Tiles(length, func(tb, tl int) {
-				b := base + tb
-				s.fillCmp(q.BuildFilter, b, tl)
-				n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
-				for j := 0; j < n; j++ {
-					tab.Lookup(pkCol.Get(b + int(s.Idx[j]))) // insert, not valid
-				}
-			})
-		})
-		ex.ScanTime = time.Since(start)
-
-		start = time.Now()
-		total := 0
-		for _, tab := range keyTabs {
-			total += tab.Len()
-		}
-		keyss, freshKeys := e.getAggTables(1, total)
-		defer e.putAggTables(keyss)
-		ex.FreshAllocs += freshKeys
-		keys := keyss[0]
-		for _, tab := range keyTabs {
-			// Inserted-only groups carry no valid flag; visit them all.
-			tab.ForEach(true, func(key int64, _ int) { keys.Lookup(key) })
-		}
-		ex.MergeTime = time.Since(start)
-
-		tabs, freshT := e.getAggTables(workers, total)
-		defer e.putAggTables(tabs)
-		ex.FreshAllocs += freshT
-		grows0 += growsSum(tabs)
-		start = time.Now()
-		pool.Run(rows, func(w, base, length int) {
-			s, tab := &states[w], tabs[w]
-			vec.Tiles(length, func(tb, tl int) {
-				b := base + tb
-				s.ev.EvalInt(q.Agg, b, tl, s.Vals)
-				for j := 0; j < tl; j++ {
-					if fk := fkCol.Get(b + j); keys.Contains(fk) {
-						tab.Add(tab.Lookup(fk), 0, s.Vals[j])
-					}
-				}
-			})
-		})
-		ex.ScanTime += time.Since(start)
-		ex.HTGrows = int(growsSum(keyTabs) + growsSum(tabs) - grows0)
-
-		start = time.Now()
-		out = mergeTables(tabs)
-		ex.MergeTime += time.Since(start)
 	}
+	p.kScatter = func(w, base, length int) {
+		// Unconditional (fk, value) appends — the eager build aggregates
+		// every probe tuple regardless of the join.
+		s, pr := &p.states[w], p.parters[w]
+		vec.Tiles(length, func(tb, tl int) {
+			b := base + tb
+			s.ev.EvalInt(p.agg, b, tl, s.Vals)
+			for j := 0; j < tl; j++ {
+				pr.Append(p.fkCol.Get(b+j), s.Vals[j])
+			}
+		})
+	}
+	p.kBuildTrad = func(w, base, length int) {
+		s, tab := &p.states[w], p.keyTabs[w]
+		vec.Tiles(length, func(tb, tl int) {
+			b := base + tb
+			s.fillCmp(p.buildFilter, b, tl)
+			n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
+			for j := 0; j < n; j++ {
+				tab.Lookup(p.pkCol.Get(b + int(s.Idx[j]))) // insert, not valid
+			}
+		})
+	}
+	p.kAgg = func(w, base, length int) {
+		s, tab, keys := &p.states[w], p.tabs[w], p.keys
+		vec.Tiles(length, func(tb, tl int) {
+			b := base + tb
+			s.ev.EvalInt(p.agg, b, tl, s.Vals)
+			for j := 0; j < tl; j++ {
+				if fk := p.fkCol.Get(b + j); keys.Contains(fk) {
+					tab.Add(tab.Lookup(fk), 0, s.Vals[j])
+				}
+			}
+		})
+	}
+	p.kFold = func(w, part int) {
+		tab, fail := p.smalls[w], p.fails[0]
+		foldPartition(tab, p.parters, part)
+		tab.ForEach(false, func(key int64, s int) {
+			if key >= 0 && key < int64(fail.Len()) && fail.Test(int(key)) {
+				return
+			}
+			p.emit[w] = append(p.emit[w], kv{key, tab.Acc(s, 0)})
+		})
+	}
+	return p
+}
+
+// compileGroupJoinAgg plans a groupjoin into p, freezing the eager-vs-
+// traditional decision (Section III-E cost models) and — on the eager
+// side, itself a group-by of the probe into |Build| groups — the radix
+// partition decision.
+func (e *Engine) compileGroupJoinAgg(p *PreparedGroupJoinAgg, q GroupJoinAgg, env planEnv) (*PreparedGroupJoinAgg, error) {
+	probe := e.DB.Table(q.Probe)
+	build := e.DB.Table(q.Build)
+	if probe == nil {
+		return nil, errNoTable(q.Probe)
+	}
+	if build == nil {
+		return nil, errNoTable(q.Build)
+	}
+	fkCol := probe.Column(q.FK)
+	if fkCol == nil {
+		return nil, errNoColumn(q.Probe, q.FK)
+	}
+	pkCol := build.Column(q.PK)
+	if pkCol == nil {
+		return nil, errNoColumn(q.Build, q.PK)
+	}
+	if q.BuildFilter != nil {
+		if err := expr.Bind(q.BuildFilter, build); err != nil {
+			return nil, err
+		}
+	}
+	if err := expr.Bind(q.Agg, probe); err != nil {
+		return nil, err
+	}
+	if p == nil {
+		if p = popFree(e, &e.freeGJoin); p == nil {
+			p = newGJoinPlan()
+		}
+	}
+	fresh := p.bindCore(e, env, false)
+	p.dep(q.Probe)
+	p.dep(q.Build)
+	rows := probe.Rows()
+	p.probeRows, p.buildRows = rows, build.Rows()
+	p.buildFilter, p.agg = q.BuildFilter, q.Agg
+	p.fkCol, p.pkCol = fkCol, pkCol
+
+	params := env.params.ForWorkers(p.nw)
+	selS, statsHit := e.selectivity(q.Build, p.buildRows, q.BuildFilter, 16384)
+	comp := expr.CompCost(q.Agg, params)
+	htBytes := p.buildRows * aggSlotBytes(1)
+	eager, gj, ea := params.ChooseGroupjoin(p.buildRows, selS, rows, 1.0, selS, comp, htBytes)
+	p.eager = eager
+	p.partitioned = false
+	p.ex = Explain{
+		Selectivity: selS,
+		CompCost:    comp,
+		Groups:      p.buildRows,
+		HTBytes:     htBytes,
+		Workers:     p.nw,
+		StatsCached: statsHit,
+		PlanCached:  true,
+		Costs:       map[string]float64{"groupjoin": gj, "eager-aggregation": ea},
+	}
+
+	var f int
+	if eager {
+		p.ex.Technique = TechEagerAggregation
+		p.fails, f = ensureBitmaps(p.fails, p.nw, p.buildRows)
+		fresh += f
+		p.buildKernel = p.kBuildFail
+
+		// The eager build is a group-by of the probe side into |Build|
+		// groups; the radix decision applies to it.
+		probeDirect := float64(rows) * params.BestAggPerTuple(rows, 1.0, comp, 1, htBytes)
+		usePart, parts, partCost := choosePartition(env.partition, params, rows, comp, htBytes, probeDirect)
+		if parts > 1 {
+			p.ex.Costs["partitioned"] = partCost
+		}
+		if usePart {
+			p.partitioned, p.parts = true, parts
+			p.ex.Partitioned, p.ex.Partitions = true, parts
+			p.parters, f = ensurePartitioners(p.parters, p.nw, parts)
+			fresh += f
+			p.smalls, f = ensureTables(p.smalls, p.nw, subTableHint(p.buildRows, parts))
+			fresh += f
+			p.emit = ensureEmit(p.emit, p.nw)
+			p.probeKernel = p.kScatter
+			p.phase2 = p.kFold
+		} else {
+			p.tabs, f = ensureTables(p.tabs, p.nw, p.buildRows)
+			fresh += f
+			p.probeKernel = p.kProbeEager
+		}
+	} else {
+		p.ex.Technique = TechHybrid
+		hint := int(selS*float64(p.buildRows)) + 1
+		p.keyTabs, f = ensureTables(p.keyTabs, p.nw, hint)
+		fresh += f
+		p.keys, f = ensureTable(p.keys, hint)
+		fresh += f
+		p.tabs, f = ensureTables(p.tabs, p.nw, hint)
+		fresh += f
+		p.buildKernel = p.kBuildTrad
+		p.aggKernel = p.kAgg
+	}
+	p.ex.FreshAllocs = fresh
+	return p, nil
+}
+
+// runLocked executes the bound plan. Callers hold e.execMu.
+func (p *PreparedGroupJoinAgg) runLocked() (*GroupResult, Explain) {
+	switch {
+	case p.partitioned:
+		p.runRadixEager()
+	case p.eager:
+		p.runEager()
+	default:
+		p.runTraditional()
+	}
+	return &p.out, p.snapshot()
+}
+
+// runRadixEager: fail bitmap first — phase-2 emission reads it — then one
+// scanTwoPhase covering scatter, barrier, and partition-wise fold.
+func (p *PreparedGroupJoinAgg) runRadixEager() {
+	for _, pr := range p.parters {
+		pr.Reset()
+	}
+	for w := range p.emit {
+		p.emit[w] = p.emit[w][:0]
+	}
+	for _, bm := range p.fails {
+		bm.Reset(p.buildRows)
+	}
+	grows0 := growsSum(p.smalls)
+	start := time.Now()
+	p.scan(p.buildRows, p.buildKernel)
+	p.ex.ScanTime = time.Since(start)
+	start = time.Now()
+	p.fails[0].OrInto(p.fails[1:]...)
+	p.ex.MergeTime = time.Since(start)
+
+	start = time.Now()
+	p.ex.PartitionTime = p.scanTwoPhase(p.probeRows, p.probeKernel, p.parts, p.phase2)
+	p.ex.ScanTime += time.Since(start)
+	p.ex.HTGrows = int(growsSum(p.smalls) - grows0)
+
+	start = time.Now()
+	p.reset()
+	for w := range p.emit {
+		p.pairs = append(p.pairs, p.emit[w]...)
+	}
+	p.finish()
+	p.ex.MergeTime += time.Since(start)
+}
+
+// runEager aggregates the probe side unconditionally into per-worker
+// tables while the inverted build predicate marks non-qualifying
+// positions; the merge folds the tables, skipping marked keys.
+func (p *PreparedGroupJoinAgg) runEager() {
+	for _, tab := range p.tabs {
+		tab.Reset()
+	}
+	for _, bm := range p.fails {
+		bm.Reset(p.buildRows)
+	}
+	grows0 := growsSum(p.tabs)
+	start := time.Now()
+	p.scan(p.probeRows, p.probeKernel)
+	p.scan(p.buildRows, p.buildKernel)
+	p.ex.ScanTime = time.Since(start)
+	p.ex.HTGrows = int(growsSum(p.tabs) - grows0)
+
+	start = time.Now()
+	fail := p.fails[0]
+	fail.OrInto(p.fails[1:]...)
+	merged := p.tabs[0]
+	for _, tab := range p.tabs[1:] {
+		tab.ForEach(false, func(key int64, s int) {
+			merged.Add(merged.Lookup(key), 0, tab.Acc(s, 0))
+		})
+	}
+	p.reset()
+	merged.ForEach(false, func(key int64, s int) {
+		// Keys without a build row in [0, |Build|) mirror the sequential
+		// path: nothing ever deletes them.
+		if key >= 0 && key < int64(fail.Len()) && fail.Test(int(key)) {
+			return
+		}
+		p.add(key, merged.Acc(s, 0))
+	})
+	p.finish()
+	p.ex.MergeTime = time.Since(start)
+}
+
+// runTraditional inserts qualifying build keys into per-worker key tables,
+// merges them into one table probe workers consult read-only, and
+// aggregates matches into per-worker tables merged at the end.
+func (p *PreparedGroupJoinAgg) runTraditional() {
+	for _, tab := range p.keyTabs {
+		tab.Reset()
+	}
+	p.keys.Reset()
+	for _, tab := range p.tabs {
+		tab.Reset()
+	}
+	grows0 := growsSum(p.keyTabs) + growsSum(p.tabs) + p.keys.Grows
+	start := time.Now()
+	p.scan(p.buildRows, p.buildKernel)
+	p.ex.ScanTime = time.Since(start)
+
+	start = time.Now()
+	for _, tab := range p.keyTabs {
+		// Inserted-only groups carry no valid flag; visit them all.
+		tab.ForEach(true, func(key int64, _ int) { p.keys.Lookup(key) })
+	}
+	p.ex.MergeTime = time.Since(start)
+
+	start = time.Now()
+	p.scan(p.probeRows, p.aggKernel)
+	p.ex.ScanTime += time.Since(start)
+	p.ex.HTGrows = int(growsSum(p.keyTabs) + growsSum(p.tabs) + p.keys.Grows - grows0)
+
+	start = time.Now()
+	merged := p.tabs[0]
+	for _, tab := range p.tabs[1:] {
+		tab.ForEach(false, func(key int64, s int) {
+			merged.Add(merged.Lookup(key), 0, tab.Acc(s, 0))
+		})
+	}
+	p.reset()
+	merged.ForEach(false, func(key int64, s int) {
+		p.add(key, merged.Acc(s, 0))
+	})
+	p.finish()
+	p.ex.MergeTime += time.Since(start)
+}
+
+// Run executes the prepared groupjoin and returns the reused result.
+func (p *PreparedGroupJoinAgg) Run() (*GroupResult, Explain) {
+	p.e.execMu.Lock()
+	res, ex := p.runLocked()
+	p.e.execMu.Unlock()
+	return res, ex
+}
+
+// PrepareGroupJoinAgg compiles a groupjoin once for the caller to keep and
+// re-run.
+func (e *Engine) PrepareGroupJoinAgg(q GroupJoinAgg) (*PreparedGroupJoinAgg, error) {
+	return e.compileGroupJoinAgg(nil, q, e.planEnv())
+}
+
+// GroupJoinAgg chooses between the traditional groupjoin and eager
+// aggregation using the Section III-E cost models evaluated with each
+// worker's bandwidth share, and executes the winner morsel-parallel. The
+// compiled plan is cached by query value and replayed while tables and
+// engine settings are unchanged.
+func (e *Engine) GroupJoinAgg(q GroupJoinAgg) (map[int64]int64, Explain, error) {
+	e.execMu.Lock()
+	env := e.planEnv()
+	p := lookupPlan(e, e.planGJoin, q)
+	replay := p != nil && p.valid(env)
+	if !replay {
+		var err error
+		if p, err = e.compileGroupJoinAgg(p, q, env); err != nil {
+			dropPlan(e, e.planGJoin, q)
+			e.execMu.Unlock()
+			return nil, Explain{}, err
+		}
+		cachePlan(e, &e.planGJoin, q, p)
+	}
+	res, ex := p.runLocked()
+	out := res.Map()
+	e.execMu.Unlock()
+	finishOneShot(&ex, replay)
 	return out, ex, nil
 }

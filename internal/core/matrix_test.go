@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/reprolab/swole/internal/expr"
+	"github.com/reprolab/swole/internal/plan"
+	"github.com/reprolab/swole/internal/storage"
+	"github.com/reprolab/swole/internal/volcano"
+)
+
+// The entry-point parity matrix: every shape runs through every mode of
+// the compiled-plan layer — one-shot (cold and replayed), forced per
+// applicable technique, and prepared re-run — at one worker and several,
+// and every answer must be bit-identical to the Volcano interpreter's.
+// This is the contract the unified layer exists to keep: one kernel per
+// (shape, technique), reached from any entry point, same answer.
+
+// volcanoMap runs a logical plan on the interpreter and flattens the
+// answer to a key→sum map (single-row results under key 0).
+func volcanoMap(t *testing.T, db *storage.Database, n plan.Node) map[int64]int64 {
+	t.Helper()
+	res, err := volcano.Run(n, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[int64]int64{}
+	for _, row := range res.Rows {
+		if len(row) == 1 {
+			out[0] = row[0]
+		} else {
+			out[row[0]] = row[1]
+		}
+	}
+	return out
+}
+
+// groupMap flattens a GroupResult the same way.
+func groupMap(g *GroupResult) map[int64]int64 {
+	out := make(map[int64]int64, len(g.Keys))
+	for i, k := range g.Keys {
+		out[k] = g.Sums[i]
+	}
+	return out
+}
+
+func sumAgg(name string) []plan.AggSpec {
+	return []plan.AggSpec{{Func: plan.Sum, Arg: expr.NewCol(name), As: "s"}}
+}
+
+func TestParityMatrixAllEntryPoints(t *testing.T) {
+	db := testDB(t, 40_000, 500, 64)
+
+	// Volcano references, one per shape. The plan nodes use their own
+	// expression instances so interpreter binding never aliases the
+	// engine's.
+	wantScalar := volcanoMap(t, db, &plan.Aggregate{
+		Input: &plan.Scan{Table: "r", Filter: lt("r_x", 50)},
+		Aggs:  sumAgg("r_a"),
+	})
+	wantGroup := volcanoMap(t, db, &plan.Aggregate{
+		Input:   &plan.Scan{Table: "r", Filter: lt("r_x", 50)},
+		GroupBy: []string{"r_c"},
+		Aggs:    sumAgg("r_a"),
+	})
+	wantSemi := volcanoMap(t, db, &plan.Aggregate{
+		Input: &plan.Join{
+			Probe:    &plan.Scan{Table: "r", Filter: lt("r_x", 50)},
+			Build:    &plan.Scan{Table: "s", Filter: lt("s_x", 50)},
+			ProbeKey: "r_fk", BuildKey: "s_pk",
+		},
+		Aggs: sumAgg("r_a"),
+	})
+	wantGJoin := volcanoMap(t, db, &plan.Aggregate{
+		Input: &plan.Join{
+			Probe:    &plan.Scan{Table: "r"},
+			Build:    &plan.Scan{Table: "s", Filter: lt("s_x", 50)},
+			ProbeKey: "r_fk", BuildKey: "s_pk",
+		},
+		GroupBy: []string{"r_fk"},
+		Aggs:    sumAgg("r_a"),
+	})
+
+	for _, workers := range []int{1, 4} {
+		e := NewEngine(db)
+		e.Workers = workers
+		e.MorselRows = 4096
+		defer e.Close()
+		tag := func(shape, entry string) string {
+			return fmt.Sprintf("workers=%d %s %s", workers, shape, entry)
+		}
+
+		// Scalar aggregation.
+		sq := ScalarAgg{Table: "r", Filter: lt("r_x", 50), Agg: expr.NewCol("r_a")}
+		for rep := 0; rep < 2; rep++ { // cold one-shot, then replay
+			got, _, err := e.ScalarAgg(sq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameGroups(t, tag("scalar", "one-shot"), map[int64]int64{0: got}, wantScalar)
+		}
+		for _, tech := range []Technique{TechDataCentric, TechHybrid, TechValueMasking, TechAccessMerging} {
+			got, err := e.ScalarAggForced(sq, tech)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameGroups(t, tag("scalar", "forced-"+tech.String()), map[int64]int64{0: got}, wantScalar)
+		}
+		sp, err := e.PrepareScalarAgg(sq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			got, _ := sp.Run()
+			sameGroups(t, tag("scalar", "prepared"), map[int64]int64{0: got}, wantScalar)
+		}
+
+		// Group-by aggregation.
+		gq := GroupAgg{Table: "r", Filter: lt("r_x", 50), Key: expr.NewCol("r_c"), Agg: expr.NewCol("r_a")}
+		for rep := 0; rep < 2; rep++ {
+			got, _, err := e.GroupAgg(gq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameGroups(t, tag("group", "one-shot"), got, wantGroup)
+		}
+		for _, tech := range []Technique{TechDataCentric, TechHybrid, TechValueMasking, TechKeyMasking} {
+			got, err := e.GroupAggForced(gq, tech)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameGroups(t, tag("group", "forced-"+tech.String()), got, wantGroup)
+		}
+		gp, err := e.PrepareGroupAgg(gq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			res, _ := gp.Run()
+			sameGroups(t, tag("group", "prepared"), groupMap(res), wantGroup)
+		}
+
+		// Semijoin aggregation (no forced techniques apply: the shape has
+		// exactly one physical technique, the positional bitmap).
+		mq := SemiJoinAgg{
+			Probe: "r", Build: "s", FK: "r_fk", PK: "s_pk",
+			ProbeFilter: lt("r_x", 50), BuildFilter: lt("s_x", 50),
+			Agg: expr.NewCol("r_a"),
+		}
+		for rep := 0; rep < 2; rep++ {
+			got, _, err := e.SemiJoinAgg(mq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameGroups(t, tag("semijoin", "one-shot"), map[int64]int64{0: got}, wantSemi)
+		}
+		mp, err := e.PrepareSemiJoinAgg(mq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			got, _ := mp.Run()
+			sameGroups(t, tag("semijoin", "prepared"), map[int64]int64{0: got}, wantSemi)
+		}
+
+		// Groupjoin aggregation (technique is the cost model's
+		// eager-vs-traditional pick; both are exercised elsewhere).
+		jq := GroupJoinAgg{
+			Probe: "r", Build: "s", FK: "r_fk", PK: "s_pk",
+			BuildFilter: lt("s_x", 50), Agg: expr.NewCol("r_a"),
+		}
+		for rep := 0; rep < 2; rep++ {
+			got, _, err := e.GroupJoinAgg(jq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameGroups(t, tag("groupjoin", "one-shot"), got, wantGJoin)
+		}
+		jp, err := e.PrepareGroupJoinAgg(jq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			res, _ := jp.Run()
+			sameGroups(t, tag("groupjoin", "prepared"), groupMap(res), wantGJoin)
+		}
+	}
+}
+
+// settle zeroes an Explain's wall-clock fields so two executions of the
+// same compiled plan compare structurally.
+func settle(ex Explain) Explain {
+	ex.ScanTime, ex.MergeTime, ex.PartitionTime = 0, 0, 0
+	return ex
+}
+
+// TestOneShotPreparedExplainParity pins the observability contract of the
+// unified layer: a warm one-shot replay and a warm prepared re-run of the
+// same query report the same Explain, field for field — same technique,
+// same costs, PlanCached and StatsCached set, FreshAllocs zero. Before
+// the compiled-plan layer the two paths drifted (the one-shot path
+// re-reported first-run FreshAllocs forever); this test keeps them fused.
+func TestOneShotPreparedExplainParity(t *testing.T) {
+	db := testDB(t, 40_000, 500, 64)
+	for _, workers := range []int{1, 4} {
+		e := NewEngine(db)
+		e.Workers = workers
+		e.MorselRows = 4096
+		defer e.Close()
+
+		// check runs the one-shot cold (compiling, sampling, and caching
+		// the plan), then compiles the prepared form — against the now-warm
+		// stats cache, exactly like the replayed one-shot — and compares
+		// the two warm Explains. prepare must not run before the cold
+		// one-shot or the two compiles would see different cache states.
+		check := func(shape string, oneShot func() Explain, prepare func() func() Explain) {
+			t.Helper()
+			oneShot() // cold: compiles, samples, caches the plan
+			warm := settle(oneShot())
+			prepared := prepare()
+			if !warm.PlanCached || !warm.StatsCached {
+				t.Errorf("workers=%d %s: warm one-shot PlanCached=%t StatsCached=%t, want both",
+					workers, shape, warm.PlanCached, warm.StatsCached)
+			}
+			if warm.FreshAllocs != 0 {
+				t.Errorf("workers=%d %s: warm one-shot FreshAllocs=%d, want 0", workers, shape, warm.FreshAllocs)
+			}
+			prepared() // first prepared run settles FreshAllocs
+			prep := settle(prepared())
+			if !reflect.DeepEqual(warm, prep) {
+				t.Errorf("workers=%d %s: one-shot and prepared Explain drifted\none-shot: %s\nprepared: %s",
+					workers, shape, warm, prep)
+			}
+		}
+
+		sq := ScalarAgg{Table: "r", Filter: lt("r_x", 50), Agg: expr.NewCol("r_a")}
+		check("scalar",
+			func() Explain { _, ex, err := e.ScalarAgg(sq); requireNoErr(t, err); return ex },
+			func() func() Explain {
+				p, err := e.PrepareScalarAgg(sq)
+				requireNoErr(t, err)
+				return func() Explain { _, ex := p.Run(); return ex }
+			})
+
+		gq := GroupAgg{Table: "r", Filter: lt("r_x", 50), Key: expr.NewCol("r_c"), Agg: expr.NewCol("r_a")}
+		check("group",
+			func() Explain { _, ex, err := e.GroupAgg(gq); requireNoErr(t, err); return ex },
+			func() func() Explain {
+				p, err := e.PrepareGroupAgg(gq)
+				requireNoErr(t, err)
+				return func() Explain { _, ex := p.Run(); return ex }
+			})
+
+		mq := SemiJoinAgg{
+			Probe: "r", Build: "s", FK: "r_fk", PK: "s_pk",
+			ProbeFilter: lt("r_x", 50), BuildFilter: lt("s_x", 50),
+			Agg: expr.NewCol("r_a"),
+		}
+		check("semijoin",
+			func() Explain { _, ex, err := e.SemiJoinAgg(mq); requireNoErr(t, err); return ex },
+			func() func() Explain {
+				p, err := e.PrepareSemiJoinAgg(mq)
+				requireNoErr(t, err)
+				return func() Explain { _, ex := p.Run(); return ex }
+			})
+
+		jq := GroupJoinAgg{
+			Probe: "r", Build: "s", FK: "r_fk", PK: "s_pk",
+			BuildFilter: lt("s_x", 50), Agg: expr.NewCol("r_a"),
+		}
+		check("groupjoin",
+			func() Explain { _, ex, err := e.GroupJoinAgg(jq); requireNoErr(t, err); return ex },
+			func() func() Explain {
+				p, err := e.PrepareGroupJoinAgg(jq)
+				requireNoErr(t, err)
+				return func() Explain { _, ex := p.Run(); return ex }
+			})
+	}
+}
+
+func requireNoErr(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

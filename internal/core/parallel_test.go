@@ -30,7 +30,7 @@ func parallelDB(t *testing.T, nR, nS, ccard int) *storage.Database {
 	for i := 0; i < nR; i++ {
 		x[i] = next(1000)
 		a[i] = next(50) + 1
-		c[i] = next(maxInt(ccard, 1))
+		c[i] = next(max(ccard, 1))
 		if nS > 0 {
 			fk[i] = next(nS)
 		}
@@ -56,11 +56,13 @@ func parallelDB(t *testing.T, nR, nS, ccard int) *storage.Database {
 }
 
 // engineAt returns an engine over db pinned to a worker count, with small
-// morsels so even unit-test-sized tables span many morsels.
-func engineAt(db *storage.Database, workers int) *Engine {
+// morsels so even unit-test-sized tables span many morsels. The engine's
+// worker gang is released when the test finishes.
+func engineAt(t testing.TB, db *storage.Database, workers int) *Engine {
 	e := NewEngine(db)
 	e.Workers = workers
 	e.MorselRows = 2 * vec.TileSize
+	t.Cleanup(e.Close)
 	return e
 }
 
@@ -77,7 +79,7 @@ func TestScalarAggWorkersIdentical(t *testing.T) {
 	db := parallelDB(t, 30_000, 100, 10)
 	for _, sel := range selPoints {
 		q := ScalarAgg{Table: "r", Filter: lt("r_x", sel), Agg: expr.NewCol("r_a")}
-		base, ex, err := engineAt(db, 1).ScalarAgg(q)
+		base, ex, err := engineAt(t, db, 1).ScalarAgg(q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,7 +87,7 @@ func TestScalarAggWorkersIdentical(t *testing.T) {
 			t.Errorf("sel=%d: explain reports %d workers, want 1", sel, ex.Workers)
 		}
 		for _, w := range workerCounts[1:] {
-			got, ex, err := engineAt(db, w).ScalarAgg(q)
+			got, ex, err := engineAt(t, db, w).ScalarAgg(q)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -113,14 +115,14 @@ func TestScalarAggWorkersIdenticalForcedTechniques(t *testing.T) {
 	} {
 		for _, sel := range selPoints {
 			q := ScalarAgg{Table: "r", Filter: lt("r_x", sel), Agg: expr.NewCol("r_a")}
-			ref := engineAt(db, 1)
+			ref := engineAt(t, db, 1)
 			force.tune(ref)
 			base, exBase, err := ref.ScalarAgg(q)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, w := range workerCounts[1:] {
-				e := engineAt(db, w)
+				e := engineAt(t, db, w)
 				force.tune(e)
 				got, ex, err := e.ScalarAgg(q)
 				if err != nil {
@@ -154,14 +156,14 @@ func TestGroupAggWorkersIdentical(t *testing.T) {
 			db := parallelDB(t, 40_000, 100, ccard)
 			for _, sel := range selPoints {
 				q := GroupAgg{Table: "r", Filter: lt("r_x", sel), Key: expr.NewCol("r_c"), Agg: expr.NewCol("r_a")}
-				ref := engineAt(db, 1)
+				ref := engineAt(t, db, 1)
 				force.tune(ref)
 				base, exBase, err := ref.GroupAgg(q)
 				if err != nil {
 					t.Fatal(err)
 				}
 				for _, w := range workerCounts[1:] {
-					e := engineAt(db, w)
+					e := engineAt(t, db, w)
 					force.tune(e)
 					got, ex, err := e.GroupAgg(q)
 					if err != nil {
@@ -193,12 +195,12 @@ func TestSemiJoinAggWorkersIdentical(t *testing.T) {
 				BuildFilter: lt("s_x", selS),
 				Agg:         expr.NewCol("r_a"),
 			}
-			base, _, err := engineAt(db, 1).SemiJoinAgg(q)
+			base, _, err := engineAt(t, db, 1).SemiJoinAgg(q)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, w := range workerCounts[1:] {
-				got, _, err := engineAt(db, w).SemiJoinAgg(q)
+				got, _, err := engineAt(t, db, w).SemiJoinAgg(q)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -228,7 +230,7 @@ func TestGroupJoinAggWorkersIdentical(t *testing.T) {
 				BuildFilter: lt("s_x", sel),
 				Agg:         expr.NewCol("r_a"),
 			}
-			ref := engineAt(db, 1)
+			ref := engineAt(t, db, 1)
 			force.tune(ref)
 			base, exBase, err := ref.GroupJoinAgg(q)
 			if err != nil {
@@ -238,7 +240,7 @@ func TestGroupJoinAggWorkersIdentical(t *testing.T) {
 				t.Fatalf("%s sel=%d: tuning chose %s, want %s", force.name, sel, exBase.Technique, force.want)
 			}
 			for _, w := range workerCounts[1:] {
-				e := engineAt(db, w)
+				e := engineAt(t, db, w)
 				force.tune(e)
 				got, ex, err := e.GroupJoinAgg(q)
 				if err != nil {
@@ -259,7 +261,7 @@ func TestGroupJoinAggWorkersIdentical(t *testing.T) {
 func TestParallelEmptyTables(t *testing.T) {
 	db := parallelDB(t, 0, 0, 1)
 	for _, w := range workerCounts {
-		e := engineAt(db, w)
+		e := engineAt(t, db, w)
 		sum, _, err := e.ScalarAgg(ScalarAgg{Table: "r", Filter: lt("r_x", 100), Agg: expr.NewCol("r_a")})
 		if err != nil || sum != 0 {
 			t.Errorf("workers=%d: scalar agg over empty table = %d, %v", w, sum, err)
@@ -284,11 +286,11 @@ func TestParallelSingleMorsel(t *testing.T) {
 	// the pool must fall back to one worker and still merge correctly.
 	db := parallelDB(t, 100, 10, 4)
 	q := ScalarAgg{Table: "r", Filter: lt("r_x", 500), Agg: expr.NewCol("r_a")}
-	base, _, err := engineAt(db, 1).ScalarAgg(q)
+	base, _, err := engineAt(t, db, 1).ScalarAgg(q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, ex, err := engineAt(db, 16).ScalarAgg(q)
+	got, ex, err := engineAt(t, db, 16).ScalarAgg(q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,11 +301,11 @@ func TestParallelSingleMorsel(t *testing.T) {
 		t.Errorf("explain workers = %d", ex.Workers)
 	}
 	gq := GroupAgg{Table: "r", Key: expr.NewCol("r_c"), Agg: expr.NewCol("r_a")}
-	gbase, _, err := engineAt(db, 1).GroupAgg(gq)
+	gbase, _, err := engineAt(t, db, 1).GroupAgg(gq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ggot, _, err := engineAt(db, 16).GroupAgg(gq)
+	ggot, _, err := engineAt(t, db, 16).GroupAgg(gq)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,13 +1,7 @@
 package core
 
 import (
-	"time"
-
-	"github.com/reprolab/swole/internal/cost"
-	"github.com/reprolab/swole/internal/expr"
 	"github.com/reprolab/swole/internal/ht"
-	"github.com/reprolab/swole/internal/storage"
-	"github.com/reprolab/swole/internal/vec"
 )
 
 // Radix-partitioned two-phase group-by execution — the paper's access-
@@ -38,46 +32,6 @@ func subTableHint(groups, parts int) int {
 	return 2*groups/parts + 8
 }
 
-// partitionKernelGroupAgg builds the phase-1 morsel kernel for a GroupAgg
-// under the chosen masking strategy. Hybrid appends only selected tuples
-// through its selection vector; value and key masking both collapse to
-// key-masked appends — a rejected tuple's key becomes ht.NullKey, which
-// phase 2 routes to the throwaway entry, so a group is emitted iff some
-// valid tuple reached it and the result is bit-identical to the direct
-// path under every strategy.
-func partitionKernelGroupAgg(q GroupAgg, states []workerState, parters []*ht.Partitioner, strat cost.AggStrategy) func(w, base, length int) {
-	if strat == cost.ChooseHybrid {
-		return func(w, base, length int) {
-			s, pr := &states[w], parters[w]
-			vec.Tiles(length, func(tb, tl int) {
-				b := base + tb
-				s.fillCmp(q.Filter, b, tl)
-				n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
-				for j := 0; j < n; j++ {
-					i := b + int(s.Idx[j])
-					pr.Append(expr.Eval(q.Key, i), expr.Eval(q.Agg, i))
-				}
-			})
-		}
-	}
-	return func(w, base, length int) {
-		s, pr := &states[w], parters[w]
-		vec.Tiles(length, func(tb, tl int) {
-			b := base + tb
-			s.fillCmp(q.Filter, b, tl)
-			s.ev.EvalInt(q.Key, b, tl, s.Keys)
-			s.ev.EvalInt(q.Agg, b, tl, s.Vals)
-			for j := 0; j < tl; j++ {
-				k := s.Keys[j]
-				if s.Cmp[j] == 0 {
-					k = ht.NullKey
-				}
-				pr.Append(k, s.Vals[j])
-			}
-		})
-	}
-}
-
 // foldPartition aggregates one partition's pairs from every worker's
 // buffer into tab (Reset first). The partition's keys appear in no other
 // partition, so tab holds those groups' final sums afterwards.
@@ -89,141 +43,4 @@ func foldPartition(tab *ht.AggTable, parters []*ht.Partitioner, part int) {
 			tab.Add(tab.Lookup(k), 0, vals[i])
 		}
 	}
-}
-
-// runPartitionedGroupAgg executes the one-shot two-phase path for
-// GroupAgg and fills the partitioned fields of ex. Resources come from
-// the engine pools exactly like the direct path's tables.
-func (e *Engine) runPartitionedGroupAgg(ex *Explain, q GroupAgg, rows, workers, groups, parts int, strat cost.AggStrategy) map[int64]int64 {
-	ex.Partitioned = true
-	ex.Partitions = parts
-
-	pool := e.pool()
-	states, freshS := e.getStates(workers)
-	defer e.putStates(states)
-	parters, freshP := e.getPartitioners(workers, parts)
-	defer e.putPartitioners(parters)
-	smalls, freshT := e.getAggTables(workers, subTableHint(groups, parts))
-	defer e.putAggTables(smalls)
-	ex.FreshAllocs = freshS + freshP + freshT
-	grows0 := growsSum(smalls)
-
-	start := time.Now()
-	pool.Run(rows, partitionKernelGroupAgg(q, states, parters, strat))
-	ex.PartitionTime = time.Since(start)
-
-	// Phase 2: per-worker emission buffers collect already-final groups;
-	// distinct partitions hold distinct keys, so the map fold below just
-	// copies, never accumulates.
-	emitKeys := make([][]int64, workers)
-	emitSums := make([][]int64, workers)
-	pool.RunParts(parts, func(w, part int) {
-		tab := smalls[w]
-		foldPartition(tab, parters, part)
-		tab.ForEach(false, func(key int64, s int) {
-			emitKeys[w] = append(emitKeys[w], key)
-			emitSums[w] = append(emitSums[w], tab.Acc(s, 0))
-		})
-	})
-	ex.ScanTime = time.Since(start)
-	ex.HTGrows = int(growsSum(smalls) - grows0)
-
-	start = time.Now()
-	n := 0
-	for _, ks := range emitKeys {
-		n += len(ks)
-	}
-	out := make(map[int64]int64, n)
-	for w, ks := range emitKeys {
-		for i, k := range ks {
-			out[k] = emitSums[w][i]
-		}
-	}
-	ex.MergeTime = time.Since(start)
-	return out
-}
-
-// runPartitionedEagerGroupJoin executes the two-phase path for the eager
-// side of GroupJoinAgg. The build-side fail bitmap is built and merged
-// BEFORE phase 2 so per-partition emission can skip disqualified keys
-// directly — the deletes of the sequential model become a read-only
-// bitmap test on the emission path.
-func (e *Engine) runPartitionedEagerGroupJoin(ex *Explain, q GroupJoinAgg, fkCol, pkCol *storage.Column, probeRows, buildRows, workers, parts int) map[int64]int64 {
-	ex.Partitioned = true
-	ex.Partitions = parts
-
-	pool := e.pool()
-	states, freshS := e.getStates(workers)
-	defer e.putStates(states)
-	parters, freshP := e.getPartitioners(workers, parts)
-	defer e.putPartitioners(parters)
-	smalls, freshT := e.getAggTables(workers, subTableHint(buildRows, parts))
-	defer e.putAggTables(smalls)
-	fails, freshB := e.getBitmaps(workers, buildRows)
-	defer e.putBitmaps(fails)
-	ex.FreshAllocs = freshS + freshP + freshT + freshB
-	grows0 := growsSum(smalls)
-
-	// Build-side inverted predicate, merged before any emission happens.
-	start := time.Now()
-	pool.Run(buildRows, func(w, base, length int) {
-		s, fail := &states[w], fails[w]
-		vec.Tiles(length, func(tb, tl int) {
-			b := base + tb
-			s.fillCmp(q.BuildFilter, b, tl)
-			for j := 0; j < tl; j++ {
-				fail.OrBit(int(pkCol.Get(b+j)), s.Cmp[j]^1)
-			}
-		})
-	})
-	ex.ScanTime = time.Since(start)
-	start = time.Now()
-	fail := fails[0]
-	fail.OrInto(fails[1:]...)
-	ex.MergeTime = time.Since(start)
-
-	// Phase 1: unconditional (fk, value) appends — the eager build
-	// aggregates every probe tuple regardless of the join.
-	start = time.Now()
-	pool.Run(probeRows, func(w, base, length int) {
-		s, pr := &states[w], parters[w]
-		vec.Tiles(length, func(tb, tl int) {
-			b := base + tb
-			s.ev.EvalInt(q.Agg, b, tl, s.Vals)
-			for j := 0; j < tl; j++ {
-				pr.Append(fkCol.Get(b+j), s.Vals[j])
-			}
-		})
-	})
-	ex.PartitionTime = time.Since(start)
-
-	emitKeys := make([][]int64, workers)
-	emitSums := make([][]int64, workers)
-	pool.RunParts(parts, func(w, part int) {
-		tab := smalls[w]
-		foldPartition(tab, parters, part)
-		tab.ForEach(false, func(key int64, s int) {
-			if key >= 0 && key < int64(fail.Len()) && fail.Test(int(key)) {
-				return
-			}
-			emitKeys[w] = append(emitKeys[w], key)
-			emitSums[w] = append(emitSums[w], tab.Acc(s, 0))
-		})
-	})
-	ex.ScanTime += time.Since(start)
-	ex.HTGrows = int(growsSum(smalls) - grows0)
-
-	start = time.Now()
-	n := 0
-	for _, ks := range emitKeys {
-		n += len(ks)
-	}
-	out := make(map[int64]int64, n)
-	for w, ks := range emitKeys {
-		for i, k := range ks {
-			out[k] = emitSums[w][i]
-		}
-	}
-	ex.MergeTime += time.Since(start)
-	return out
 }

@@ -1,167 +1,86 @@
 package core
 
 import (
-	"github.com/reprolab/swole/internal/bitmap"
 	"github.com/reprolab/swole/internal/exec"
 	"github.com/reprolab/swole/internal/ht"
 )
 
-// Execution-resource recycling. Every query shape needs the same three
-// kinds of transient state — per-worker tile scratch, per-worker
-// aggregation hash tables, and per-worker positional bitmaps — and before
-// this layer existed each call to the engine heap-allocated all of them
-// from scratch (73 MB and ~100k allocations per execution for a 100K-group
-// aggregation). The engine now keeps bounded free lists: a query checks
-// resources out at the start, checks them back in when it returns, and the
-// epoch-based Reset on tables (and sequential clear on bitmaps) makes the
-// recycled object indistinguishable from a fresh one. The free lists are
-// bounded so a one-off giant query cannot pin its working set forever.
+// Plan recycling. Compiled plans own every transient resource an
+// execution needs — per-worker tile scratch, aggregation hash tables,
+// positional bitmaps, partitioners — so recycling happens at plan
+// granularity: the one-shot entry points cache whole compiled plans by
+// query value and replay them, and the forced entry points return their
+// plan husks (prebuilt kernel closures plus grown buffers) to bounded
+// per-shape free lists for the next compile to rebind. Both structures
+// live on the engine, guarded by e.mu.
 
 const (
-	maxFreeStates       = 16 // pooled []workerState slices
-	maxFreeTables       = 64 // pooled *ht.AggTable
-	maxFreeBitmaps      = 32 // pooled *bitmap.Bitmap
-	maxFreePartitioners = 32 // pooled *ht.Partitioner
+	// maxCachedCorePlans bounds each shape's one-shot plan cache; past it
+	// the map is cleared wholesale, like the public plan cache.
+	maxCachedCorePlans = 64
+	// maxFreePlans bounds each shape's husk free list.
+	maxFreePlans = 8
 )
 
-// getStates checks out a worker-state slice with at least n entries,
-// allocating only the entries a recycled slice is missing. fresh counts
-// newly created states (0 on a full pool hit).
-func (e *Engine) getStates(n int) (states []workerState, fresh int) {
+// lookupPlan returns the cached plan compiled for the query value, or nil.
+func lookupPlan[K comparable, P any](e *Engine, m map[K]*P, q K) *P {
 	e.mu.Lock()
-	if k := len(e.freeStates); k > 0 {
-		states = e.freeStates[k-1]
-		e.freeStates = e.freeStates[:k-1]
-	}
+	p := m[q]
 	e.mu.Unlock()
-	for len(states) < n {
-		states = append(states, newWorkerState())
-		fresh++
-	}
-	return states, fresh
+	return p
 }
 
-// putStates returns a checked-out slice to the pool.
-func (e *Engine) putStates(states []workerState) {
+// cachePlan stores a compiled plan under its query value, clearing the
+// cache wholesale when a new key would push it past the bound.
+func cachePlan[K comparable, P any](e *Engine, m *map[K]*P, q K, p *P) {
 	e.mu.Lock()
-	if len(e.freeStates) < maxFreeStates {
-		e.freeStates = append(e.freeStates, states)
+	if *m == nil || (len(*m) >= maxCachedCorePlans && (*m)[q] == nil) {
+		*m = make(map[K]*P)
 	}
+	(*m)[q] = p
 	e.mu.Unlock()
 }
 
-// getAggTables checks out n single-accumulator tables, each Reset and
-// Reserved so about hint groups fit without growing mid-scan. fresh counts
-// newly allocated tables.
-func (e *Engine) getAggTables(n, hint int) (tabs []*ht.AggTable, fresh int) {
-	tabs = make([]*ht.AggTable, n)
+// dropPlan evicts one cached plan (failed recompiles must not leave the
+// stale plan behind).
+func dropPlan[K comparable, P any](e *Engine, m map[K]*P, q K) {
 	e.mu.Lock()
-	for i := 0; i < n && len(e.freeTables) > 0; i++ {
-		k := len(e.freeTables)
-		tabs[i] = e.freeTables[k-1]
-		e.freeTables = e.freeTables[:k-1]
-	}
-	e.mu.Unlock()
-	for i := range tabs {
-		if tabs[i] == nil {
-			tabs[i] = ht.NewAggTable(1, hint)
-			fresh++
-		} else {
-			tabs[i].Reset()
-			tabs[i].Reserve(hint)
-		}
-	}
-	return tabs, fresh
-}
-
-// putAggTables returns tables to the pool.
-func (e *Engine) putAggTables(tabs []*ht.AggTable) {
-	e.mu.Lock()
-	for _, t := range tabs {
-		if t == nil {
-			continue
-		}
-		if len(e.freeTables) >= maxFreeTables {
-			break
-		}
-		e.freeTables = append(e.freeTables, t)
-	}
+	delete(m, q)
 	e.mu.Unlock()
 }
 
-// getPartitioners checks out n radix partitioners with the given fan-out,
-// Reset but keeping their grown buffer capacity. A recycled partitioner
-// with a different fan-out is re-made (the per-partition buffers are
-// keyed to the fan-out), which counts as fresh. fresh counts newly
-// allocated partitioners.
-func (e *Engine) getPartitioners(n, parts int) (ps []*ht.Partitioner, fresh int) {
-	ps = make([]*ht.Partitioner, n)
-	e.mu.Lock()
-	for i := 0; i < n && len(e.freePartitioners) > 0; i++ {
-		k := len(e.freePartitioners)
-		ps[i] = e.freePartitioners[k-1]
-		e.freePartitioners = e.freePartitioners[:k-1]
-	}
-	e.mu.Unlock()
-	for i := range ps {
-		if ps[i] == nil || ps[i].Parts() != parts {
-			ps[i] = ht.NewPartitioner(parts)
-			fresh++
-		} else {
-			ps[i].Reset()
+// dropDependentPlans evicts cached plans reading the named table. Evicted
+// plans are left for the garbage collector rather than recycled: a
+// Prepare running on another goroutine may pop husks concurrently, and a
+// husk must never be rebound while a cached copy of it could still run.
+func dropDependentPlans[K comparable, P interface{ dependsOn(string) bool }](m map[K]P, table string) {
+	for k, p := range m {
+		if p.dependsOn(table) {
+			delete(m, k)
 		}
 	}
-	return ps, fresh
 }
 
-// putPartitioners returns partitioners to the pool.
-func (e *Engine) putPartitioners(ps []*ht.Partitioner) {
+// popFree draws a recycled husk from a free list, or nil.
+func popFree[P any](e *Engine, free *[]*P) *P {
 	e.mu.Lock()
-	for _, p := range ps {
-		if p == nil {
-			continue
-		}
-		if len(e.freePartitioners) >= maxFreePartitioners {
-			break
-		}
-		e.freePartitioners = append(e.freePartitioners, p)
+	var p *P
+	if n := len(*free); n > 0 {
+		p = (*free)[n-1]
+		(*free)[n-1] = nil
+		*free = (*free)[:n-1]
 	}
 	e.mu.Unlock()
+	return p
 }
 
-// getBitmaps checks out n bitmaps Reset to cover rows positions. fresh
-// counts newly allocated bitmaps.
-func (e *Engine) getBitmaps(n, rows int) (bms []*bitmap.Bitmap, fresh int) {
-	bms = make([]*bitmap.Bitmap, n)
+// pushFree returns a husk to its free list. Only plans whose every cached
+// reference is gone may be pushed (the forced entry points qualify: their
+// plans are never cached).
+func pushFree[P any](e *Engine, free *[]*P, p *P) {
 	e.mu.Lock()
-	for i := 0; i < n && len(e.freeBitmaps) > 0; i++ {
-		k := len(e.freeBitmaps)
-		bms[i] = e.freeBitmaps[k-1]
-		e.freeBitmaps = e.freeBitmaps[:k-1]
-	}
-	e.mu.Unlock()
-	for i := range bms {
-		if bms[i] == nil {
-			bms[i] = bitmap.New(rows)
-			fresh++
-		} else {
-			bms[i].Reset(rows)
-		}
-	}
-	return bms, fresh
-}
-
-// putBitmaps returns bitmaps to the pool.
-func (e *Engine) putBitmaps(bms []*bitmap.Bitmap) {
-	e.mu.Lock()
-	for _, b := range bms {
-		if b == nil {
-			continue
-		}
-		if len(e.freeBitmaps) >= maxFreeBitmaps {
-			break
-		}
-		e.freeBitmaps = append(e.freeBitmaps, b)
+	if len(*free) < maxFreePlans {
+		*free = append(*free, p)
 	}
 	e.mu.Unlock()
 }
@@ -176,12 +95,12 @@ func growsSum(tabs []*ht.AggTable) uint64 {
 	return s
 }
 
-// steadyLocked returns the persistent worker gang for prepared execution,
-// (re)building it when the requested worker count or the engine's morsel
-// configuration changed. Callers must hold e.execMu for the whole scan,
-// not just this call: the gang is single-flight by design (one parked
-// goroutine set), which serializes steady-state scans and lets them share
-// one set of warm resources instead of multiplying per-query state.
+// steadyLocked returns the persistent worker gang, (re)building it when
+// the requested worker count or the engine's morsel configuration changed.
+// Callers must hold e.execMu for the whole scan, not just this call: the
+// gang is single-flight by design (one parked goroutine set), which
+// serializes scans and lets them share one set of warm resources instead
+// of multiplying per-query state.
 func (e *Engine) steadyLocked(workers int) *exec.Workers {
 	if e.gang == nil || e.gangN != workers || e.gangMorsel != e.MorselRows {
 		if e.gang != nil {

@@ -206,6 +206,56 @@ func TestPreparedZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestOneShotZeroAlloc is the one-shot side of the gate: a replayed
+// one-shot execution goes through the same compiled plan as a prepared
+// re-run, so the scalar and semijoin entry points (whose results are plain
+// int64s) must not allocate either. The group-shape one-shot APIs return a
+// freshly allocated map by contract; their replay guarantee is asserted
+// through the Explain counters instead.
+func TestOneShotZeroAlloc(t *testing.T) {
+	db := testDB(t, 64_000, 1000, 100)
+	for _, workers := range []int{1, 4} {
+		e := NewEngine(db)
+		e.Workers = workers
+		e.MorselRows = 4096
+		defer e.Close()
+
+		sq := ScalarAgg{Table: "r", Filter: lt("r_x", 50), Agg: expr.NewCol("r_a")}
+		gq := GroupAgg{Table: "r", Filter: lt("r_x", 50), Key: expr.NewCol("r_c"), Agg: expr.NewCol("r_a")}
+		mq := SemiJoinAgg{
+			Probe: "r", Build: "s", FK: "r_fk", PK: "s_pk",
+			ProbeFilter: lt("r_x", 50), BuildFilter: lt("s_x", 50),
+			Agg: expr.NewCol("r_a"),
+		}
+		// Cold runs compile and cache the plans; the second run settles
+		// any lazily sized scratch.
+		for rep := 0; rep < 2; rep++ {
+			if _, _, err := e.ScalarAgg(sq); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := e.GroupAgg(gq); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := e.SemiJoinAgg(mq); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		if allocs := testing.AllocsPerRun(20, func() { e.ScalarAgg(sq) }); allocs != 0 {
+			t.Errorf("workers=%d: one-shot scalar replay allocates %.1f per run, want 0", workers, allocs)
+		}
+		if allocs := testing.AllocsPerRun(20, func() { e.SemiJoinAgg(mq) }); allocs != 0 {
+			t.Errorf("workers=%d: one-shot semijoin replay allocates %.1f per run, want 0", workers, allocs)
+		}
+		if _, ex, err := e.GroupAgg(gq); err != nil {
+			t.Fatal(err)
+		} else if ex.FreshAllocs != 0 || ex.HTGrows != 0 {
+			t.Errorf("workers=%d: one-shot group replay FreshAllocs=%d HTGrows=%d, want 0/0",
+				workers, ex.FreshAllocs, ex.HTGrows)
+		}
+	}
+}
+
 // TestStatsCacheHits checks the second planning of a shape reports cached
 // statistics and that invalidation brings sampling back.
 func TestStatsCacheHits(t *testing.T) {

@@ -18,100 +18,199 @@ type ScalarAgg struct {
 	Agg    expr.Expr // summed expression
 }
 
-// Run plans and executes the aggregation, returning the sum and the
-// decision record. The planner chooses between the hybrid pushdown and
-// value masking using the Section III-A cost models evaluated with each
-// worker's bandwidth share; when the filter and aggregate share
-// attributes, the decision is reported as access merging (Section III-C:
-// "always beneficial if it can be applied") — under the generic tiled
-// evaluator the shared attribute's second read hits the tile still
-// resident in cache, which is the interpreted analogue of the fused
-// single read the hand-specialized kernels (micro.Q3AccessMerging) and
-// the code generator emit.
-//
-// Execution is morsel-parallel: workers claim cache-sized row ranges,
-// run the chosen tiled kernel branch-free within each morsel, and
-// accumulate into private partials; the merge phase sums the partials,
-// so the result is identical at every worker count.
-func (e *Engine) ScalarAgg(q ScalarAgg) (int64, Explain, error) {
+// PreparedScalarAgg is the compiled plan for a scalar aggregation: the
+// technique decision, the kernel for it, and every buffer the execution
+// needs. See compile.go for the compile/bind/run contract.
+type PreparedScalarAgg struct {
+	planCore
+	rows   int
+	filter expr.Expr
+	agg    expr.Expr
+	parts  *exec.Partials
+	partsN int
+	kernel kernelFn
+
+	// The technique menu, built once per husk over the fields above.
+	kTuple  kernelFn // data-centric tuple-at-a-time (forced only)
+	kHybrid kernelFn // pushdown through a selection vector
+	kMask   kernelFn // value masking / access merging
+}
+
+// newScalarPlan builds an empty husk with its kernel menu. The closures
+// read the husk's current fields, so rebinding the husk to another query
+// or environment never rebuilds them.
+func newScalarPlan() *PreparedScalarAgg {
+	p := &PreparedScalarAgg{}
+	p.kTuple = func(w, base, length int) {
+		// Single tuple-at-a-time loop with a branch (Figure 1, left).
+		var sum int64
+		for i := base; i < base+length; i++ {
+			if p.filter == nil || expr.Eval(p.filter, i) != 0 {
+				sum += expr.Eval(p.agg, i)
+			}
+		}
+		p.parts.Add(w, sum)
+	}
+	p.kHybrid = func(w, base, length int) {
+		s := &p.states[w]
+		var sum int64
+		vec.Tiles(length, func(tb, tl int) {
+			b := base + tb
+			s.fillCmp(p.filter, b, tl)
+			n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
+			// Conditional access: the aggregate is evaluated only for
+			// selected tuples.
+			for j := 0; j < n; j++ {
+				sum += expr.Eval(p.agg, b+int(s.Idx[j]))
+			}
+		})
+		p.parts.Add(w, sum)
+	}
+	p.kMask = func(w, base, length int) {
+		s := &p.states[w]
+		var sum int64
+		vec.Tiles(length, func(tb, tl int) {
+			b := base + tb
+			s.fillCmp(p.filter, b, tl)
+			s.ev.EvalInt(p.agg, b, tl, s.Vals)
+			for j := 0; j < tl; j++ {
+				sum += s.Vals[j] * int64(s.Cmp[j])
+			}
+		})
+		p.parts.Add(w, sum)
+	}
+	return p
+}
+
+// compileScalarAgg plans a scalar aggregation into p (a recycled husk, or
+// nil to draw one from the free list): it validates and binds the query,
+// samples statistics through the cache, evaluates the Section III-A cost
+// models, and binds the chosen kernel and resources. tech overrides the
+// decision (forced execution); techAuto defers to the model.
+func (e *Engine) compileScalarAgg(p *PreparedScalarAgg, q ScalarAgg, tech Technique, env planEnv) (*PreparedScalarAgg, error) {
 	t := e.DB.Table(q.Table)
 	if t == nil {
-		return 0, Explain{}, errNoTable(q.Table)
+		return nil, errNoTable(q.Table)
 	}
 	if q.Filter != nil {
 		if err := expr.Bind(q.Filter, t); err != nil {
-			return 0, Explain{}, err
+			return nil, err
 		}
 	}
 	if err := expr.Bind(q.Agg, t); err != nil {
-		return 0, Explain{}, err
+		return nil, err
 	}
-	rows := t.Rows()
-	workers := e.workers()
-	params := e.Params.ForWorkers(workers)
-	sel, statsHit := e.selectivity(q.Table, rows, q.Filter, 16384)
-	comp := expr.CompCost(q.Agg, params)
-	strat, _ := params.ChooseScalarAgg(rows, sel, comp)
+	if p == nil {
+		if p = popFree(e, &e.freeScalar); p == nil {
+			p = newScalarPlan()
+		}
+	}
+	fresh := p.bindCore(e, env, tech != techAuto)
+	p.dep(q.Table)
+	p.rows = t.Rows()
+	p.filter, p.agg = q.Filter, q.Agg
+	var f int
+	p.parts, p.partsN, f = ensurePartials(p.parts, p.partsN, p.nw)
+	fresh += f
 
-	ex := Explain{
+	params := env.params.ForWorkers(p.nw)
+	sel, statsHit := e.selectivity(q.Table, p.rows, q.Filter, 16384)
+	comp := expr.CompCost(q.Agg, params)
+	p.ex = Explain{
 		Selectivity: sel,
 		CompCost:    comp,
-		Workers:     workers,
+		Workers:     p.nw,
 		StatsCached: statsHit,
+		PlanCached:  true,
+		FreshAllocs: fresh,
 		Costs: map[string]float64{
-			"hybrid":        params.Hybrid(rows, sel, comp),
-			"value-masking": params.ValueMasking(rows, comp),
+			"hybrid":        params.Hybrid(p.rows, sel, comp),
+			"value-masking": params.ValueMasking(p.rows, comp),
 		},
 		Merged: shared(q.Filter, q.Agg),
 	}
-
-	pool := e.pool()
-	states, fresh := e.getStates(workers)
-	defer e.putStates(states)
-	ex.FreshAllocs = fresh
-	parts := exec.NewPartials(workers)
-	start := time.Now()
-	switch strat {
-	case cost.ChooseValueMasking:
-		ex.Technique = TechValueMasking
-		if len(ex.Merged) > 0 {
-			ex.Technique = TechAccessMerging
+	if tech == techAuto {
+		tech = TechHybrid
+		if strat, _ := params.ChooseScalarAgg(p.rows, sel, comp); strat == cost.ChooseValueMasking {
+			// A masking win with shared filter/aggregate attributes is
+			// reported as access merging (Section III-C: "always beneficial
+			// if it can be applied") — under the generic tiled evaluator the
+			// shared attribute's second read hits the tile still resident
+			// in cache.
+			tech = TechValueMasking
+			if len(p.ex.Merged) > 0 {
+				tech = TechAccessMerging
+			}
 		}
-		pool.Run(rows, func(w, base, length int) {
-			s := &states[w]
-			var sum int64
-			vec.Tiles(length, func(tb, tl int) {
-				b := base + tb
-				s.fillCmp(q.Filter, b, tl)
-				s.ev.EvalInt(q.Agg, b, tl, s.Vals)
-				for j := 0; j < tl; j++ {
-					sum += s.Vals[j] * int64(s.Cmp[j])
-				}
-			})
-			parts.Add(w, sum)
-		})
-	default:
-		ex.Technique = TechHybrid
-		pool.Run(rows, func(w, base, length int) {
-			s := &states[w]
-			var sum int64
-			vec.Tiles(length, func(tb, tl int) {
-				b := base + tb
-				s.fillCmp(q.Filter, b, tl)
-				n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
-				// Conditional access: the aggregate is evaluated only for
-				// selected tuples.
-				for j := 0; j < n; j++ {
-					sum += expr.Eval(q.Agg, b+int(s.Idx[j]))
-				}
-			})
-			parts.Add(w, sum)
-		})
 	}
-	ex.ScanTime = time.Since(start)
+	p.ex.Technique = tech
+	switch tech {
+	case TechDataCentric:
+		p.kernel = p.kTuple
+	case TechValueMasking, TechAccessMerging:
+		p.kernel = p.kMask
+	default:
+		p.kernel = p.kHybrid
+	}
+	return p, nil
+}
+
+// runLocked executes the bound plan. Callers hold e.execMu.
+func (p *PreparedScalarAgg) runLocked() (int64, Explain) {
+	p.parts.Reset()
+	start := time.Now()
+	p.scan(p.rows, p.kernel)
+	p.ex.ScanTime = time.Since(start)
 	start = time.Now()
-	sum := parts.Sum()
-	ex.MergeTime = time.Since(start)
+	sum := p.parts.Sum()
+	p.ex.MergeTime = time.Since(start)
+	return sum, p.snapshot()
+}
+
+// Run executes the prepared aggregation. Allocation-free after the first
+// call.
+func (p *PreparedScalarAgg) Run() (int64, Explain) {
+	p.e.execMu.Lock()
+	sum, ex := p.runLocked()
+	p.e.execMu.Unlock()
+	return sum, ex
+}
+
+// PrepareScalarAgg compiles a scalar aggregation once — statistics
+// (through the cache), the cost-model decision, kernel and buffer binding
+// — for the caller to keep and re-run.
+func (e *Engine) PrepareScalarAgg(q ScalarAgg) (*PreparedScalarAgg, error) {
+	return e.compileScalarAgg(nil, q, techAuto, e.planEnv())
+}
+
+// ScalarAgg plans and executes the aggregation, returning the sum and the
+// decision record. The planner chooses between the hybrid pushdown and
+// value masking using the Section III-A cost models evaluated with each
+// worker's bandwidth share.
+//
+// Execution is morsel-parallel on the engine's persistent worker gang:
+// workers claim cache-sized row ranges, run the chosen tiled kernel
+// branch-free within each morsel, and accumulate into private partials;
+// the merge phase sums the partials, so the result is identical at every
+// worker count. The compiled plan is cached by query value: re-running
+// the same query against unchanged tables and engine settings replays it
+// without sampling, cost evaluation, or allocation.
+func (e *Engine) ScalarAgg(q ScalarAgg) (int64, Explain, error) {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	env := e.planEnv()
+	p := lookupPlan(e, e.planScalar, q)
+	replay := p != nil && p.valid(env)
+	if !replay {
+		var err error
+		if p, err = e.compileScalarAgg(p, q, techAuto, env); err != nil {
+			dropPlan(e, e.planScalar, q)
+			return 0, Explain{}, err
+		}
+		cachePlan(e, &e.planScalar, q, p)
+	}
+	sum, ex := p.runLocked()
+	finishOneShot(&ex, replay)
 	return sum, ex, nil
 }
 

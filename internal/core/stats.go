@@ -69,12 +69,17 @@ func (c *statsCache) invalidate(table string) {
 	}
 }
 
-// InvalidateStats drops cached statistics for the named table. Statistics
-// self-invalidate via table versions, so this is about reclaiming memory
-// (and about making eviction observable to tests), not correctness.
+// InvalidateStats drops cached statistics — and cached one-shot plans —
+// for the named table. Both self-invalidate via table versions, so this is
+// about reclaiming memory (and about making eviction observable to tests),
+// not correctness.
 func (e *Engine) InvalidateStats(table string) {
 	e.mu.Lock()
 	e.stats.invalidate(table)
+	dropDependentPlans(e.planScalar, table)
+	dropDependentPlans(e.planGroup, table)
+	dropDependentPlans(e.planSemi, table)
+	dropDependentPlans(e.planGJoin, table)
 	e.mu.Unlock()
 }
 

@@ -118,27 +118,62 @@ func (d *DB) QuerySwole(q string) (*Result, Explain, error) {
 	return &Result{res: vres}, Explain{Technique: "interpreter-fallback"}, nil
 }
 
+// The shape registry. A queryShape is one matched SWOLE statement: it
+// knows its input tables, its result header, and how to compile itself
+// into a runnable core plan. Each registered shapeDef pattern-matches one
+// input form of the normalized single-aggregate plan; everything above —
+// the plan cache, QuerySwole, and through them the harness and the bench
+// binary — routes through the registry, so supporting a new shape is one
+// registration here plus its core kernels, not an edit per layer.
+
 // queryShape is a pattern-matched SWOLE statement, ready to prepare.
-type queryShape struct {
-	kind    queryKind
-	scalar  core.ScalarAgg
-	group   core.GroupAgg
-	semi    core.SemiJoinAgg
-	gjoin   core.GroupJoinAgg
-	tables  []string
-	keyName string
-	aggName string
+type queryShape interface {
+	// tables lists the input tables the compiled plan will read, in the
+	// order their versions should be pinned.
+	tables() []string
+	// fields is the result header the statement materializes.
+	fields() volcano.Fields
+	// prepare compiles the shape on the engine and wraps the compiled
+	// plan as a cache-entry runner.
+	prepare(e *core.Engine) (planRunner, error)
 }
 
-// matchSwole pattern-matches the plan against the SWOLE executor shapes.
+// shapeDef is one registry entry: a named matcher from the normalized
+// aggregate plan to a queryShape.
+type shapeDef struct {
+	name  string
+	match func(d *DB, in plan.Node, groupBy []string, spec plan.AggSpec) (queryShape, bool)
+}
+
+// swoleShapes is the registry, tried in order.
+var swoleShapes = []shapeDef{
+	{name: "scalar-agg", match: matchScalarAgg},
+	{name: "group-agg", match: matchGroupAgg},
+	{name: "semijoin-agg", match: matchSemiJoinAgg},
+	{name: "groupjoin-agg", match: matchGroupJoinAgg},
+}
+
+// SupportedShapes lists the names of the registered SWOLE query shapes in
+// match order; statements outside these shapes run on the interpreter
+// ("interpreter-fallback"). Exposed for tests and introspection.
+func SupportedShapes() []string {
+	names := make([]string, len(swoleShapes))
+	for i, def := range swoleShapes {
+		names[i] = def.name
+	}
+	return names
+}
+
+// matchSwole normalizes the plan's aggregate spine (single sum/count
+// aggregate under a projection) and tries each registered shape matcher.
 func (d *DB) matchSwole(p plan.Node) (queryShape, bool) {
 	m, ok := p.(*plan.Map)
 	if !ok {
-		return queryShape{}, false
+		return nil, false
 	}
 	agg, ok := m.Input.(*plan.Aggregate)
 	if !ok || len(agg.Aggs) != 1 {
-		return queryShape{}, false
+		return nil, false
 	}
 	spec := agg.Aggs[0]
 	switch {
@@ -148,101 +183,175 @@ func (d *DB) matchSwole(p plan.Node) (queryShape, bool) {
 		// count(*) is sum(1).
 		spec.Arg = &expr.Const{Val: 1}
 	default:
-		return queryShape{}, false
+		return nil, false
 	}
-
-	switch input := agg.Input.(type) {
-	case *plan.Scan:
-		if len(agg.GroupBy) == 0 {
-			return queryShape{
-				kind: kindScalar,
-				scalar: core.ScalarAgg{
-					Table: input.Table, Filter: input.Filter, Agg: spec.Arg,
-				},
-				tables:  []string{input.Table},
-				aggName: spec.As,
-			}, true
-		}
-		if len(agg.GroupBy) == 1 {
-			return queryShape{
-				kind: kindGroup,
-				group: core.GroupAgg{
-					Table: input.Table, Filter: input.Filter,
-					Key: expr.NewCol(agg.GroupBy[0]), Agg: spec.Arg,
-				},
-				tables:  []string{input.Table},
-				keyName: agg.GroupBy[0],
-				aggName: spec.As,
-			}, true
-		}
-	case *plan.Join:
-		probe, pok := input.Probe.(*plan.Scan)
-		build, bok := input.Build.(*plan.Scan)
-		if !pok || !bok || input.Residual != nil || input.Semi {
-			return queryShape{}, false
-		}
-		// The aggregate must touch only probe columns for the join to be
-		// a semijoin in disguise.
-		if !colsSubset(expr.Cols(spec.Arg), d.db.MustTable(probe.Table)) {
-			return queryShape{}, false
-		}
-		if len(agg.GroupBy) == 0 {
-			return queryShape{
-				kind: kindSemi,
-				semi: core.SemiJoinAgg{
-					Probe: probe.Table, Build: build.Table,
-					FK: input.ProbeKey, PK: input.BuildKey,
-					ProbeFilter: probe.Filter, BuildFilter: build.Filter,
-					Agg: spec.Arg,
-				},
-				tables:  []string{probe.Table, build.Table},
-				aggName: spec.As,
-			}, true
-		}
-		if len(agg.GroupBy) == 1 && agg.GroupBy[0] == input.ProbeKey && probe.Filter == nil {
-			return queryShape{
-				kind: kindGroupJoin,
-				gjoin: core.GroupJoinAgg{
-					Probe: probe.Table, Build: build.Table,
-					FK: input.ProbeKey, PK: input.BuildKey,
-					BuildFilter: build.Filter, Agg: spec.Arg,
-				},
-				tables:  []string{probe.Table, build.Table},
-				keyName: agg.GroupBy[0],
-				aggName: spec.As,
-			}, true
+	for _, def := range swoleShapes {
+		if s, ok := def.match(d, agg.Input, agg.GroupBy, spec); ok {
+			return s, true
 		}
 	}
-	return queryShape{}, false
+	return nil, false
 }
 
-// prepareShape plans the matched statement once and wraps it as a cache
-// entry with its table-version dependencies and reusable result.
-func (d *DB) prepareShape(s queryShape) (*cachedPlan, error) {
-	c := &cachedPlan{kind: s.kind}
-	var err error
-	switch s.kind {
-	case kindScalar:
-		c.scalar, err = d.engine.PrepareScalarAgg(s.scalar)
-	case kindGroup:
-		c.group, err = d.engine.PrepareGroupAgg(s.group)
-	case kindSemi:
-		c.semi, err = d.engine.PrepareSemiJoinAgg(s.semi)
-	case kindGroupJoin:
-		c.gjoin, err = d.engine.PrepareGroupJoinAgg(s.gjoin)
+// scalarShape: filtered scalar aggregation over one table.
+type scalarShape struct {
+	q       core.ScalarAgg
+	aggName string
+}
+
+func matchScalarAgg(d *DB, in plan.Node, groupBy []string, spec plan.AggSpec) (queryShape, bool) {
+	scan, ok := in.(*plan.Scan)
+	if !ok || len(groupBy) != 0 {
+		return nil, false
 	}
+	return scalarShape{
+		q:       core.ScalarAgg{Table: scan.Table, Filter: scan.Filter, Agg: spec.Arg},
+		aggName: spec.As,
+	}, true
+}
+
+func (s scalarShape) tables() []string       { return []string{s.q.Table} }
+func (s scalarShape) fields() volcano.Fields { return volcano.Fields{{Name: s.aggName}} }
+func (s scalarShape) prepare(e *core.Engine) (planRunner, error) {
+	p, err := e.PrepareScalarAgg(s.q)
 	if err != nil {
 		return nil, err
 	}
-	for _, name := range s.tables {
+	return scalarRunner{p}, nil
+}
+
+// groupShape: filtered single-key group-by aggregation over one table.
+type groupShape struct {
+	q       core.GroupAgg
+	keyName string
+	aggName string
+}
+
+func matchGroupAgg(d *DB, in plan.Node, groupBy []string, spec plan.AggSpec) (queryShape, bool) {
+	scan, ok := in.(*plan.Scan)
+	if !ok || len(groupBy) != 1 {
+		return nil, false
+	}
+	return groupShape{
+		q: core.GroupAgg{
+			Table: scan.Table, Filter: scan.Filter,
+			Key: expr.NewCol(groupBy[0]), Agg: spec.Arg,
+		},
+		keyName: groupBy[0],
+		aggName: spec.As,
+	}, true
+}
+
+func (s groupShape) tables() []string { return []string{s.q.Table} }
+func (s groupShape) fields() volcano.Fields {
+	return volcano.Fields{{Name: s.keyName}, {Name: s.aggName}}
+}
+func (s groupShape) prepare(e *core.Engine) (planRunner, error) {
+	p, err := e.PrepareGroupAgg(s.q)
+	if err != nil {
+		return nil, err
+	}
+	return groupRunner{p}, nil
+}
+
+// joinShape destructures the common join prefix of the two join shapes: a
+// scan-scan foreign-key join whose aggregate touches only probe columns
+// (what makes the join a semijoin in disguise).
+func joinShape(d *DB, in plan.Node, spec plan.AggSpec) (probe, build *plan.Scan, j *plan.Join, ok bool) {
+	j, ok = in.(*plan.Join)
+	if !ok {
+		return nil, nil, nil, false
+	}
+	probe, pok := j.Probe.(*plan.Scan)
+	build, bok := j.Build.(*plan.Scan)
+	if !pok || !bok || j.Residual != nil || j.Semi {
+		return nil, nil, nil, false
+	}
+	if !colsSubset(expr.Cols(spec.Arg), d.db.MustTable(probe.Table)) {
+		return nil, nil, nil, false
+	}
+	return probe, build, j, true
+}
+
+// semiShape: semijoin aggregation over a registered foreign key.
+type semiShape struct {
+	q       core.SemiJoinAgg
+	aggName string
+}
+
+func matchSemiJoinAgg(d *DB, in plan.Node, groupBy []string, spec plan.AggSpec) (queryShape, bool) {
+	probe, build, j, ok := joinShape(d, in, spec)
+	if !ok || len(groupBy) != 0 {
+		return nil, false
+	}
+	return semiShape{
+		q: core.SemiJoinAgg{
+			Probe: probe.Table, Build: build.Table,
+			FK: j.ProbeKey, PK: j.BuildKey,
+			ProbeFilter: probe.Filter, BuildFilter: build.Filter,
+			Agg: spec.Arg,
+		},
+		aggName: spec.As,
+	}, true
+}
+
+func (s semiShape) tables() []string       { return []string{s.q.Probe, s.q.Build} }
+func (s semiShape) fields() volcano.Fields { return volcano.Fields{{Name: s.aggName}} }
+func (s semiShape) prepare(e *core.Engine) (planRunner, error) {
+	p, err := e.PrepareSemiJoinAgg(s.q)
+	if err != nil {
+		return nil, err
+	}
+	return semiRunner{p}, nil
+}
+
+// gjoinShape: groupjoin aggregation keyed by the probe's foreign key.
+type gjoinShape struct {
+	q       core.GroupJoinAgg
+	keyName string
+	aggName string
+}
+
+func matchGroupJoinAgg(d *DB, in plan.Node, groupBy []string, spec plan.AggSpec) (queryShape, bool) {
+	probe, build, j, ok := joinShape(d, in, spec)
+	if !ok || len(groupBy) != 1 || groupBy[0] != j.ProbeKey || probe.Filter != nil {
+		return nil, false
+	}
+	return gjoinShape{
+		q: core.GroupJoinAgg{
+			Probe: probe.Table, Build: build.Table,
+			FK: j.ProbeKey, PK: j.BuildKey,
+			BuildFilter: build.Filter, Agg: spec.Arg,
+		},
+		keyName: groupBy[0],
+		aggName: spec.As,
+	}, true
+}
+
+func (s gjoinShape) tables() []string { return []string{s.q.Probe, s.q.Build} }
+func (s gjoinShape) fields() volcano.Fields {
+	return volcano.Fields{{Name: s.keyName}, {Name: s.aggName}}
+}
+func (s gjoinShape) prepare(e *core.Engine) (planRunner, error) {
+	p, err := e.PrepareGroupJoinAgg(s.q)
+	if err != nil {
+		return nil, err
+	}
+	return gjoinRunner{p}, nil
+}
+
+// prepareShape compiles the matched statement once and wraps it as a cache
+// entry with its table-version dependencies and reusable result.
+func (d *DB) prepareShape(s queryShape) (*cachedPlan, error) {
+	r, err := s.prepare(d.engine)
+	if err != nil {
+		return nil, err
+	}
+	c := &cachedPlan{exec: r}
+	for _, name := range s.tables() {
 		c.deps = append(c.deps, tableDep{name: name, ver: d.db.TableVersion(name)})
 	}
-	switch s.kind {
-	case kindScalar, kindSemi:
-		c.vres.Fields = volcano.Fields{{Name: s.aggName}}
-	default:
-		c.vres.Fields = volcano.Fields{{Name: s.keyName}, {Name: s.aggName}}
-	}
+	c.vres.Fields = s.fields()
 	c.res = Result{res: &c.vres}
 	return c, nil
 }

@@ -36,15 +36,6 @@ import (
 // than maxCachedPlans distinct steady-state statements is not steady.
 const maxCachedPlans = 256
 
-type queryKind int
-
-const (
-	kindScalar queryKind = iota
-	kindGroup
-	kindSemi
-	kindGroupJoin
-)
-
 // tableDep pins one input table at the version the plan was prepared
 // against.
 type tableDep struct {
@@ -52,20 +43,71 @@ type tableDep struct {
 	ver  uint64
 }
 
+// planRunner executes one compiled core plan and rematerializes the cache
+// entry's result in place. Each shape contributes one small runner (built
+// by its queryShape's prepare, see query_swole.go); the cache itself is
+// shape-blind.
+type planRunner interface {
+	run(c *cachedPlan) core.Explain
+}
+
+type scalarRunner struct{ p *core.PreparedScalarAgg }
+type groupRunner struct{ p *core.PreparedGroupAgg }
+type semiRunner struct{ p *core.PreparedSemiJoinAgg }
+type gjoinRunner struct{ p *core.PreparedGroupJoinAgg }
+
+func (r scalarRunner) run(c *cachedPlan) core.Explain {
+	sum, ex := r.p.Run()
+	c.putScalar(sum)
+	return ex
+}
+
+func (r groupRunner) run(c *cachedPlan) core.Explain {
+	g, ex := r.p.Run()
+	c.putGroups(g)
+	return ex
+}
+
+func (r semiRunner) run(c *cachedPlan) core.Explain {
+	sum, ex := r.p.Run()
+	c.putScalar(sum)
+	return ex
+}
+
+func (r gjoinRunner) run(c *cachedPlan) core.Explain {
+	g, ex := r.p.Run()
+	c.putGroups(g)
+	return ex
+}
+
 // cachedPlan is one prepared statement plus its reusable result
 // materialization.
 type cachedPlan struct {
-	kind   queryKind
-	scalar *core.PreparedScalarAgg
-	group  *core.PreparedGroupAgg
-	semi   *core.PreparedSemiJoinAgg
-	gjoin  *core.PreparedGroupJoinAgg
-	deps   []tableDep
+	exec planRunner
+	deps []tableDep
 
 	// Reused result: vres's rows are slice headers into flat.
 	res  Result
 	vres volcano.Result
 	flat []int64
+}
+
+// putScalar rematerializes a single-value result.
+func (c *cachedPlan) putScalar(sum int64) {
+	c.flat = append(c.flat[:0], sum)
+	c.vres.Rows = append(c.vres.Rows[:0], c.flat[0:1])
+}
+
+// putGroups rematerializes a (key, sum)-per-row result.
+func (c *cachedPlan) putGroups(g *core.GroupResult) {
+	c.flat = c.flat[:0]
+	for i := range g.Keys {
+		c.flat = append(c.flat, g.Keys[i], g.Sums[i])
+	}
+	c.vres.Rows = c.vres.Rows[:0]
+	for i := range g.Keys {
+		c.vres.Rows = append(c.vres.Rows, c.flat[2*i:2*i+2])
+	}
 }
 
 // fresh reports whether every input table is still at its prepared
@@ -93,36 +135,7 @@ func (c *cachedPlan) dependsOn(table string) bool {
 // place. Allocation-free once flat and the row-header array have reached
 // the result's size.
 func (c *cachedPlan) run() (*Result, Explain) {
-	switch c.kind {
-	case kindScalar, kindSemi:
-		var sum int64
-		var ex core.Explain
-		if c.kind == kindScalar {
-			sum, ex = c.scalar.Run()
-		} else {
-			sum, ex = c.semi.Run()
-		}
-		c.flat = append(c.flat[:0], sum)
-		c.vres.Rows = append(c.vres.Rows[:0], c.flat[0:1])
-		return &c.res, fromCore(ex)
-	default:
-		var g *core.GroupResult
-		var ex core.Explain
-		if c.kind == kindGroup {
-			g, ex = c.group.Run()
-		} else {
-			g, ex = c.gjoin.Run()
-		}
-		c.flat = c.flat[:0]
-		for i := range g.Keys {
-			c.flat = append(c.flat, g.Keys[i], g.Sums[i])
-		}
-		c.vres.Rows = c.vres.Rows[:0]
-		for i := range g.Keys {
-			c.vres.Rows = append(c.vres.Rows, c.flat[2*i:2*i+2])
-		}
-		return &c.res, fromCore(ex)
-	}
+	return &c.res, fromCore(c.exec.run(c))
 }
 
 // normalizeQuery collapses runs of whitespace to single spaces so

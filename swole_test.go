@@ -313,3 +313,16 @@ func TestCompareStrategiesUnsupported(t *testing.T) {
 		}
 	}
 }
+
+func TestSupportedShapes(t *testing.T) {
+	got := SupportedShapes()
+	want := []string{"scalar-agg", "group-agg", "semijoin-agg", "groupjoin-agg"}
+	if len(got) != len(want) {
+		t.Fatalf("shapes %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("shapes %v, want %v", got, want)
+		}
+	}
+}
