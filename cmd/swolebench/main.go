@@ -42,6 +42,7 @@ func realMain() error {
 	csv := flag.Bool("csv", false, "emit micro figures as CSV for plotting")
 	workers := flag.Int("workers", 0, "max morsel workers the scaling figure sweeps to (0 = SWOLE_WORKERS or NumCPU)")
 	repeat := flag.Int("repeat", 0, "steady-state demo: run each supported query shape N times and report cold vs plan-cached warm timings")
+	timeout := flag.Duration("timeout", 0, "per-query deadline for -repeat runs; deadline-exceeded runs are counted and reported separately (0 = no deadline)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -77,7 +78,7 @@ func realMain() error {
 		cfg.Workers = *workers
 	}
 	if *repeat > 0 {
-		return runSteady(cfg, *repeat)
+		return runSteady(cfg, *repeat, *timeout)
 	}
 	fmt.Printf("config: SF=%g micro R=%d reps=%d workers=%d\n\n", cfg.SF, cfg.MicroR, cfg.Reps, cfg.Workers)
 

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -22,8 +24,12 @@ var steadyQueries = []struct {
 
 // runSteady executes each supported query shape `reps` times on one DB and
 // reports the cold (first, plan + statistics + allocation) execution
-// against the warm (plan-cached, recycled-resource) steady state.
-func runSteady(cfg harness.Config, reps int) error {
+// against the warm (plan-cached, recycled-resource) steady state. With a
+// timeout, every run carries that deadline; deadline-exceeded runs are
+// counted separately (they are not failures — cooperative cancellation
+// returning promptly with pools intact is the behavior under test) and
+// excluded from the warm minimum.
+func runSteady(cfg harness.Config, reps int, timeout time.Duration) error {
 	if reps < 2 {
 		reps = 2
 	}
@@ -31,8 +37,12 @@ func runSteady(cfg harness.Config, reps int) error {
 	if groups > 100_000 {
 		groups = 100_000
 	}
-	fmt.Printf("steady-state demo: R=%d rows, %d group keys, workers=%d, repeat=%d\n\n",
+	fmt.Printf("steady-state demo: R=%d rows, %d group keys, workers=%d, repeat=%d",
 		cfg.MicroR, groups, cfg.Workers, reps)
+	if timeout > 0 {
+		fmt.Printf(", per-query deadline=%s", timeout)
+	}
+	fmt.Printf("\n\n")
 	db, err := swole.LoadMicro(swole.MicroConfig{
 		Rows: cfg.MicroR, DimRows: 1000, GroupKeys: groups, Seed: 42,
 	})
@@ -42,27 +52,55 @@ func runSteady(cfg harness.Config, reps int) error {
 	defer db.Close()
 	db.SetWorkers(cfg.Workers)
 
+	// run executes one repetition under the configured deadline, reporting
+	// whether the deadline canceled it.
+	run := func(q string) (time.Duration, swole.Explain, bool, error) {
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+		}
+		defer cancel()
+		start := time.Now()
+		_, ex, err := db.QueryContext(ctx, q)
+		d := time.Since(start)
+		if errors.Is(err, context.DeadlineExceeded) {
+			return d, ex, true, nil
+		}
+		return d, ex, false, err
+	}
+
 	fmt.Printf("%-14s %12s %12s %8s  %s\n", "query", "cold", "warm(min)", "speedup", "steady-state counters")
 	for _, tc := range steadyQueries {
-		start := time.Now()
-		if _, _, err := db.QuerySwole(tc.q); err != nil {
+		cold, _, coldCanceled, err := run(tc.q)
+		if err != nil {
 			return fmt.Errorf("%s: %w", tc.name, err)
 		}
-		cold := time.Since(start)
+		canceled := 0
+		if coldCanceled {
+			canceled++
+		}
 
 		warmMin := time.Duration(0)
 		var lastEx swole.Explain
 		for i := 1; i < reps; i++ {
-			start = time.Now()
-			_, ex, err := db.QuerySwole(tc.q)
+			d, ex, wasCanceled, err := run(tc.q)
 			if err != nil {
 				return fmt.Errorf("%s: %w", tc.name, err)
 			}
-			d := time.Since(start)
+			if wasCanceled {
+				canceled++
+				continue // a truncated run's timing is not a warm sample
+			}
 			if warmMin == 0 || d < warmMin {
 				warmMin = d
 			}
 			lastEx = ex
+		}
+		if canceled == reps {
+			fmt.Printf("%-14s %12s %12s %8s  all %d runs canceled at the %s deadline\n",
+				tc.name, "-", "-", "-", reps, timeout)
+			continue
 		}
 		counters := fmt.Sprintf("plan-cached=%v fresh-allocs=%d ht-grows=%d",
 			lastEx.PlanCached, lastEx.FreshAllocs, lastEx.HTGrows)
@@ -70,8 +108,15 @@ func runSteady(cfg harness.Config, reps int) error {
 			counters += fmt.Sprintf(" partitioned=%d(p1=%s)",
 				lastEx.Partitions, lastEx.PartitionTime.Round(time.Microsecond))
 		}
+		if canceled > 0 {
+			counters += fmt.Sprintf(" canceled=%d/%d", canceled, reps)
+		}
+		coldStr := cold.Round(time.Microsecond).String()
+		if coldCanceled {
+			coldStr = "canceled"
+		}
 		fmt.Printf("%-14s %12s %12s %7.2fx  %s\n",
-			tc.name, cold.Round(time.Microsecond), warmMin.Round(time.Microsecond),
+			tc.name, coldStr, warmMin.Round(time.Microsecond),
 			float64(cold)/float64(warmMin), counters)
 	}
 	return nil

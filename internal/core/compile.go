@@ -2,6 +2,7 @@ package core
 
 import (
 	"cmp"
+	"context"
 	"slices"
 	"time"
 
@@ -132,35 +133,56 @@ func (p *planCore) dependsOn(table string) bool {
 	return false
 }
 
+// ctxErr reports the context's cancellation state; nil contexts (internal
+// callers without a deadline) never cancel.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // scan runs a kernel over [0, rows): on the persistent gang normally, or
-// inline on this goroutine for sequential (forced) plans. Callers hold
-// e.execMu.
-func (p *planCore) scan(rows int, kernel kernelFn) {
+// inline on this goroutine for sequential (forced) plans. Both forms poll
+// the context at morsel granularity, so a canceled scan stops within one
+// morsel per worker; callers detect it via ctxErr and must then discard
+// the partial state (every run resets its buffers on entry, so pooled
+// resources survive an early exit intact). Callers hold e.execMu.
+func (p *planCore) scan(ctx context.Context, rows int, kernel kernelFn) {
 	if p.seq {
-		if rows > 0 {
-			kernel(0, 0, rows)
+		m := exec.DefaultMorselRows
+		for base := 0; base < rows; base += m {
+			if ctxErr(ctx) != nil {
+				return
+			}
+			length := rows - base
+			if length > m {
+				length = m
+			}
+			kernel(0, base, length)
 		}
 		return
 	}
-	p.e.steadyLocked(p.nw).Run(rows, kernel)
+	p.e.steadyLocked(p.nw).RunCtx(ctx, rows, kernel)
 }
 
 // scanTwoPhase runs the partitioned two-phase form (morsel scatter,
-// barrier, partition-wise fold) and returns the phase-1 duration. Callers
-// hold e.execMu.
-func (p *planCore) scanTwoPhase(rows int, kernel kernelFn, parts int, phase2 func(w, part int)) time.Duration {
+// barrier, partition-wise fold) and returns the phase-1 duration, polling
+// the context like scan. Callers hold e.execMu.
+func (p *planCore) scanTwoPhase(ctx context.Context, rows int, kernel kernelFn, parts int, phase2 func(w, part int)) time.Duration {
 	if p.seq {
 		start := time.Now()
-		if rows > 0 {
-			kernel(0, 0, rows)
-		}
+		p.scan(ctx, rows, kernel)
 		d := time.Since(start)
 		for part := 0; part < parts; part++ {
+			if ctxErr(ctx) != nil {
+				break
+			}
 			phase2(0, part)
 		}
 		return d
 	}
-	return p.e.steadyLocked(p.nw).RunTwoPhase(rows, kernel, parts, phase2)
+	return p.e.steadyLocked(p.nw).RunTwoPhaseCtx(ctx, rows, kernel, parts, phase2)
 }
 
 // snapshot copies the Explain for return and zeroes the one-execution
@@ -169,6 +191,16 @@ func (p *planCore) snapshot() Explain {
 	ex := p.ex
 	p.ex.FreshAllocs = 0
 	return ex
+}
+
+// canceled settles a plan after a canceled run and passes the context
+// error through: the one-execution counters are consumed exactly as
+// snapshot does, so the next (successful) run reports the steady state —
+// a cold compile whose first execution was canceled does not re-bill its
+// fresh allocations.
+func (p *planCore) canceled(err error) error {
+	p.ex.FreshAllocs = 0
+	return err
 }
 
 // finishOneShot adjusts a plan's Explain for the one-shot entry points:

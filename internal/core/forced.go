@@ -29,7 +29,7 @@ func (e *Engine) ScalarAggForced(q ScalarAgg, tech Technique) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	sum, _ := p.runLocked()
+	sum, _, _ := p.runLocked(nil)
 	pushFree(e, &e.freeScalar, p)
 	return sum, nil
 }
@@ -48,7 +48,7 @@ func (e *Engine) GroupAggForced(q GroupAgg, tech Technique) (map[int64]int64, er
 	if err != nil {
 		return nil, err
 	}
-	res, _ := p.runLocked()
+	res, _, _ := p.runLocked(nil)
 	out := res.Map()
 	pushFree(e, &e.freeGroup, p)
 	return out, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"github.com/reprolab/swole/internal/cost"
@@ -253,26 +254,33 @@ func (e *Engine) compileGroupAgg(p *PreparedGroupAgg, q GroupAgg, tech Technique
 }
 
 // runLocked executes the bound plan. Callers hold e.execMu.
-func (p *PreparedGroupAgg) runLocked() (*GroupResult, Explain) {
+func (p *PreparedGroupAgg) runLocked(ctx context.Context) (*GroupResult, Explain, error) {
+	var err error
 	if p.partitioned {
-		p.runRadix()
+		err = p.runRadix(ctx)
 	} else {
-		p.runDirect()
+		err = p.runDirect(ctx)
 	}
-	return &p.out, p.snapshot()
+	if err != nil {
+		return nil, Explain{}, p.canceled(err)
+	}
+	return &p.out, p.snapshot(), nil
 }
 
 // runDirect scans into per-worker tables, merges them into worker 0's,
 // and emits the result sorted.
-func (p *PreparedGroupAgg) runDirect() {
+func (p *PreparedGroupAgg) runDirect(ctx context.Context) error {
 	for _, tab := range p.tabs {
 		tab.Reset()
 	}
 	grows0 := growsSum(p.tabs)
 	start := time.Now()
-	p.scan(p.rows, p.kernel)
+	p.scan(ctx, p.rows, p.kernel)
 	p.ex.ScanTime = time.Since(start)
 	p.ex.HTGrows = int(growsSum(p.tabs) - grows0)
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 
 	start = time.Now()
 	merged := p.tabs[0]
@@ -287,13 +295,14 @@ func (p *PreparedGroupAgg) runDirect() {
 	})
 	p.finish()
 	p.ex.MergeTime = time.Since(start)
+	return nil
 }
 
 // runRadix is the two-phase steady-state scan: one scanTwoPhase call
 // covers the partition scatter, the in-gang barrier, and the partition-
 // wise fold; the merge that remains on this goroutine is a concatenation
 // of already-final per-worker emissions plus the key sort.
-func (p *PreparedGroupAgg) runRadix() {
+func (p *PreparedGroupAgg) runRadix(ctx context.Context) error {
 	for _, pr := range p.parters {
 		pr.Reset()
 	}
@@ -302,9 +311,12 @@ func (p *PreparedGroupAgg) runRadix() {
 	}
 	grows0 := growsSum(p.smalls)
 	start := time.Now()
-	p.ex.PartitionTime = p.scanTwoPhase(p.rows, p.kernel, p.parts, p.phase2)
+	p.ex.PartitionTime = p.scanTwoPhase(ctx, p.rows, p.kernel, p.parts, p.phase2)
 	p.ex.ScanTime = time.Since(start)
 	p.ex.HTGrows = int(growsSum(p.smalls) - grows0)
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 
 	start = time.Now()
 	p.reset()
@@ -313,16 +325,25 @@ func (p *PreparedGroupAgg) runRadix() {
 	}
 	p.finish()
 	p.ex.MergeTime = time.Since(start)
+	return nil
 }
 
 // Run executes the prepared aggregation and returns the reused result.
 // Allocation-free once the result arrays and any under-estimated hash
 // capacity have warmed (first call).
 func (p *PreparedGroupAgg) Run() (*GroupResult, Explain) {
-	p.e.execMu.Lock()
-	res, ex := p.runLocked()
-	p.e.execMu.Unlock()
+	res, ex, _ := p.RunContext(nil)
 	return res, ex
+}
+
+// RunContext executes the prepared aggregation under the context's
+// deadline; see PreparedScalarAgg.RunContext for the cancellation
+// contract.
+func (p *PreparedGroupAgg) RunContext(ctx context.Context) (*GroupResult, Explain, error) {
+	p.e.execMu.Lock()
+	res, ex, err := p.runLocked(ctx)
+	p.e.execMu.Unlock()
+	return res, ex, err
 }
 
 // PrepareGroupAgg compiles a group-by aggregation once, sizing each
@@ -349,6 +370,12 @@ func (e *Engine) PrepareGroupAgg(q GroupAgg) (*PreparedGroupAgg, error) {
 // instead (see partition.go). The compiled plan is cached by query value
 // and replayed while tables and engine settings are unchanged.
 func (e *Engine) GroupAgg(q GroupAgg) (map[int64]int64, Explain, error) {
+	return e.GroupAggContext(nil, q)
+}
+
+// GroupAggContext is GroupAgg under a context deadline; see
+// PreparedScalarAgg.RunContext for the cancellation contract.
+func (e *Engine) GroupAggContext(ctx context.Context, q GroupAgg) (map[int64]int64, Explain, error) {
 	e.execMu.Lock()
 	env := e.planEnv()
 	p := lookupPlan(e, e.planGroup, q)
@@ -362,7 +389,11 @@ func (e *Engine) GroupAgg(q GroupAgg) (map[int64]int64, Explain, error) {
 		}
 		cachePlan(e, &e.planGroup, q, p)
 	}
-	res, ex := p.runLocked()
+	res, ex, err := p.runLocked(ctx)
+	if err != nil {
+		e.execMu.Unlock()
+		return nil, Explain{}, err
+	}
 	out := res.Map()
 	e.execMu.Unlock()
 	finishOneShot(&ex, replay)

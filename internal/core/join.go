@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"github.com/reprolab/swole/internal/bitmap"
@@ -162,35 +163,48 @@ func (e *Engine) compileSemiJoinAgg(p *PreparedSemiJoinAgg, q SemiJoinAgg, env p
 }
 
 // runLocked executes the bound plan. Callers hold e.execMu.
-func (p *PreparedSemiJoinAgg) runLocked() (int64, Explain) {
+func (p *PreparedSemiJoinAgg) runLocked(ctx context.Context) (int64, Explain, error) {
 	for _, bm := range p.bms {
 		bm.Reset(p.buildRows)
 	}
 	p.parts.Reset()
 	start := time.Now()
-	p.scan(p.buildRows, p.buildKernel)
+	p.scan(ctx, p.buildRows, p.buildKernel)
 	p.ex.ScanTime = time.Since(start)
+	if err := ctxErr(ctx); err != nil {
+		return 0, Explain{}, p.canceled(err)
+	}
 	start = time.Now()
 	// Morsels partition the build range, so each position was written by
 	// exactly one worker; OR-merging is exact.
 	p.bms[0].OrInto(p.bms[1:]...)
 	p.ex.MergeTime = time.Since(start)
 	start = time.Now()
-	p.scan(p.probeRows, p.probeKernel)
+	p.scan(ctx, p.probeRows, p.probeKernel)
 	p.ex.ScanTime += time.Since(start)
+	if err := ctxErr(ctx); err != nil {
+		return 0, Explain{}, p.canceled(err)
+	}
 	start = time.Now()
 	sum := p.parts.Sum()
 	p.ex.MergeTime += time.Since(start)
-	return sum, p.snapshot()
+	return sum, p.snapshot(), nil
 }
 
 // Run executes the prepared semijoin. Allocation-free after the first
 // call.
 func (p *PreparedSemiJoinAgg) Run() (int64, Explain) {
-	p.e.execMu.Lock()
-	sum, ex := p.runLocked()
-	p.e.execMu.Unlock()
+	sum, ex, _ := p.RunContext(nil)
 	return sum, ex
+}
+
+// RunContext executes the prepared semijoin under the context's deadline;
+// see PreparedScalarAgg.RunContext for the cancellation contract.
+func (p *PreparedSemiJoinAgg) RunContext(ctx context.Context) (int64, Explain, error) {
+	p.e.execMu.Lock()
+	sum, ex, err := p.runLocked(ctx)
+	p.e.execMu.Unlock()
+	return sum, ex, err
 }
 
 // PrepareSemiJoinAgg compiles a semijoin aggregation once for the caller
@@ -209,6 +223,12 @@ func (e *Engine) PrepareSemiJoinAgg(q SemiJoinAgg) (*PreparedSemiJoinAgg, error)
 // compiled plan is cached by query value and replayed while tables and
 // engine settings are unchanged.
 func (e *Engine) SemiJoinAgg(q SemiJoinAgg) (int64, Explain, error) {
+	return e.SemiJoinAggContext(nil, q)
+}
+
+// SemiJoinAggContext is SemiJoinAgg under a context deadline; see
+// PreparedScalarAgg.RunContext for the cancellation contract.
+func (e *Engine) SemiJoinAggContext(ctx context.Context, q SemiJoinAgg) (int64, Explain, error) {
 	e.execMu.Lock()
 	defer e.execMu.Unlock()
 	env := e.planEnv()
@@ -222,7 +242,10 @@ func (e *Engine) SemiJoinAgg(q SemiJoinAgg) (int64, Explain, error) {
 		}
 		cachePlan(e, &e.planSemi, q, p)
 	}
-	sum, ex := p.runLocked()
+	sum, ex, err := p.runLocked(ctx)
+	if err != nil {
+		return 0, Explain{}, err
+	}
 	finishOneShot(&ex, replay)
 	return sum, ex, nil
 }
@@ -467,21 +490,25 @@ func (e *Engine) compileGroupJoinAgg(p *PreparedGroupJoinAgg, q GroupJoinAgg, en
 }
 
 // runLocked executes the bound plan. Callers hold e.execMu.
-func (p *PreparedGroupJoinAgg) runLocked() (*GroupResult, Explain) {
+func (p *PreparedGroupJoinAgg) runLocked(ctx context.Context) (*GroupResult, Explain, error) {
+	var err error
 	switch {
 	case p.partitioned:
-		p.runRadixEager()
+		err = p.runRadixEager(ctx)
 	case p.eager:
-		p.runEager()
+		err = p.runEager(ctx)
 	default:
-		p.runTraditional()
+		err = p.runTraditional(ctx)
 	}
-	return &p.out, p.snapshot()
+	if err != nil {
+		return nil, Explain{}, p.canceled(err)
+	}
+	return &p.out, p.snapshot(), nil
 }
 
 // runRadixEager: fail bitmap first — phase-2 emission reads it — then one
 // scanTwoPhase covering scatter, barrier, and partition-wise fold.
-func (p *PreparedGroupJoinAgg) runRadixEager() {
+func (p *PreparedGroupJoinAgg) runRadixEager(ctx context.Context) error {
 	for _, pr := range p.parters {
 		pr.Reset()
 	}
@@ -493,16 +520,22 @@ func (p *PreparedGroupJoinAgg) runRadixEager() {
 	}
 	grows0 := growsSum(p.smalls)
 	start := time.Now()
-	p.scan(p.buildRows, p.buildKernel)
+	p.scan(ctx, p.buildRows, p.buildKernel)
 	p.ex.ScanTime = time.Since(start)
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	start = time.Now()
 	p.fails[0].OrInto(p.fails[1:]...)
 	p.ex.MergeTime = time.Since(start)
 
 	start = time.Now()
-	p.ex.PartitionTime = p.scanTwoPhase(p.probeRows, p.probeKernel, p.parts, p.phase2)
+	p.ex.PartitionTime = p.scanTwoPhase(ctx, p.probeRows, p.probeKernel, p.parts, p.phase2)
 	p.ex.ScanTime += time.Since(start)
 	p.ex.HTGrows = int(growsSum(p.smalls) - grows0)
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 
 	start = time.Now()
 	p.reset()
@@ -511,12 +544,13 @@ func (p *PreparedGroupJoinAgg) runRadixEager() {
 	}
 	p.finish()
 	p.ex.MergeTime += time.Since(start)
+	return nil
 }
 
 // runEager aggregates the probe side unconditionally into per-worker
 // tables while the inverted build predicate marks non-qualifying
 // positions; the merge folds the tables, skipping marked keys.
-func (p *PreparedGroupJoinAgg) runEager() {
+func (p *PreparedGroupJoinAgg) runEager(ctx context.Context) error {
 	for _, tab := range p.tabs {
 		tab.Reset()
 	}
@@ -525,10 +559,13 @@ func (p *PreparedGroupJoinAgg) runEager() {
 	}
 	grows0 := growsSum(p.tabs)
 	start := time.Now()
-	p.scan(p.probeRows, p.probeKernel)
-	p.scan(p.buildRows, p.buildKernel)
+	p.scan(ctx, p.probeRows, p.probeKernel)
+	p.scan(ctx, p.buildRows, p.buildKernel)
 	p.ex.ScanTime = time.Since(start)
 	p.ex.HTGrows = int(growsSum(p.tabs) - grows0)
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 
 	start = time.Now()
 	fail := p.fails[0]
@@ -550,12 +587,13 @@ func (p *PreparedGroupJoinAgg) runEager() {
 	})
 	p.finish()
 	p.ex.MergeTime = time.Since(start)
+	return nil
 }
 
 // runTraditional inserts qualifying build keys into per-worker key tables,
 // merges them into one table probe workers consult read-only, and
 // aggregates matches into per-worker tables merged at the end.
-func (p *PreparedGroupJoinAgg) runTraditional() {
+func (p *PreparedGroupJoinAgg) runTraditional(ctx context.Context) error {
 	for _, tab := range p.keyTabs {
 		tab.Reset()
 	}
@@ -565,8 +603,11 @@ func (p *PreparedGroupJoinAgg) runTraditional() {
 	}
 	grows0 := growsSum(p.keyTabs) + growsSum(p.tabs) + p.keys.Grows
 	start := time.Now()
-	p.scan(p.buildRows, p.buildKernel)
+	p.scan(ctx, p.buildRows, p.buildKernel)
 	p.ex.ScanTime = time.Since(start)
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 
 	start = time.Now()
 	for _, tab := range p.keyTabs {
@@ -576,9 +617,12 @@ func (p *PreparedGroupJoinAgg) runTraditional() {
 	p.ex.MergeTime = time.Since(start)
 
 	start = time.Now()
-	p.scan(p.probeRows, p.aggKernel)
+	p.scan(ctx, p.probeRows, p.aggKernel)
 	p.ex.ScanTime += time.Since(start)
 	p.ex.HTGrows = int(growsSum(p.keyTabs) + growsSum(p.tabs) + p.keys.Grows - grows0)
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 
 	start = time.Now()
 	merged := p.tabs[0]
@@ -593,14 +637,22 @@ func (p *PreparedGroupJoinAgg) runTraditional() {
 	})
 	p.finish()
 	p.ex.MergeTime += time.Since(start)
+	return nil
 }
 
 // Run executes the prepared groupjoin and returns the reused result.
 func (p *PreparedGroupJoinAgg) Run() (*GroupResult, Explain) {
-	p.e.execMu.Lock()
-	res, ex := p.runLocked()
-	p.e.execMu.Unlock()
+	res, ex, _ := p.RunContext(nil)
 	return res, ex
+}
+
+// RunContext executes the prepared groupjoin under the context's deadline;
+// see PreparedScalarAgg.RunContext for the cancellation contract.
+func (p *PreparedGroupJoinAgg) RunContext(ctx context.Context) (*GroupResult, Explain, error) {
+	p.e.execMu.Lock()
+	res, ex, err := p.runLocked(ctx)
+	p.e.execMu.Unlock()
+	return res, ex, err
 }
 
 // PrepareGroupJoinAgg compiles a groupjoin once for the caller to keep and
@@ -615,6 +667,12 @@ func (e *Engine) PrepareGroupJoinAgg(q GroupJoinAgg) (*PreparedGroupJoinAgg, err
 // compiled plan is cached by query value and replayed while tables and
 // engine settings are unchanged.
 func (e *Engine) GroupJoinAgg(q GroupJoinAgg) (map[int64]int64, Explain, error) {
+	return e.GroupJoinAggContext(nil, q)
+}
+
+// GroupJoinAggContext is GroupJoinAgg under a context deadline; see
+// PreparedScalarAgg.RunContext for the cancellation contract.
+func (e *Engine) GroupJoinAggContext(ctx context.Context, q GroupJoinAgg) (map[int64]int64, Explain, error) {
 	e.execMu.Lock()
 	env := e.planEnv()
 	p := lookupPlan(e, e.planGJoin, q)
@@ -628,7 +686,11 @@ func (e *Engine) GroupJoinAgg(q GroupJoinAgg) (map[int64]int64, Explain, error) 
 		}
 		cachePlan(e, &e.planGJoin, q, p)
 	}
-	res, ex := p.runLocked()
+	res, ex, err := p.runLocked(ctx)
+	if err != nil {
+		e.execMu.Unlock()
+		return nil, Explain{}, err
+	}
 	out := res.Map()
 	e.execMu.Unlock()
 	finishOneShot(&ex, replay)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"github.com/reprolab/swole/internal/cost"
@@ -156,24 +157,36 @@ func (e *Engine) compileScalarAgg(p *PreparedScalarAgg, q ScalarAgg, tech Techni
 }
 
 // runLocked executes the bound plan. Callers hold e.execMu.
-func (p *PreparedScalarAgg) runLocked() (int64, Explain) {
+func (p *PreparedScalarAgg) runLocked(ctx context.Context) (int64, Explain, error) {
 	p.parts.Reset()
 	start := time.Now()
-	p.scan(p.rows, p.kernel)
+	p.scan(ctx, p.rows, p.kernel)
 	p.ex.ScanTime = time.Since(start)
+	if err := ctxErr(ctx); err != nil {
+		return 0, Explain{}, p.canceled(err)
+	}
 	start = time.Now()
 	sum := p.parts.Sum()
 	p.ex.MergeTime = time.Since(start)
-	return sum, p.snapshot()
+	return sum, p.snapshot(), nil
 }
 
 // Run executes the prepared aggregation. Allocation-free after the first
 // call.
 func (p *PreparedScalarAgg) Run() (int64, Explain) {
-	p.e.execMu.Lock()
-	sum, ex := p.runLocked()
-	p.e.execMu.Unlock()
+	sum, ex, _ := p.RunContext(nil)
 	return sum, ex
+}
+
+// RunContext executes the prepared aggregation under the context's
+// deadline: workers poll it at morsel granularity, so cancellation stops
+// the scan within one morsel and returns ctx's error with the plan's
+// pooled resources intact for the next run.
+func (p *PreparedScalarAgg) RunContext(ctx context.Context) (int64, Explain, error) {
+	p.e.execMu.Lock()
+	sum, ex, err := p.runLocked(ctx)
+	p.e.execMu.Unlock()
+	return sum, ex, err
 }
 
 // PrepareScalarAgg compiles a scalar aggregation once — statistics
@@ -196,6 +209,12 @@ func (e *Engine) PrepareScalarAgg(q ScalarAgg) (*PreparedScalarAgg, error) {
 // the same query against unchanged tables and engine settings replays it
 // without sampling, cost evaluation, or allocation.
 func (e *Engine) ScalarAgg(q ScalarAgg) (int64, Explain, error) {
+	return e.ScalarAggContext(nil, q)
+}
+
+// ScalarAggContext is ScalarAgg under a context deadline; see
+// PreparedScalarAgg.RunContext for the cancellation contract.
+func (e *Engine) ScalarAggContext(ctx context.Context, q ScalarAgg) (int64, Explain, error) {
 	e.execMu.Lock()
 	defer e.execMu.Unlock()
 	env := e.planEnv()
@@ -209,7 +228,10 @@ func (e *Engine) ScalarAgg(q ScalarAgg) (int64, Explain, error) {
 		}
 		cachePlan(e, &e.planScalar, q, p)
 	}
-	sum, ex := p.runLocked()
+	sum, ex, err := p.runLocked(ctx)
+	if err != nil {
+		return 0, Explain{}, err
+	}
 	finishOneShot(&ex, replay)
 	return sum, ex, nil
 }

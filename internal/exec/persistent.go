@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,14 @@ type Workers struct {
 	total   int
 	morsels int
 	next    atomic.Int64
+
+	// stop, when non-nil, is polled before every morsel and partition
+	// claim: once it reports true workers stop claiming and the scan winds
+	// down within one morsel per worker. This is the cooperative
+	// cancellation hook RunCtx installs from a context; the gang's
+	// wake/done protocol always completes normally, so a canceled scan
+	// leaves the gang and the caller's per-worker state reusable.
+	stop func() bool
 
 	// Two-phase job state (RunTwoPhase): a non-nil p2 makes every woken
 	// worker rendezvous at bar after draining the morsel counter, then
@@ -93,9 +102,13 @@ func (w *Workers) work(id int) {
 	}
 }
 
-// drainParts claims and executes partition indices until exhausted.
+// drainParts claims and executes partition indices until exhausted or
+// stopped.
 func (w *Workers) drainParts(id int) {
 	for {
+		if w.stop != nil && w.stop() {
+			return
+		}
 		i := int(w.next2.Add(1)) - 1
 		if i >= w.parts {
 			return
@@ -104,10 +117,14 @@ func (w *Workers) drainParts(id int) {
 	}
 }
 
-// drain claims and executes morsels until the counter is exhausted.
+// drain claims and executes morsels until the counter is exhausted or
+// stopped.
 func (w *Workers) drain(id int) {
 	m := w.morsel
 	for {
+		if w.stop != nil && w.stop() {
+			return
+		}
 		i := int(w.next.Add(1)) - 1
 		if i >= w.morsels {
 			return
@@ -121,15 +138,35 @@ func (w *Workers) drain(id int) {
 	}
 }
 
+// StopFunc converts a context into the per-morsel stop predicate the
+// gang polls: nil for a context that can never be canceled (so the hot
+// path stays branch-predicted away), ctx.Err-backed otherwise.
+func StopFunc(ctx context.Context) func() bool {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
+}
+
 // Run splits [0, n) into morsels and invokes fn once per morsel with the
 // claiming worker's id and the morsel's base row and length, exactly like
 // Pool.Run but on the parked gang. Only as many helpers are woken as there
 // are morsels; with one morsel (or a gang of one) fn runs entirely on the
 // calling goroutine.
 func (w *Workers) Run(n int, fn func(worker, base, length int)) {
+	w.RunCtx(nil, n, fn)
+}
+
+// RunCtx is Run with cooperative cancellation: every worker polls the
+// context before each morsel claim, so a canceled or deadline-exceeded
+// scan stops within one morsel per worker and returns normally — the
+// caller detects cancellation via ctx.Err() and must treat the scanned
+// partial state as garbage (it is reset by the next run).
+func (w *Workers) RunCtx(ctx context.Context, n int, fn func(worker, base, length int)) {
 	if n <= 0 {
 		return
 	}
+	w.stop = StopFunc(ctx)
 	m := w.morsel
 	morsels := (n + m - 1) / m
 	active := w.n
@@ -149,7 +186,7 @@ func (w *Workers) Run(n int, fn func(worker, base, length int)) {
 	if active > 1 {
 		w.done.Wait()
 	}
-	w.fn = nil
+	w.fn, w.stop = nil, nil
 }
 
 // noopMorsel is the phase-1 stand-in for partition-only jobs (RunParts):
@@ -169,10 +206,19 @@ func noopMorsel(worker, base, length int) {}
 // wall time of phase 1 (first claim to barrier release), which the
 // engine reports as Explain.PartitionTime.
 func (w *Workers) RunTwoPhase(n int, phase1 func(worker, base, length int), parts int, phase2 func(worker, part int)) time.Duration {
+	return w.RunTwoPhaseCtx(nil, n, phase1, parts, phase2)
+}
+
+// RunTwoPhaseCtx is RunTwoPhase with cooperative cancellation, polled
+// before every morsel and partition claim. The in-gang barrier between
+// the phases always completes — a canceled worker still reports to it —
+// so cancellation can never wedge the gang.
+func (w *Workers) RunTwoPhaseCtx(ctx context.Context, n int, phase1 func(worker, base, length int), parts int, phase2 func(worker, part int)) time.Duration {
 	if parts <= 0 {
-		w.Run(n, phase1)
+		w.RunCtx(ctx, n, phase1)
 		return 0
 	}
+	w.stop = StopFunc(ctx)
 	if phase1 == nil {
 		phase1 = noopMorsel
 	}
@@ -211,7 +257,7 @@ func (w *Workers) RunTwoPhase(n int, phase1 func(worker, base, length int), part
 	if active > 1 {
 		w.done.Wait()
 	}
-	w.fn, w.p2 = nil, nil
+	w.fn, w.p2, w.stop = nil, nil, nil
 	return phase1Time
 }
 

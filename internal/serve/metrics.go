@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	swole "github.com/reprolab/swole"
+)
+
+// Dependency-free metrics for the serving subsystem, rendered in the
+// Prometheus text exposition format (version 0.0.4) — counters by query
+// shape and outcome, one latency histogram, gauges for admission state,
+// and engine-wide aggregates of the Explain counters the engine already
+// reports per query (plan-cache hits, stats-cache hits, hash-table
+// growths, fresh resource allocations). A scrape renders everything under
+// one mutex; the per-query observe path touches the same mutex once, so
+// metric cost is a map update per query, not a contention point next to
+// the engine's own serialization.
+
+// Outcome labels for swole_queries_total.
+const (
+	outcomeOK       = "ok"
+	outcomeCanceled = "canceled"
+	outcomeTimeout  = "timeout"
+	outcomeRejected = "rejected"
+	outcomeError    = "error"
+)
+
+// latencyBuckets are the histogram's upper bounds in seconds, spanning
+// cache-hit microbenchmark queries to multi-second cold scans.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// metrics is the server's registry. The zero value is not ready; use
+// newMetrics.
+type metrics struct {
+	mu      sync.Mutex
+	queries map[[2]string]uint64 // {shape, outcome} → count
+	buckets []uint64             // cumulative-style counts per latencyBuckets entry
+	infSum  float64              // histogram sum (seconds)
+	infCnt  uint64               // histogram count
+
+	planCacheHits  uint64
+	statsCacheHits uint64
+	htGrows        uint64
+	freshAllocs    uint64
+
+	inflight atomic.Int64
+	queued   atomic.Int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		queries: map[[2]string]uint64{},
+		buckets: make([]uint64, len(latencyBuckets)),
+	}
+}
+
+// observe records one finished (or refused) query: its shape and outcome,
+// its wall time, and — when the query executed far enough to produce an
+// Explain — the engine counters.
+func (m *metrics) observe(shape, outcome string, d time.Duration, ex *swole.Explain) {
+	if shape == "" {
+		shape = "unknown"
+	}
+	sec := d.Seconds()
+	m.mu.Lock()
+	m.queries[[2]string{shape, outcome}]++
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			m.buckets[i]++
+		}
+	}
+	m.infSum += sec
+	m.infCnt++
+	if ex != nil {
+		if ex.PlanCached {
+			m.planCacheHits++
+		}
+		if ex.StatsCached {
+			m.statsCacheHits++
+		}
+		m.htGrows += uint64(ex.HTGrows)
+		m.freshAllocs += uint64(ex.FreshAllocs)
+	}
+	m.mu.Unlock()
+}
+
+// render writes the registry in Prometheus text format. Label sets are
+// emitted sorted so scrapes are deterministic (and testable by substring).
+func (m *metrics) render(w *strings.Builder) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP swole_queries_total Queries served, by shape and outcome.\n")
+	fmt.Fprintf(w, "# TYPE swole_queries_total counter\n")
+	keys := make([][2]string, 0, len(m.queries))
+	for k := range m.queries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "swole_queries_total{shape=%q,outcome=%q} %d\n", k[0], k[1], m.queries[k])
+	}
+
+	fmt.Fprintf(w, "# HELP swole_query_duration_seconds Query wall time, admission wait included.\n")
+	fmt.Fprintf(w, "# TYPE swole_query_duration_seconds histogram\n")
+	for i, ub := range latencyBuckets {
+		fmt.Fprintf(w, "swole_query_duration_seconds_bucket{le=\"%g\"} %d\n", ub, m.buckets[i])
+	}
+	fmt.Fprintf(w, "swole_query_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.infCnt)
+	fmt.Fprintf(w, "swole_query_duration_seconds_sum %g\n", m.infSum)
+	fmt.Fprintf(w, "swole_query_duration_seconds_count %d\n", m.infCnt)
+
+	fmt.Fprintf(w, "# HELP swole_inflight_queries Queries admitted and executing now.\n")
+	fmt.Fprintf(w, "# TYPE swole_inflight_queries gauge\n")
+	fmt.Fprintf(w, "swole_inflight_queries %d\n", m.inflight.Load())
+	fmt.Fprintf(w, "# HELP swole_queued_queries Queries waiting for admission now.\n")
+	fmt.Fprintf(w, "# TYPE swole_queued_queries gauge\n")
+	fmt.Fprintf(w, "swole_queued_queries %d\n", m.queued.Load())
+
+	engine := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"swole_plan_cache_hits_total", "Queries whose planning decision was replayed from the plan cache.", m.planCacheHits},
+		{"swole_stats_cache_hits_total", "Queries planned from cached sampling statistics.", m.statsCacheHits},
+		{"swole_ht_grows_total", "Hash-table growth events during query execution.", m.htGrows},
+		{"swole_fresh_allocs_total", "Execution resources newly allocated rather than recycled.", m.freshAllocs},
+	}
+	for _, c := range engine {
+		fmt.Fprintf(w, "# HELP %s %s\n", c.name, c.help)
+		fmt.Fprintf(w, "# TYPE %s counter\n", c.name)
+		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
+	}
+}

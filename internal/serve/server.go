@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	swole "github.com/reprolab/swole"
+)
+
+// Package serve is the concurrent query-serving subsystem: an HTTP front
+// end over a swole.DB with admission control, per-query deadlines,
+// cooperative cancellation, and Prometheus-text metrics.
+//
+// The engine executes one SWOLE plan at a time (queries serialize on the
+// plan-cache and gang locks; parallelism lives inside a query, in the
+// morsel workers). The server therefore shapes load at the door rather
+// than inside: MaxInFlight bounds admitted queries, MaxQueue bounds how
+// many may wait for admission, and anything beyond that is refused
+// immediately with 429 instead of piling onto a lock. Every admitted
+// query runs under a context deadline, and the engine's morsel loops poll
+// that context, so a timed-out query stops within one morsel and leaves
+// its pooled execution state intact for the next run.
+
+// Config parameterizes a Server. Zero values select the documented
+// defaults.
+type Config struct {
+	// Addr is the listen address, e.g. ":8080" (default) or "127.0.0.1:0"
+	// to pick a free port.
+	Addr string
+	// MaxInFlight bounds queries executing concurrently; default 4.
+	MaxInFlight int
+	// MaxQueue bounds queries waiting for admission; default 16. A query
+	// arriving with MaxInFlight executing and MaxQueue waiting is refused
+	// with HTTP 429.
+	MaxQueue int
+	// DefaultTimeout is the per-query deadline applied when the request
+	// does not carry its own timeout_ms; default 30s. Zero means the
+	// default; negative means no deadline.
+	DefaultTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: how long Shutdown waits for
+	// admitted queries to finish; default 10s.
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	} else if c.MaxQueue == 0 {
+		c.MaxQueue = 16
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// QueryFunc is the execution backend: swole.(*DB).QueryContext in
+// production, a stub in tests that need deterministic blocking or
+// failure.
+type QueryFunc func(ctx context.Context, q string) (*swole.Result, swole.Explain, error)
+
+// errRejected is the admission controller's refusal: in-flight and queue
+// slots are all taken.
+var errRejected = errors.New("serve: server saturated, query rejected")
+
+// Server is the HTTP query server. Create with New or NewWithRunner,
+// start with Start, stop with Shutdown.
+type Server struct {
+	cfg Config
+	run QueryFunc
+	m   *metrics
+
+	sem      chan struct{} // admission semaphore, capacity MaxInFlight
+	waiting  atomic.Int64  // queries blocked on sem
+	draining atomic.Bool
+
+	http *http.Server
+	ln   net.Listener
+}
+
+// New builds a Server over a DB.
+func New(db *swole.DB, cfg Config) *Server {
+	return NewWithRunner(db.QueryContext, cfg)
+}
+
+// NewWithRunner builds a Server over an arbitrary execution backend.
+func NewWithRunner(run QueryFunc, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		run: run,
+		m:   newMetrics(),
+		sem: make(chan struct{}, cfg.MaxInFlight),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /explain", s.handleExplain)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.http = &http.Server{Handler: mux}
+	return s
+}
+
+// Start binds the configured address and begins serving in a background
+// goroutine. It returns once the listener is bound, so Addr is valid —
+// tests bind ":0" and read the port back.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	go func() {
+		// ErrServerClosed is the normal Shutdown result; anything else is
+		// lost here, but Serve errors after a successful bind are rare and
+		// the process-level caller (cmd/swoled) owns crash reporting.
+		_ = s.http.Serve(ln)
+	}()
+	return nil
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains the server: new queries are refused with 503, admitted
+// queries get up to DrainTimeout to finish, then the listener closes. Safe
+// to call multiple times.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	dctx, cancel := context.WithTimeout(ctx, s.cfg.DrainTimeout)
+	defer cancel()
+	return s.http.Shutdown(dctx)
+}
+
+// admit acquires an execution slot, waiting in the bounded queue if the
+// semaphore is full. The returned release must be called exactly once.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	default:
+	}
+	if s.waiting.Add(1) > int64(s.cfg.MaxQueue) {
+		s.waiting.Add(-1)
+		return nil, errRejected
+	}
+	s.m.queued.Add(1)
+	defer func() {
+		s.waiting.Add(-1)
+		s.m.queued.Add(-1)
+	}()
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	Query string `json:"query"`
+	// TimeoutMS overrides the server's default per-query deadline;
+	// negative disables the deadline for this query.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// queryResponse is the POST /query success body.
+type queryResponse struct {
+	Columns []string       `json:"columns"`
+	Rows    [][]int64      `json:"rows"`
+	Explain *swole.Explain `json:"explain,omitempty"`
+}
+
+type errorResponse struct {
+	Error   string `json:"error"`
+	Outcome string `json:"outcome"`
+}
+
+// deadline derives the query's context from the request's.
+func (s *Server) deadline(parent context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS != 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d < 0 {
+		return context.WithCancel(parent)
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// outcomeOf classifies a finished query for metrics and the HTTP status.
+func outcomeOf(err error) (outcome string, status int) {
+	switch {
+	case err == nil:
+		return outcomeOK, http.StatusOK
+	case errors.Is(err, errRejected):
+		return outcomeRejected, http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return outcomeTimeout, http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away; 499 is the de-facto (nginx) code for it. The
+		// response is rarely observed but the metric label is.
+		return outcomeCanceled, 499
+	default:
+		return outcomeError, http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// execute runs one statement through admission, deadline, and the backend,
+// recording metrics. It returns the result (nil on failure), the explain
+// when one was produced, and the classified outcome.
+func (s *Server) execute(parent context.Context, q string, timeoutMS int64) (*swole.Result, *swole.Explain, string, int, error) {
+	start := time.Now()
+	fail := func(err error) (*swole.Result, *swole.Explain, string, int, error) {
+		outcome, status := outcomeOf(err)
+		s.m.observe("unknown", outcome, time.Since(start), nil)
+		return nil, nil, outcome, status, err
+	}
+	if s.draining.Load() {
+		return fail(errRejected)
+	}
+	ctx, cancel := s.deadline(parent, timeoutMS)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		return fail(err)
+	}
+	s.m.inflight.Add(1)
+	res, ex, err := s.run(ctx, q)
+	s.m.inflight.Add(-1)
+	release()
+	outcome, status := outcomeOf(err)
+	s.m.observe(ex.Shape, outcome, time.Since(start), &ex)
+	return res, &ex, outcome, status, err
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error(), Outcome: outcomeError})
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty query", Outcome: outcomeError})
+		return
+	}
+	res, ex, outcome, status, err := s.execute(r.Context(), req.Query, req.TimeoutMS)
+	if err != nil {
+		if errors.Is(err, errRejected) && s.draining.Load() {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error(), Outcome: outcome})
+		return
+	}
+	writeJSON(w, status, queryResponse{Columns: res.Columns(), Rows: res.Rows(), Explain: ex})
+}
+
+// handleExplain executes the q parameter (under the same admission and
+// deadline regime as /query — explaining a statement plans and runs it)
+// and returns only the Explain.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if strings.TrimSpace(q) == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing q parameter", Outcome: outcomeError})
+		return
+	}
+	_, ex, outcome, status, err := s.execute(r.Context(), q, 0)
+	if err != nil {
+		writeJSON(w, status, errorResponse{Error: err.Error(), Outcome: outcome})
+		return
+	}
+	writeJSON(w, status, ex)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	s.m.render(&b)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

@@ -61,6 +61,15 @@ func TestQuerySwolePartitionedMatchesVolcano(t *testing.T) {
 // zero-allocation gate to the radix path: cached executions of the forced
 // partitioned shapes must not allocate, at one worker and at four.
 func TestQuerySwolePartitionedSteadyZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		// Same skip as internal/core's TestPreparedPartitionedZeroAlloc:
+		// the race detector's scheduling perturbation keeps redistributing
+		// rows across workers, so per-worker partition buffer capacities
+		// never converge and AllocsPerRun cannot reach zero. The
+		// partitioned path's race-freedom is covered by the parity tests
+		// in this file and internal/core's.
+		t.Skip("allocation gate is meaningless under the race detector")
+	}
 	d := steadyTestDB(t)
 	defer d.Close()
 	d.SetPartitionMode(PartitionOn)

@@ -1,6 +1,7 @@
 package swole
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -20,6 +21,11 @@ type Explain struct {
 	// "interpreter-fallback" when the query shape is outside the SWOLE
 	// executor's vocabulary.
 	Technique string
+	// Shape is the registry name of the matched SWOLE query shape (one of
+	// SupportedShapes()), or "interpreter-fallback" for statements outside
+	// the registry's vocabulary. It is the label serving metrics aggregate
+	// query counters under.
+	Shape string
 	// Selectivity is the sampled predicate selectivity.
 	Selectivity float64
 	// Groups is the estimated group count for group-by shapes.
@@ -91,22 +97,55 @@ func fromCore(ex core.Explain) Explain {
 // copy what must outlive it. Replacing a table with CreateTable evicts
 // every cached plan and statistic that read it.
 func (d *DB) QuerySwole(q string) (*Result, Explain, error) {
-	if res, ex, ok := d.cachedRun(q); ok {
-		return res, ex, nil
+	return d.query(context.Background(), q, false)
+}
+
+// QueryContext is QuerySwole under a context deadline, built for
+// concurrent callers (the swoled server's query path):
+//
+//   - Cancellation is cooperative at morsel granularity: when ctx is
+//     canceled or its deadline passes, every worker stops within one
+//     morsel, the engine's pooled scratch survives intact for the next
+//     query, and the call returns ctx's error (context.DeadlineExceeded
+//     or context.Canceled).
+//   - The returned *Result is a private copy, safe to read regardless of
+//     what other goroutines execute afterwards (QuerySwole's result, by
+//     contrast, aliases cache-owned buffers).
+//
+// Statements outside the SWOLE vocabulary fall back to the interpreted
+// engine, which only honors the deadline between operators, not inside a
+// scan.
+func (d *DB) QueryContext(ctx context.Context, q string) (*Result, Explain, error) {
+	return d.query(ctx, q, true)
+}
+
+// query is the shared body of QuerySwole and QueryContext.
+func (d *DB) query(ctx context.Context, q string, copyRes bool) (*Result, Explain, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Explain{}, err
+	}
+	if res, ex, found, err := d.cachedRun(ctx, q, copyRes); found {
+		return res, ex, err
 	}
 	p, err := sql.Compile(q, d.db)
 	if err != nil {
 		return nil, Explain{}, err
 	}
-	if shape, ok := d.matchSwole(p); ok {
-		c, err := d.prepareShape(shape)
+	if shape, name, ok := d.matchSwole(p); ok {
+		c, err := d.prepareShape(name, shape)
 		if err != nil {
 			return nil, Explain{}, err
 		}
 		d.storePlan(q, c)
 		d.mu.Lock()
-		res, ex := c.run()
+		res, ex, err := c.run(ctx)
+		if err == nil && copyRes {
+			res = cloneResult(&c.vres)
+		}
 		d.mu.Unlock()
+		if err != nil {
+			return nil, ex, err
+		}
 		// First execution: the plan was prepared, not replayed.
 		ex.PlanCached = false
 		return res, ex, nil
@@ -115,7 +154,12 @@ func (d *DB) QuerySwole(q string) (*Result, Explain, error) {
 	if err != nil {
 		return nil, Explain{}, err
 	}
-	return &Result{res: vres}, Explain{Technique: "interpreter-fallback"}, nil
+	// The interpreter does not poll the context mid-scan; honor an expired
+	// deadline on completion so callers see one consistent contract.
+	if err := ctx.Err(); err != nil {
+		return nil, Explain{}, err
+	}
+	return &Result{res: vres}, Explain{Technique: "interpreter-fallback", Shape: "interpreter-fallback"}, nil
 }
 
 // The shape registry. A queryShape is one matched SWOLE statement: it
@@ -165,15 +209,16 @@ func SupportedShapes() []string {
 }
 
 // matchSwole normalizes the plan's aggregate spine (single sum/count
-// aggregate under a projection) and tries each registered shape matcher.
-func (d *DB) matchSwole(p plan.Node) (queryShape, bool) {
+// aggregate under a projection) and tries each registered shape matcher,
+// returning the matched shape and its registry name.
+func (d *DB) matchSwole(p plan.Node) (queryShape, string, bool) {
 	m, ok := p.(*plan.Map)
 	if !ok {
-		return nil, false
+		return nil, "", false
 	}
 	agg, ok := m.Input.(*plan.Aggregate)
 	if !ok || len(agg.Aggs) != 1 {
-		return nil, false
+		return nil, "", false
 	}
 	spec := agg.Aggs[0]
 	switch {
@@ -183,14 +228,14 @@ func (d *DB) matchSwole(p plan.Node) (queryShape, bool) {
 		// count(*) is sum(1).
 		spec.Arg = &expr.Const{Val: 1}
 	default:
-		return nil, false
+		return nil, "", false
 	}
 	for _, def := range swoleShapes {
 		if s, ok := def.match(d, agg.Input, agg.GroupBy, spec); ok {
-			return s, true
+			return s, def.name, true
 		}
 	}
-	return nil, false
+	return nil, "", false
 }
 
 // scalarShape: filtered scalar aggregation over one table.
@@ -342,12 +387,12 @@ func (s gjoinShape) prepare(e *core.Engine) (planRunner, error) {
 
 // prepareShape compiles the matched statement once and wraps it as a cache
 // entry with its table-version dependencies and reusable result.
-func (d *DB) prepareShape(s queryShape) (*cachedPlan, error) {
+func (d *DB) prepareShape(name string, s queryShape) (*cachedPlan, error) {
 	r, err := s.prepare(d.engine)
 	if err != nil {
 		return nil, err
 	}
-	c := &cachedPlan{exec: r}
+	c := &cachedPlan{exec: r, shape: name}
 	for _, name := range s.tables() {
 		c.deps = append(c.deps, tableDep{name: name, ver: d.db.TableVersion(name)})
 	}

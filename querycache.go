@@ -1,6 +1,7 @@
 package swole
 
 import (
+	"context"
 	"strings"
 
 	"github.com/reprolab/swole/internal/core"
@@ -43,12 +44,12 @@ type tableDep struct {
 	ver  uint64
 }
 
-// planRunner executes one compiled core plan and rematerializes the cache
-// entry's result in place. Each shape contributes one small runner (built
-// by its queryShape's prepare, see query_swole.go); the cache itself is
-// shape-blind.
+// planRunner executes one compiled core plan under a context deadline and
+// rematerializes the cache entry's result in place. Each shape contributes
+// one small runner (built by its queryShape's prepare, see
+// query_swole.go); the cache itself is shape-blind.
 type planRunner interface {
-	run(c *cachedPlan) core.Explain
+	run(ctx context.Context, c *cachedPlan) (core.Explain, error)
 }
 
 type scalarRunner struct{ p *core.PreparedScalarAgg }
@@ -56,35 +57,48 @@ type groupRunner struct{ p *core.PreparedGroupAgg }
 type semiRunner struct{ p *core.PreparedSemiJoinAgg }
 type gjoinRunner struct{ p *core.PreparedGroupJoinAgg }
 
-func (r scalarRunner) run(c *cachedPlan) core.Explain {
-	sum, ex := r.p.Run()
+func (r scalarRunner) run(ctx context.Context, c *cachedPlan) (core.Explain, error) {
+	sum, ex, err := r.p.RunContext(ctx)
+	if err != nil {
+		return ex, err
+	}
 	c.putScalar(sum)
-	return ex
+	return ex, nil
 }
 
-func (r groupRunner) run(c *cachedPlan) core.Explain {
-	g, ex := r.p.Run()
+func (r groupRunner) run(ctx context.Context, c *cachedPlan) (core.Explain, error) {
+	g, ex, err := r.p.RunContext(ctx)
+	if err != nil {
+		return ex, err
+	}
 	c.putGroups(g)
-	return ex
+	return ex, nil
 }
 
-func (r semiRunner) run(c *cachedPlan) core.Explain {
-	sum, ex := r.p.Run()
+func (r semiRunner) run(ctx context.Context, c *cachedPlan) (core.Explain, error) {
+	sum, ex, err := r.p.RunContext(ctx)
+	if err != nil {
+		return ex, err
+	}
 	c.putScalar(sum)
-	return ex
+	return ex, nil
 }
 
-func (r gjoinRunner) run(c *cachedPlan) core.Explain {
-	g, ex := r.p.Run()
+func (r gjoinRunner) run(ctx context.Context, c *cachedPlan) (core.Explain, error) {
+	g, ex, err := r.p.RunContext(ctx)
+	if err != nil {
+		return ex, err
+	}
 	c.putGroups(g)
-	return ex
+	return ex, nil
 }
 
 // cachedPlan is one prepared statement plus its reusable result
 // materialization.
 type cachedPlan struct {
-	exec planRunner
-	deps []tableDep
+	exec  planRunner
+	shape string // registry name of the matched shape (Explain.Shape)
+	deps  []tableDep
 
 	// Reused result: vres's rows are slice headers into flat.
 	res  Result
@@ -133,9 +147,34 @@ func (c *cachedPlan) dependsOn(table string) bool {
 
 // run executes the prepared plan and rematerializes the entry's result in
 // place. Allocation-free once flat and the row-header array have reached
-// the result's size.
-func (c *cachedPlan) run() (*Result, Explain) {
-	return &c.res, fromCore(c.exec.run(c))
+// the result's size. A canceled run returns the context's error with the
+// entry (and the plan's pooled resources) intact for the next execution.
+func (c *cachedPlan) run(ctx context.Context) (*Result, Explain, error) {
+	cex, err := c.exec.run(ctx, c)
+	ex := fromCore(cex)
+	ex.Shape = c.shape
+	if err != nil {
+		return nil, ex, err
+	}
+	return &c.res, ex, nil
+}
+
+// cloneResult deep-copies a materialized result into caller-owned memory,
+// detaching it from the cache entry's reused buffers. Fields are immutable
+// and shared.
+func cloneResult(src *volcano.Result) *Result {
+	total := 0
+	for _, r := range src.Rows {
+		total += len(r)
+	}
+	flat := make([]int64, 0, total)
+	rows := make([]volcano.Row, len(src.Rows))
+	for i, r := range src.Rows {
+		start := len(flat)
+		flat = append(flat, r...)
+		rows[i] = flat[start:]
+	}
+	return &Result{res: &volcano.Result{Fields: src.Fields, Rows: rows}}
 }
 
 // normalizeQuery collapses runs of whitespace to single spaces so
@@ -146,27 +185,37 @@ func normalizeQuery(q string) string {
 	return strings.Join(strings.Fields(q), " ")
 }
 
-// cachedRun serves a statement from the plan cache. The DB mutex is held
-// across the run: cached executions reuse per-entry result buffers, and
-// the engine serializes prepared scans on its own lock anyway.
-func (d *DB) cachedRun(q string) (*Result, Explain, bool) {
+// cachedRun serves a statement from the plan cache; found reports whether
+// a current cache entry handled it (possibly with an error — a canceled
+// execution). The DB mutex is held across the run: cached executions
+// reuse per-entry result buffers, and the engine serializes prepared
+// scans on its own lock anyway. With copyRes the caller receives a
+// private copy of the result, detached from the entry's reused buffers —
+// the concurrent-caller contract of QueryContext.
+func (d *DB) cachedRun(ctx context.Context, q string, copyRes bool) (res *Result, ex Explain, found bool, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	c := d.plans[q]
 	if c == nil {
 		norm := normalizeQuery(q)
 		if c = d.normPlans[norm]; c == nil {
-			return nil, Explain{}, false
+			return nil, Explain{}, false, nil
 		}
 		// Alias the raw spelling so its next execution is a single lookup.
 		d.plans[q] = c
 	}
 	if !c.fresh(d) {
 		d.dropPlanLocked(c)
-		return nil, Explain{}, false
+		return nil, Explain{}, false, nil
 	}
-	res, ex := c.run()
-	return res, ex, true
+	res, ex, err = c.run(ctx)
+	if err != nil {
+		return nil, ex, true, err
+	}
+	if copyRes {
+		res = cloneResult(&c.vres)
+	}
+	return res, ex, true, nil
 }
 
 // storePlan inserts a freshly prepared statement under both keys.
@@ -217,8 +266,8 @@ func (d *DB) invalidateTable(table string) {
 // PlanCacheLen reports the number of distinct raw-text keys in the plan
 // cache; exposed for tests and introspection.
 func (d *DB) PlanCacheLen() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return len(d.plans)
 }
 

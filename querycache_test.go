@@ -163,6 +163,64 @@ func TestPlanCacheInvalidation(t *testing.T) {
 	}
 }
 
+// TestInvalidationGranularity checks eviction is per-table: creating or
+// replacing one table must not evict cached plans that read only other
+// tables.
+func TestInvalidationGranularity(t *testing.T) {
+	d := cacheTestDB(t, 1) // table "t"
+	defer d.Close()
+	q := "select sum(a) from t where x < 5"
+	res1, _, err := d.QuerySwole(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res1.Rows()[0][0]
+	if d.PlanCacheLen() != 1 {
+		t.Fatalf("plan cache holds %d entries, want 1", d.PlanCacheLen())
+	}
+
+	// Creating an unrelated table must not touch t's plan.
+	vals := make([]int64, 128)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	if err := d.CreateTable("u", IntColumn("v", vals)); err != nil {
+		t.Fatal(err)
+	}
+	if d.PlanCacheLen() != 1 {
+		t.Errorf("creating unrelated table evicted t's plan (cache len %d, want 1)", d.PlanCacheLen())
+	}
+	res2, ex, err := d.QuerySwole(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.PlanCached {
+		t.Error("t's plan missed the cache after unrelated CreateTable")
+	}
+	if got := res2.Rows()[0][0]; got != want {
+		t.Errorf("answer changed after unrelated CreateTable: got %d, want %d", got, want)
+	}
+
+	// Cache a plan on u too, then replace u: only u's plan goes.
+	if _, _, err := d.QuerySwole("select sum(v) from u where v < 100"); err != nil {
+		t.Fatal(err)
+	}
+	if d.PlanCacheLen() != 2 {
+		t.Fatalf("plan cache holds %d entries, want 2", d.PlanCacheLen())
+	}
+	if err := d.CreateTable("u", IntColumn("v", vals[:64])); err != nil {
+		t.Fatal(err)
+	}
+	if d.PlanCacheLen() != 1 {
+		t.Errorf("replacing u left cache len %d, want 1 (t's plan only)", d.PlanCacheLen())
+	}
+	if _, ex, err = d.QuerySwole(q); err != nil {
+		t.Fatal(err)
+	} else if !ex.PlanCached {
+		t.Error("t's plan evicted by u's replacement")
+	}
+}
+
 // TestSetWorkersClearsCache checks worker reconfiguration invalidates
 // prepared plans (they bake in their worker count) and answers stay
 // identical across counts.

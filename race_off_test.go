@@ -1,0 +1,8 @@
+//go:build !race
+
+package swole
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count gates are skipped under it (see
+// partition_swole_test.go and internal/core's identical guard).
+const raceEnabled = false

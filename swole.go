@@ -33,13 +33,26 @@ import (
 )
 
 // DB is an in-memory column-store database.
+//
+// A DB is safe for concurrent queries: Query, QuerySwole, and
+// QueryContext may be called from any number of goroutines. Cached SWOLE
+// executions serialize on the plan-cache lock (and on the engine's single
+// worker gang below it), so concurrency buys admission, not intra-engine
+// parallelism — that comes from the morsel workers. Note that the
+// *Result returned by QuerySwole aliases cache-owned buffers and is only
+// safe to read until the same statement runs again; concurrent callers
+// should use QueryContext, which returns a private copy. Schema changes
+// (CreateTable, AddForeignKey) and engine reconfiguration (SetWorkers,
+// SetPartitionMode) must not race with in-flight queries.
 type DB struct {
 	db     *storage.Database
 	engine *core.Engine
 
 	// Plan cache (querycache.go): prepared SWOLE statements keyed by raw
 	// and whitespace-normalized query text, invalidated by table version.
-	mu        sync.Mutex
+	// The write lock is held across cached executions (their result
+	// buffers are per-entry); read-only introspection takes the read lock.
+	mu        sync.RWMutex
 	plans     map[string]*cachedPlan
 	normPlans map[string]*cachedPlan
 }
