@@ -41,8 +41,23 @@ func main() {
 		rows   = flag.Int("rows", 1_000_000, "microbenchmark fact-table rows")
 		dim    = flag.Int("dim", 1_000, "microbenchmark dimension-table rows")
 		groups = flag.Int("groups", 1_000, "microbenchmark group-key cardinality")
+
+		workers   = flag.Int("workers", 0, "morsel worker count per query (0 = GOMAXPROCS)")
+		partition = flag.String("partition", "auto", "radix partitioning mode: auto, on, or off")
 	)
 	flag.Parse()
+
+	var pmode swole.PartitionMode
+	switch *partition {
+	case "auto":
+		pmode = swole.PartitionAuto
+	case "on":
+		pmode = swole.PartitionOn
+	case "off":
+		pmode = swole.PartitionOff
+	default:
+		log.Fatalf("bad -partition %q: want auto, on, or off", *partition)
+	}
 
 	var (
 		db  *swole.DB
@@ -60,6 +75,8 @@ func main() {
 		}
 	}
 	log.Printf("dataset ready in %v", time.Since(start).Round(time.Millisecond))
+	db.SetWorkers(*workers)
+	db.SetPartitionMode(pmode)
 
 	dt := *timeout
 	if dt == 0 {

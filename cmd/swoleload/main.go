@@ -1,0 +1,127 @@
+// Command swoleload drives a running swoled with closed-loop load and
+// reports tail latency.
+//
+//	swoleload -addr localhost:8080 -qps 200 -conns 8 -duration 30s \
+//	    -query 'select sum(r_a) from r where r_x < 50@3' \
+//	    -query 'select r_c, sum(r_a) from r where r_x < 50 group by r_c@1' \
+//	    -json BENCH_serving.json -gate-p99 250ms -gate-errors 0
+//
+// Each -query takes "sql@weight" (weight optional, default 1); the mix is
+// interleaved deterministically across connections. The run prints a
+// human summary, optionally writes the full report as JSON, and exits
+// nonzero when a gate fails — CI wires -gate-p99 and -gate-errors
+// directly into the job result.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/reprolab/swole/internal/load"
+)
+
+// queryFlags collects repeated -query flags, each "sql@weight".
+type queryFlags []load.Query
+
+func (q *queryFlags) String() string { return fmt.Sprintf("%d queries", len(*q)) }
+
+func (q *queryFlags) Set(s string) error {
+	sql, weight := s, 1
+	// The weight suffix is the part after the LAST @ — SQL text contains
+	// no @, but guard against one anyway by requiring an integer suffix.
+	if at := strings.LastIndex(s, "@"); at > 0 {
+		if w, err := strconv.Atoi(s[at+1:]); err == nil {
+			if w <= 0 {
+				return fmt.Errorf("weight must be positive in %q", s)
+			}
+			sql, weight = s[:at], w
+		}
+	}
+	if strings.TrimSpace(sql) == "" {
+		return fmt.Errorf("empty query")
+	}
+	*q = append(*q, load.Query{SQL: sql, Weight: weight})
+	return nil
+}
+
+// defaultMix exercises the serving path's main shapes against the swoled
+// microbenchmark dataset: a masked scalar aggregate and a grouped one.
+var defaultMix = []load.Query{
+	{SQL: "select sum(r_a) from r where r_x < 50", Weight: 3},
+	{SQL: "select r_c, sum(r_a) from r where r_x < 50 group by r_c", Weight: 1},
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:8080", "swoled address (host:port or URL)")
+		qps      = flag.Float64("qps", 100, "aggregate target rate; 0 = unpaced")
+		conns    = flag.Int("conns", 4, "closed-loop connections")
+		duration = flag.Duration("duration", 10*time.Second, "run length")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request HTTP timeout")
+		jsonPath = flag.String("json", "", "write the full report to this file")
+
+		gateP99    = flag.Duration("gate-p99", 0, "fail when p99 exceeds this (0 = off)")
+		gateErrors = flag.Float64("gate-errors", -1, "fail when the error rate exceeds this fraction (negative = off)")
+	)
+	var mix queryFlags
+	flag.Var(&mix, "query", "workload entry \"sql@weight\" (repeatable; default: built-in micro mix)")
+	flag.Parse()
+	if len(mix) == 0 {
+		mix = defaultMix
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("swoleload: %d conns, target %.0f qps, %v against %s", *conns, *qps, *duration, *addr)
+	rep, err := load.Run(ctx, load.Config{
+		Addr:     *addr,
+		QPS:      *qps,
+		Conns:    *conns,
+		Duration: *duration,
+		Timeout:  *timeout,
+		Mix:      mix,
+	})
+	if err != nil {
+		log.Fatalf("swoleload: %v", err)
+	}
+
+	fmt.Printf("requests %d  achieved %.1f qps (target %.1f)\n", rep.Requests, rep.AchievedQPS, rep.TargetQPS)
+	fmt.Printf("latency ms  p50 %.2f  p90 %.2f  p99 %.2f  p999 %.2f  max %.2f  mean %.2f\n",
+		rep.P50ms, rep.P90ms, rep.P99ms, rep.P999ms, rep.MaxMs, rep.MeanMs)
+	fmt.Printf("outcomes    ok %d  rejected %d  timeouts %d  errors %d  transport %d\n",
+		rep.Outcomes.OK, rep.Outcomes.Rejected, rep.Outcomes.Timeouts, rep.Outcomes.Errors, rep.Outcomes.Transport)
+	if s := rep.Server; s != nil {
+		fmt.Printf("server      %d queries  exec %.2fs  queue-wait %.2fs  gc pauses %d (max %.1fms, %d cycles)\n",
+			s.Queries, s.ExecSeconds, s.WaitSeconds, s.GCPauses, s.GCPauseMaxSeconds*1000, s.GCCycles)
+	} else {
+		fmt.Println("server      /metrics scrape unavailable; no attribution")
+	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("swoleload: marshal report: %v", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			log.Fatalf("swoleload: write %s: %v", *jsonPath, err)
+		}
+		log.Printf("report written to %s", *jsonPath)
+	}
+
+	if violations := rep.Gate(*gateP99, *gateErrors); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "GATE FAILED: "+v)
+		}
+		os.Exit(2)
+	}
+}

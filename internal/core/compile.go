@@ -325,12 +325,12 @@ func ensureBitmaps(bms []*bitmap.Bitmap, n, rows int) ([]*bitmap.Bitmap, int) {
 	return bms, fresh
 }
 
-func ensurePartitioners(ps []*ht.Partitioner, n, parts int) ([]*ht.Partitioner, int) {
+func ensurePartitioners(ps []*ht.Partitioner, n, parts int, pool *ht.ScatterPool) ([]*ht.Partitioner, int) {
 	ps = growSlice(ps, n)
 	fresh := 0
 	for i := range ps {
-		if ps[i] == nil || ps[i].Parts() != parts {
-			ps[i] = ht.NewPartitioner(parts)
+		if ps[i] == nil || ps[i].Parts() != parts || ps[i].Pool() != pool {
+			ps[i] = ht.NewPartitionerOn(pool, parts)
 			fresh++
 		} else {
 			ps[i].Reset()

@@ -31,6 +31,7 @@ import (
 	"github.com/reprolab/swole/internal/cost"
 	"github.com/reprolab/swole/internal/exec"
 	"github.com/reprolab/swole/internal/expr"
+	"github.com/reprolab/swole/internal/ht"
 	"github.com/reprolab/swole/internal/storage"
 	"github.com/reprolab/swole/internal/vec"
 )
@@ -183,11 +184,15 @@ type Engine struct {
 	freeGJoin  []*PreparedGroupJoinAgg
 
 	// The persistent worker gang every plan scans on; execMu serializes
-	// executions on it.
+	// executions on it. The scatter arena rides under the same lock: every
+	// partitioned plan's workers append into this one pool, it is reserved
+	// at bind and reset at the top of each radix run, and it must never
+	// grow while a scan is appending.
 	execMu     sync.Mutex
 	gang       *exec.Workers
 	gangN      int
 	gangMorsel int
+	scatter    *ht.ScatterPool
 }
 
 // NewEngine returns an engine with default cost parameters and one morsel

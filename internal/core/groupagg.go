@@ -34,13 +34,16 @@ type PreparedGroupAgg struct {
 	tabs   []*ht.AggTable
 
 	// Radix-partitioned two-phase variant (see partition.go): the kernel
-	// becomes the phase-1 scatter and phase2 folds claimed partitions,
-	// emitting final groups into per-worker buffers.
+	// becomes the phase-1 scatter (through the engine's shared chunk
+	// arena) and phase2 folds claimed partitions, emitting final groups
+	// into per-partition buffers — per partition, not per worker, so each
+	// buffer's demand is fixed by the data rather than by which worker
+	// happened to claim it, and warm capacities never creep.
 	partitioned bool
 	parts       int
 	parters     []*ht.Partitioner
 	smalls      []*ht.AggTable
-	emit        [][]kv
+	emit        [][]kv // indexed by partition; filled by its claiming worker
 
 	kernel kernelFn
 	phase2 func(w, part int)
@@ -148,7 +151,7 @@ func newGroupPlan() *PreparedGroupAgg {
 		tab := p.smalls[w]
 		foldPartition(tab, p.parters, part)
 		tab.ForEach(false, func(key int64, s int) {
-			p.emit[w] = append(p.emit[w], kv{key, tab.Acc(s, 0)})
+			p.emit[part] = append(p.emit[part], kv{key, tab.Acc(s, 0)})
 		})
 	}
 	return p
@@ -220,12 +223,13 @@ func (e *Engine) compileGroupAgg(p *PreparedGroupAgg, q GroupAgg, tech Technique
 		if usePart {
 			p.partitioned, p.parts = true, parts
 			p.ex.Partitioned, p.ex.Partitions = true, parts
-			var f int
-			p.parters, f = ensurePartitioners(p.parters, p.nw, parts)
+			pool, f := e.ensureScatterLocked(p.rows, p.nw, parts)
+			fresh += f
+			p.parters, f = ensurePartitioners(p.parters, p.nw, parts, pool)
 			fresh += f
 			p.smalls, f = ensureTables(p.smalls, p.nw, subTableHint(groups, parts))
 			fresh += f
-			p.emit = ensureEmit(p.emit, p.nw)
+			p.emit = ensureEmit(p.emit, parts)
 			if tech == TechHybrid {
 				p.kernel = p.kScatterHyb
 			} else {
@@ -306,8 +310,9 @@ func (p *PreparedGroupAgg) runRadix(ctx context.Context) error {
 	for _, pr := range p.parters {
 		pr.Reset()
 	}
-	for w := range p.emit {
-		p.emit[w] = p.emit[w][:0]
+	p.e.scatter.Reset()
+	for i := range p.emit {
+		p.emit[i] = p.emit[i][:0]
 	}
 	grows0 := growsSum(p.smalls)
 	start := time.Now()
@@ -320,8 +325,8 @@ func (p *PreparedGroupAgg) runRadix(ctx context.Context) error {
 
 	start = time.Now()
 	p.reset()
-	for w := range p.emit {
-		p.pairs = append(p.pairs, p.emit[w]...)
+	for part := range p.emit {
+		p.pairs = append(p.pairs, p.emit[part]...)
 	}
 	p.finish()
 	p.ex.MergeTime = time.Since(start)
@@ -348,8 +353,12 @@ func (p *PreparedGroupAgg) RunContext(ctx context.Context) (*GroupResult, Explai
 
 // PrepareGroupAgg compiles a group-by aggregation once, sizing each
 // worker's hash table for the estimated group count so steady-state runs
-// never rehash.
+// never rehash. It takes the execution lock: a partitioned compile may
+// grow the shared scatter arena, which must not happen under a running
+// scan.
 func (e *Engine) PrepareGroupAgg(q GroupAgg) (*PreparedGroupAgg, error) {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
 	return e.compileGroupAgg(nil, q, techAuto, e.planEnv())
 }
 

@@ -291,13 +291,16 @@ type PreparedGroupJoinAgg struct {
 	aggKernel kernelFn
 
 	// Radix-partitioned eager variant (see partition.go): probeKernel
-	// becomes the phase-1 (fk, value) scatter and phase2 folds partitions,
-	// skipping keys the merged fail bitmap disqualified.
+	// becomes the phase-1 (fk, value) scatter through the engine's shared
+	// chunk arena and phase2 folds partitions, skipping keys the merged
+	// fail bitmap disqualified. Emission buffers are per partition (not
+	// per worker) so warm capacities are fixed by the data, independent of
+	// which worker claims which partition.
 	partitioned bool
 	parts       int
 	parters     []*ht.Partitioner
 	smalls      []*ht.AggTable
-	emit        [][]kv
+	emit        [][]kv // indexed by partition; filled by its claiming worker
 	phase2      func(w, part int)
 
 	// The kernel menu.
@@ -378,7 +381,7 @@ func newGJoinPlan() *PreparedGroupJoinAgg {
 			if key >= 0 && key < int64(fail.Len()) && fail.Test(int(key)) {
 				return
 			}
-			p.emit[w] = append(p.emit[w], kv{key, tab.Acc(s, 0)})
+			p.emit[part] = append(p.emit[part], kv{key, tab.Acc(s, 0)})
 		})
 	}
 	return p
@@ -461,11 +464,13 @@ func (e *Engine) compileGroupJoinAgg(p *PreparedGroupJoinAgg, q GroupJoinAgg, en
 		if usePart {
 			p.partitioned, p.parts = true, parts
 			p.ex.Partitioned, p.ex.Partitions = true, parts
-			p.parters, f = ensurePartitioners(p.parters, p.nw, parts)
+			pool, fp := e.ensureScatterLocked(rows, p.nw, parts)
+			fresh += fp
+			p.parters, f = ensurePartitioners(p.parters, p.nw, parts, pool)
 			fresh += f
 			p.smalls, f = ensureTables(p.smalls, p.nw, subTableHint(p.buildRows, parts))
 			fresh += f
-			p.emit = ensureEmit(p.emit, p.nw)
+			p.emit = ensureEmit(p.emit, parts)
 			p.probeKernel = p.kScatter
 			p.phase2 = p.kFold
 		} else {
@@ -512,8 +517,9 @@ func (p *PreparedGroupJoinAgg) runRadixEager(ctx context.Context) error {
 	for _, pr := range p.parters {
 		pr.Reset()
 	}
-	for w := range p.emit {
-		p.emit[w] = p.emit[w][:0]
+	p.e.scatter.Reset()
+	for i := range p.emit {
+		p.emit[i] = p.emit[i][:0]
 	}
 	for _, bm := range p.fails {
 		bm.Reset(p.buildRows)
@@ -539,8 +545,8 @@ func (p *PreparedGroupJoinAgg) runRadixEager(ctx context.Context) error {
 
 	start = time.Now()
 	p.reset()
-	for w := range p.emit {
-		p.pairs = append(p.pairs, p.emit[w]...)
+	for part := range p.emit {
+		p.pairs = append(p.pairs, p.emit[part]...)
 	}
 	p.finish()
 	p.ex.MergeTime += time.Since(start)
@@ -656,8 +662,11 @@ func (p *PreparedGroupJoinAgg) RunContext(ctx context.Context) (*GroupResult, Ex
 }
 
 // PrepareGroupJoinAgg compiles a groupjoin once for the caller to keep and
-// re-run.
+// re-run. It takes the execution lock: a partitioned compile may grow the
+// shared scatter arena, which must not happen under a running scan.
 func (e *Engine) PrepareGroupJoinAgg(q GroupJoinAgg) (*PreparedGroupJoinAgg, error) {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
 	return e.compileGroupJoinAgg(nil, q, e.planEnv())
 }
 

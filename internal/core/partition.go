@@ -33,14 +33,16 @@ func subTableHint(groups, parts int) int {
 }
 
 // foldPartition aggregates one partition's pairs from every worker's
-// buffer into tab (Reset first). The partition's keys appear in no other
-// partition, so tab holds those groups' final sums afterwards.
+// chunk list into tab (Reset first). The partition's keys appear in no
+// other partition, so tab holds those groups' final sums afterwards.
 func foldPartition(tab *ht.AggTable, parters []*ht.Partitioner, part int) {
 	tab.Reset()
 	for _, pr := range parters {
-		keys, vals := pr.Part(part)
-		for i, k := range keys {
-			tab.Add(tab.Lookup(k), 0, vals[i])
+		for c := pr.Head(part); c >= 0; c = pr.NextChunk(c) {
+			keys, vals := pr.Chunk(part, c)
+			for i, k := range keys {
+				tab.Add(tab.Lookup(k), 0, vals[i])
+			}
 		}
 	}
 }

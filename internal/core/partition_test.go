@@ -209,18 +209,82 @@ func TestPreparedPartitionedParity(t *testing.T) {
 	}
 }
 
+// TestScatterArenaReuse pins the engine-level pooling contract behind the
+// zero-alloc radix path: every partitioned plan on an engine scatters into
+// the one shared chunk arena, a warm rerun reports FreshAllocs == 0, and a
+// second plan binding against the same arena reuses it (same pool pointer,
+// no second creation billed for the scatter buffers).
+func TestScatterArenaReuse(t *testing.T) {
+	db := testDB(t, 64_000, 1000, 100)
+	e := NewEngine(db)
+	defer e.Close()
+	e.Workers = 4
+	e.Partition = PartitionOn
+
+	p1, err := e.PrepareGroupAgg(GroupAgg{Table: "r", Filter: lt("r_x", 50), Key: expr.NewCol("r_c"), Agg: expr.NewCol("r_a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ex := p1.Run(); !ex.Partitioned {
+		t.Fatal("plan did not run partitioned")
+	} else if ex.FreshAllocs == 0 {
+		t.Error("cold partitioned run billed no fresh allocations")
+	}
+	if _, ex := p1.Run(); ex.FreshAllocs != 0 {
+		t.Errorf("warm partitioned run billed %d fresh allocations, want 0", ex.FreshAllocs)
+	}
+	arena := e.scatter
+	if arena == nil {
+		t.Fatal("partitioned bind left no engine scatter arena")
+	}
+	for w, pr := range p1.parters {
+		if pr.Pool() != arena {
+			t.Fatalf("worker %d partitioner scatters outside the shared arena", w)
+		}
+	}
+
+	// A second partitioned plan binds onto the same arena rather than
+	// growing a private one; with identical demand the reservation is a
+	// pure reuse, so the arena pointer is stable across both plans.
+	p2, err := e.PrepareGroupAgg(GroupAgg{Table: "r", Filter: lt("r_x", 90), Key: expr.NewCol("r_c"), Agg: expr.NewCol("r_a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ex := p2.Run(); !ex.Partitioned {
+		t.Fatal("second plan did not run partitioned")
+	}
+	if e.scatter != arena {
+		t.Error("second plan replaced the shared scatter arena instead of reusing it")
+	}
+	for w, pr := range p2.parters {
+		if pr.Pool() != arena {
+			t.Fatalf("second plan worker %d partitioner scatters outside the shared arena", w)
+		}
+	}
+	if _, ex := p2.Run(); ex.FreshAllocs != 0 {
+		t.Errorf("second plan warm run billed %d fresh allocations, want 0", ex.FreshAllocs)
+	}
+	// Interleave the two plans: each rebind-free Run must stay fresh-free
+	// even though both reset and refill the one arena.
+	for i := 0; i < 3; i++ {
+		if _, ex := p1.Run(); ex.FreshAllocs != 0 {
+			t.Errorf("interleaved p1 run %d billed %d fresh allocations", i, ex.FreshAllocs)
+		}
+		if _, ex := p2.Run(); ex.FreshAllocs != 0 {
+			t.Errorf("interleaved p2 run %d billed %d fresh allocations", i, ex.FreshAllocs)
+		}
+	}
+}
+
 // TestPreparedPartitionedZeroAlloc extends the PR 2 gate to the radix
 // path: second and later prepared runs must not allocate, at one worker
 // and at four, and must report the partitioned shape in Explain.
 func TestPreparedPartitionedZeroAlloc(t *testing.T) {
 	if raceEnabled {
-		// Radix partition buffers are per-worker and dynamic morsel
-		// claiming makes their sizes distribution-dependent; without
-		// instrumentation AllocsPerRun's single-proc runs settle after the
-		// warm run, but the race detector's scheduling perturbation keeps
-		// redistributing rows across workers, so buffer capacities never
-		// converge. Correctness of the partitioned path under race is
-		// covered by the parity tests above.
+		// The shared chunk arena makes scatter capacity schedule-independent,
+		// but AllocsPerRun remains meaningless under the race detector (the
+		// instrumentation itself allocates). Correctness of the partitioned
+		// path under race is covered by the parity tests above.
 		t.Skip("allocation gates require uninstrumented scheduling")
 	}
 	db := testDB(t, 64_000, 1000, 100)

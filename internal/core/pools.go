@@ -85,6 +85,26 @@ func pushFree[P any](e *Engine, free *[]*P, p *P) {
 	e.mu.Unlock()
 }
 
+// ensureScatterLocked sizes the engine's shared scatter arena — the chunk
+// pool every partitioned plan's workers append into — for a scan of rows
+// pairs on nw workers across parts partitions, creating it on first use.
+// ht.ChunksFor makes the reservation exhaustion-proof regardless of how
+// the morsels split across workers, so the scatter phase never allocates
+// mid-scan; the returned count (1 on a create or grow, 0 on a pure reuse)
+// is the pool-miss signal billed to Explain.FreshAllocs. Callers hold
+// e.execMu: the arena must not grow under a concurrently appending scan.
+func (e *Engine) ensureScatterLocked(rows, nw, parts int) (*ht.ScatterPool, int) {
+	need := ht.ChunksFor(rows, nw, parts)
+	if e.scatter == nil {
+		e.scatter = ht.NewScatterPool(need)
+		return e.scatter, 1
+	}
+	if e.scatter.Reserve(need) {
+		return e.scatter, 1
+	}
+	return e.scatter, 0
+}
+
 // growsSum totals the cumulative grow counters of a table set; the delta
 // across a scan is Explain.HTGrows.
 func growsSum(tabs []*ht.AggTable) uint64 {

@@ -96,7 +96,7 @@ func BenchmarkRadixAggregate1M(b *testing.B) {
 	b.Run("partitioned", func(b *testing.B) {
 		p := NewPartitioner(parts)
 		t := NewAggTable(1, 2*keys/parts)
-		for i := 0; i < b.N; i++ {
+		scatterFold := func() {
 			p.Reset()
 			for _, k := range in {
 				p.Append(k, 1)
@@ -104,13 +104,23 @@ func BenchmarkRadixAggregate1M(b *testing.B) {
 			total := 0
 			for part := 0; part < parts; part++ {
 				t.Reset()
-				pk, pv := p.Part(part)
-				for j, k := range pk {
-					t.Add(t.Lookup(k), 0, pv[j])
+				for c := p.Head(part); c >= 0; c = p.NextChunk(c) {
+					pk, pv := p.Chunk(part, c)
+					for j, k := range pk {
+						t.Add(t.Lookup(k), 0, pv[j])
+					}
 				}
 				total += t.Len()
 			}
 			sinkSlot += total
+		}
+		// One untimed pass warms the chunk arena and the fold table so the
+		// timed rows hold the steady-state 0 allocs/op the CI gate enforces.
+		scatterFold()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			scatterFold()
 		}
 	})
 }
@@ -142,7 +152,7 @@ func BenchmarkRadixJoinBuildProbe(b *testing.B) {
 	})
 	b.Run("partitioned", func(b *testing.B) {
 		t := NewPartitionedJoinTable(256, keys)
-		for i := 0; i < b.N; i++ {
+		buildProbe := func() {
 			t.Reset()
 			for k := 0; k < keys; k++ {
 				t.Insert(int64(k), int32(k))
@@ -154,6 +164,14 @@ func BenchmarkRadixJoinBuildProbe(b *testing.B) {
 				}
 			}
 			sinkSlot += hits
+		}
+		// Untimed warm-up: sub-tables that outgrow their hint do it once,
+		// before the timer, so timed rows report steady-state allocations.
+		buildProbe()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buildProbe()
 		}
 	})
 }

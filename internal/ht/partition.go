@@ -55,65 +55,132 @@ func PartitionOf(key int64, shift uint) int {
 	return int(hash64(uint64(key)) >> shift)
 }
 
-// Partitioner is one worker's per-partition (key, value) append buffers.
-// Appends are sequential writes into the partition selected by the key
-// hash's top bits; a scan over the buffered pairs of one partition is a
-// sequential read. Like the tables in this package, a Partitioner is
-// built to be recycled: Reset truncates every buffer but keeps its
-// capacity, so a steady-state workload appends into warm memory and
-// allocates nothing after the first run at a given shape.
+// Partitioner is one worker's per-partition (key, value) append cursors
+// over a ScatterPool's chunk arena. Each partition holds a linked list of
+// claimed chunks; appends are sequential writes into the tail chunk, and a
+// fold over one partition is a sequential walk of its chunk list. Several
+// partitioners (one per scatter worker) may share one pool and append
+// concurrently: chunk claims are atomic and a claimed chunk is written
+// only by the partitioner that claimed it. Reset drops the chunk lists in
+// O(parts); the pool's chunks become reusable at the pool's own Reset, so
+// a steady-state workload scatters into warm memory and allocates nothing
+// after the pool is reserved — no matter how the rows split across
+// workers (see ScatterPool).
 type Partitioner struct {
+	pool  *ScatterPool
+	owned *ScatterPool // non-nil when the pool is private: Reset resets it
 	shift uint
-	keys  [][]int64
-	vals  [][]int64
+	rows  int
+	head  []int32 // per-partition first chunk, -1 when empty
+	tail  []int32 // per-partition last chunk, -1 when empty
+	off   []int32 // absolute next-write index into the pool's pair arrays
+	lim   []int32 // absolute end of the tail chunk; off == lim ⇒ claim
 }
 
-// NewPartitioner returns a partitioner with the given fan-out (rounded to
-// a power of two, clamped to [1, MaxPartitions]).
+// NewPartitioner returns a standalone partitioner with the given fan-out
+// (rounded to a power of two, clamped to [1, MaxPartitions]) over its own
+// growable pool — the single-goroutine form; Reset recycles the pool too.
 func NewPartitioner(parts int) *Partitioner {
+	p := NewPartitionerOn(&ScatterPool{}, parts)
+	p.owned = p.pool
+	return p
+}
+
+// NewPartitionerOn returns a partitioner appending into a shared pool.
+// The caller owns the pool's lifecycle: Reserve it for the planned scatter
+// and Reset it (after resetting every partitioner on it) between runs.
+func NewPartitionerOn(pool *ScatterPool, parts int) *Partitioner {
 	parts = PartitionCount(parts)
-	return &Partitioner{
+	p := &Partitioner{
+		pool:  pool,
 		shift: partitionShift(parts),
-		keys:  make([][]int64, parts),
-		vals:  make([][]int64, parts),
+		head:  make([]int32, parts),
+		tail:  make([]int32, parts),
+		off:   make([]int32, parts),
+		lim:   make([]int32, parts),
 	}
+	p.Reset()
+	return p
 }
 
 // Parts returns the fan-out.
-func (p *Partitioner) Parts() int { return len(p.keys) }
+func (p *Partitioner) Parts() int { return len(p.head) }
 
 // Shift returns the hash shift that routes keys to partitions.
 func (p *Partitioner) Shift() uint { return p.shift }
 
-// Reset truncates every partition buffer, keeping capacity for reuse.
+// Pool returns the chunk arena the partitioner appends into.
+func (p *Partitioner) Pool() *ScatterPool { return p.pool }
+
+// Reset drops every partition's chunk list. On a standalone partitioner
+// (NewPartitioner) the private pool is reset too; on a shared pool the
+// owner resets it once after resetting every partitioner.
 func (p *Partitioner) Reset() {
-	for i := range p.keys {
-		p.keys[i] = p.keys[i][:0]
-		p.vals[i] = p.vals[i][:0]
+	for i := range p.head {
+		p.head[i], p.tail[i] = -1, -1
+		p.off[i], p.lim[i] = 0, 0
+	}
+	p.rows = 0
+	if p.owned != nil {
+		p.owned.Reset()
 	}
 }
 
 // Append buffers one (key, value) pair in key's partition.
 func (p *Partitioner) Append(key, val int64) {
 	i := hash64(uint64(key)) >> p.shift
-	p.keys[i] = append(p.keys[i], key)
-	p.vals[i] = append(p.vals[i], val)
+	o := p.off[i]
+	if o == p.lim[i] {
+		o = p.claim(int(i))
+	}
+	p.pool.keys[o] = key
+	p.pool.vals[o] = val
+	p.off[i] = o + 1
+	p.rows++
 }
 
-// Part returns partition i's buffered keys and values. The slices are
-// owned by the partitioner and invalidated by the next Reset.
-func (p *Partitioner) Part(i int) (keys, vals []int64) {
-	return p.keys[i], p.vals[i]
+// claim links a fresh chunk onto partition i's list and returns its base
+// write index.
+func (p *Partitioner) claim(i int) int32 {
+	c := p.pool.get()
+	if t := p.tail[i]; t >= 0 {
+		p.pool.next[t] = c
+	} else {
+		p.head[i] = c
+	}
+	p.tail[i] = c
+	base := c * ChunkPairs
+	p.lim[i] = base + ChunkPairs
+	return base
+}
+
+// Head returns partition part's first chunk id, -1 when the partition is
+// empty. Iterate with NextChunk and read pairs with Chunk:
+//
+//	for c := p.Head(part); c >= 0; c = p.NextChunk(c) {
+//		keys, vals := p.Chunk(part, c)
+//		...
+//	}
+func (p *Partitioner) Head(part int) int32 { return p.head[part] }
+
+// NextChunk returns the chunk after c in its partition's list, -1 at the
+// end.
+func (p *Partitioner) NextChunk(c int32) int32 { return p.pool.next[c] }
+
+// Chunk returns chunk c's buffered pairs for partition part (every chunk
+// is full except the partition's tail). The slices alias the pool and are
+// invalidated by the pool's next Reset.
+func (p *Partitioner) Chunk(part int, c int32) (keys, vals []int64) {
+	base := c * ChunkPairs
+	end := base + ChunkPairs
+	if c == p.tail[part] {
+		end = p.off[part]
+	}
+	return p.pool.keys[base:end], p.pool.vals[base:end]
 }
 
 // Rows returns the total number of buffered pairs.
-func (p *Partitioner) Rows() int {
-	n := 0
-	for _, k := range p.keys {
-		n += len(k)
-	}
-	return n
-}
+func (p *Partitioner) Rows() int { return p.rows }
 
 // PairBytes approximates the partitioner's buffered-data footprint (two
 // int64 per pair), for memory accounting and the cost model.

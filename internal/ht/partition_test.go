@@ -37,13 +37,15 @@ func TestPartitionerRouting(t *testing.T) {
 			t.Fatalf("parts=%d: Rows()=%d, want %d", parts, got, n+1)
 		}
 		for i := 0; i < parts; i++ {
-			keys, vals := p.Part(i)
-			if len(keys) != len(vals) {
-				t.Fatalf("parts=%d part=%d: %d keys vs %d vals", parts, i, len(keys), len(vals))
-			}
-			for _, k := range keys {
-				if got := PartitionOf(k, p.Shift()); got != i {
-					t.Fatalf("parts=%d: key %d buffered in partition %d, hashes to %d", parts, k, i, got)
+			for c := p.Head(i); c >= 0; c = p.NextChunk(c) {
+				keys, vals := p.Chunk(i, c)
+				if len(keys) != len(vals) {
+					t.Fatalf("parts=%d part=%d: %d keys vs %d vals", parts, i, len(keys), len(vals))
+				}
+				for _, k := range keys {
+					if got := PartitionOf(k, p.Shift()); got != i {
+						t.Fatalf("parts=%d: key %d buffered in partition %d, hashes to %d", parts, k, i, got)
+					}
 				}
 			}
 		}
@@ -103,9 +105,11 @@ func TestPartitionedAggParity(t *testing.T) {
 	for part := 0; part < parts; part++ {
 		small.Reset()
 		for _, p := range ps {
-			keys, vals := p.Part(part)
-			for i, k := range keys {
-				small.Add(small.Lookup(k), 0, vals[i])
+			for c := p.Head(part); c >= 0; c = p.NextChunk(c) {
+				keys, vals := p.Chunk(part, c)
+				for i, k := range keys {
+					small.Add(small.Lookup(k), 0, vals[i])
+				}
 			}
 		}
 		throwaway += small.Throwaway[0]
@@ -124,6 +128,100 @@ func TestPartitionedAggParity(t *testing.T) {
 	}
 	if throwaway != direct.Throwaway[0] {
 		t.Errorf("throwaway sum %d, direct %d", throwaway, direct.Throwaway[0])
+	}
+}
+
+// TestScatterPoolBound checks the ChunksFor sizing contract: however
+// lopsidedly the pairs split across the sharing partitioners, a fixed pool
+// reserved to the bound is never exhausted and a warm re-run claims no new
+// memory.
+func TestScatterPoolBound(t *testing.T) {
+	const workers, parts, pairs = 3, 16, 40_000
+	pool := NewScatterPool(ChunksFor(pairs, workers, parts))
+	ps := make([]*Partitioner, workers)
+	for w := range ps {
+		ps[w] = NewPartitionerOn(pool, parts)
+	}
+	rng := rand.New(rand.NewSource(5))
+	scatter := func(split func(i int) int) {
+		for _, p := range ps {
+			p.Reset()
+		}
+		pool.Reset()
+		for i := 0; i < pairs; i++ {
+			ps[split(i)].Append(rng.Int63n(1<<40), int64(i))
+		}
+	}
+
+	// Worst case for tail slack: all pairs through one partitioner.
+	scatter(func(int) int { return 0 })
+	if used := pool.ChunksUsed(); used > pool.Chunks() {
+		t.Fatalf("one-sided scatter used %d chunks, reserved %d", used, pool.Chunks())
+	}
+	// Then the opposite schedule: round-robin. Same pool, no growth.
+	before := pool.Chunks()
+	allocs := testing.AllocsPerRun(5, func() {
+		scatter(func(i int) int { return i % workers })
+	})
+	if allocs != 0 {
+		t.Errorf("warm re-scatter allocates %.1f per run, want 0", allocs)
+	}
+	if pool.Chunks() != before {
+		t.Errorf("pool grew %d → %d chunks across schedule change", before, pool.Chunks())
+	}
+	total := 0
+	for _, p := range ps {
+		total += p.Rows()
+	}
+	if total != pairs {
+		t.Fatalf("Rows sum %d, want %d", total, pairs)
+	}
+	if pool.Reserve(pool.Chunks()) {
+		t.Error("Reserve at current capacity reported growth")
+	}
+	if !pool.Reserve(pool.Chunks() + 8) {
+		t.Error("Reserve past capacity reported no growth")
+	}
+}
+
+// TestScatterPoolSharedParity checks pairs scattered through several
+// partitioners on one shared pool read back exactly, chunk lists intact,
+// against a per-partition reference.
+func TestScatterPoolSharedParity(t *testing.T) {
+	const workers, parts, pairs = 4, 8, 10_000
+	pool := NewScatterPool(ChunksFor(pairs, workers, parts))
+	ps := make([]*Partitioner, workers)
+	for w := range ps {
+		ps[w] = NewPartitionerOn(pool, parts)
+	}
+	rng := rand.New(rand.NewSource(21))
+	want := map[int64]int64{} // key → sum of vals, across all workers
+	for i := 0; i < pairs; i++ {
+		k, v := rng.Int63n(4096), rng.Int63n(100)
+		ps[rng.Intn(workers)].Append(k, v)
+		want[k] += v
+	}
+	got := map[int64]int64{}
+	for part := 0; part < parts; part++ {
+		for _, p := range ps {
+			for c := p.Head(part); c >= 0; c = p.NextChunk(c) {
+				keys, vals := p.Chunk(part, c)
+				for i, k := range keys {
+					if PartitionOf(k, p.Shift()) != part {
+						t.Fatalf("key %d read from partition %d, hashes elsewhere", k, part)
+					}
+					got[k] += vals[i]
+				}
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d keys read back, want %d", len(got), len(want))
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("key %d: sum %d, want %d", k, got[k], w)
+		}
 	}
 }
 

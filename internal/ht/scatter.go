@@ -1,0 +1,119 @@
+package ht
+
+import "sync/atomic"
+
+// ScatterPool is the chunk arena behind radix Partitioners: one flat
+// (keys, vals) backing store cut into fixed-size chunks that partitioners
+// claim with a single atomic increment. It exists to make the multi-worker
+// scatter phase allocation-free and memory-bounded at once.
+//
+// Per-(worker, partition) contiguous append buffers — the previous design —
+// cannot do either: morsels are claimed dynamically, so the share of rows
+// any one worker scatters varies run to run, and each buffer's capacity
+// creeps toward the full partition size while append-doubling fires
+// forever. A chunked arena sidesteps both problems. Total chunk demand is
+// bounded by the data, not the schedule: every appended pair fills a slot
+// in some chunk, and at most one partially-filled tail chunk exists per
+// (worker, partition), so
+//
+//	chunks needed ≤ ceil(pairs / ChunkPairs) + workers × partitions
+//
+// regardless of how the morsels landed. An arena Reserved to that bound
+// never runs out, no matter how lopsided the claim pattern, and a run's
+// memory footprint is pairs + slack rather than workers × pairs.
+//
+// Concurrency contract: get is safe to call from concurrently scattering
+// workers (the claim is one atomic add; each claimed chunk is written only
+// by its owner). Reserve and Reset are not — they may only run while no
+// scan is appending, which the engine guarantees by holding its execution
+// lock across bind and run. A fixed pool (NewScatterPool) panics if
+// claimed past its reservation: with the bound above that is unreachable,
+// and growing the flat arrays mid-scan would race every in-flight append.
+// The zero value is a growable pool for single-goroutine use (standalone
+// partitioners, tests): exhaustion reallocates instead of panicking.
+type ScatterPool struct {
+	keys []int64
+	vals []int64
+	next []int32 // per-chunk successor link, -1 at list tails
+	idx  atomic.Int32
+	// fixed pools (the engine's) refuse to grow mid-claim; growable pools
+	// (standalone partitioners) may, because only one goroutine appends.
+	fixed bool
+}
+
+// ChunkPairs is the pool's chunk size in (key, value) pairs: 4 KB of pair
+// data per chunk — big enough that the scatter is a sequential write and
+// the fold a sequential read, small enough that per-(worker, partition)
+// tail slack stays a few MB at realistic fan-outs.
+const ChunkPairs = 256
+
+// NewScatterPool returns a fixed-capacity pool of the given chunk count,
+// for concurrent scatters. Size it with ChunksFor.
+func NewScatterPool(chunks int) *ScatterPool {
+	p := &ScatterPool{fixed: true}
+	p.alloc(chunks)
+	return p
+}
+
+// ChunksFor returns the chunk count that makes a scatter of pairs total
+// pairs by workers workers across parts partitions exhaustion-proof.
+func ChunksFor(pairs, workers, parts int) int {
+	return (pairs+ChunkPairs-1)/ChunkPairs + workers*parts
+}
+
+// Chunks returns the pool's current capacity in chunks.
+func (p *ScatterPool) Chunks() int { return len(p.next) }
+
+// ChunksUsed returns how many chunks have been claimed since the last
+// Reset (it may transiently overshoot Chunks on a growable pool).
+func (p *ScatterPool) ChunksUsed() int { return int(p.idx.Load()) }
+
+// Reserve grows the pool to at least chunks capacity, reporting whether it
+// grew — a pool miss, which callers bill as a fresh allocation. It must
+// not run while a scan is appending.
+func (p *ScatterPool) Reserve(chunks int) bool {
+	if chunks <= len(p.next) {
+		return false
+	}
+	p.alloc(chunks)
+	return true
+}
+
+// Reset makes every chunk claimable again. Pairs buffered by partitioners
+// on this pool are invalidated; it must not run while a scan is appending
+// or a fold is reading.
+func (p *ScatterPool) Reset() { p.idx.Store(0) }
+
+// alloc (re)sizes the flat arrays to chunks capacity, preserving claimed
+// contents (growable pools may grow mid-run between appends).
+func (p *ScatterPool) alloc(chunks int) {
+	keys := make([]int64, chunks*ChunkPairs)
+	vals := make([]int64, chunks*ChunkPairs)
+	next := make([]int32, chunks)
+	copy(keys, p.keys)
+	copy(vals, p.vals)
+	copy(next, p.next)
+	p.keys, p.vals, p.next = keys, vals, next
+}
+
+// get claims the next chunk and returns its id. Safe for concurrent
+// claimers on a fixed pool; panics when a fixed pool is exhausted (the
+// caller's Reserve was undersized — a bug, not a load condition).
+func (p *ScatterPool) get() int32 {
+	i := p.idx.Add(1) - 1
+	if int(i) >= len(p.next) {
+		if p.fixed {
+			panic("ht: fixed ScatterPool exhausted; Reserve(ChunksFor(...)) before the scan")
+		}
+		grown := 2 * len(p.next)
+		if grown < int(i)+1 {
+			grown = int(i) + 1
+		}
+		if grown < 16 {
+			grown = 16
+		}
+		p.alloc(grown)
+	}
+	p.next[i] = -1
+	return i
+}

@@ -1,0 +1,125 @@
+package load
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	swole "github.com/reprolab/swole"
+	"github.com/reprolab/swole/internal/serve"
+)
+
+// liveServer boots a real serve.Server over a small microbenchmark DB on
+// a loopback port — the load driver's goroutines then race against the
+// full serving stack (admission, execution, metrics), which is exactly
+// what `go test -race ./internal/load/...` is for.
+func liveServer(t *testing.T) *serve.Server {
+	t.Helper()
+	db, err := swole.LoadMicro(swole.MicroConfig{Rows: 20_000, DimRows: 200, GroupKeys: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	s := serve.New(db, serve.Config{
+		Addr:        "127.0.0.1:0",
+		MaxInFlight: 4,
+		MaxQueue:    64,
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+// TestRunAgainstLiveServer drives a short paced run and checks the
+// report's accounting: every request came back OK, the histogram holds
+// them all, and the scraped attribution saw the same window.
+func TestRunAgainstLiveServer(t *testing.T) {
+	s := liveServer(t)
+	dur := 2 * time.Second
+	if testing.Short() {
+		dur = 400 * time.Millisecond
+	}
+	rep, err := Run(context.Background(), Config{
+		Addr:     s.Addr(),
+		QPS:      200,
+		Conns:    8,
+		Duration: dur,
+		Mix: []Query{
+			{SQL: "select sum(r_a) from r where r_x < 50", Weight: 3},
+			{SQL: "select r_c, sum(r_a) from r where r_x < 50 group by r_c", Weight: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Outcomes.OK != rep.Requests {
+		t.Fatalf("outcomes not all OK: %+v of %d requests", rep.Outcomes, rep.Requests)
+	}
+	if rep.ErrorRate() != 0 {
+		t.Fatalf("ErrorRate = %g with all-OK outcomes", rep.ErrorRate())
+	}
+	if rep.P50ms <= 0 || rep.P99ms < rep.P50ms || rep.MaxMs < rep.P99ms {
+		t.Fatalf("quantiles disordered: p50=%g p99=%g max=%g", rep.P50ms, rep.P99ms, rep.MaxMs)
+	}
+	if rep.Server == nil {
+		t.Fatal("no server attribution despite live /metrics")
+	}
+	if rep.Server.Queries < rep.Outcomes.OK {
+		t.Fatalf("server saw %d queries, client completed %d", rep.Server.Queries, rep.Outcomes.OK)
+	}
+	if rep.Server.ExecSeconds <= 0 {
+		t.Fatalf("attribution found no execution time: %+v", rep.Server)
+	}
+	if len(rep.Gate(0, 0)) != 0 {
+		t.Fatalf("gate violations on a clean run: %v", rep.Gate(0, 0))
+	}
+	if v := rep.Gate(time.Nanosecond, -1); len(v) != 1 || !strings.Contains(v[0], "p99") {
+		t.Fatalf("1ns p99 gate did not trip: %v", v)
+	}
+}
+
+// TestRunUnpaced exercises the QPS=0 (back-to-back) path and run
+// cancellation via the parent context.
+func TestRunUnpaced(t *testing.T) {
+	s := liveServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		cancel()
+	}()
+	rep, err := Run(ctx, Config{
+		Addr:     s.Addr(),
+		Conns:    2,
+		Duration: time.Minute, // the cancel above ends it early
+		Mix:      []Query{{SQL: "select sum(r_a) from r where r_x < 50"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests before cancel")
+	}
+	if rep.DurationSec > 10 {
+		t.Fatalf("cancel did not end the run: %.1fs", rep.DurationSec)
+	}
+	if rep.Outcomes.OK == 0 {
+		t.Fatalf("unpaced run completed nothing: %+v", rep.Outcomes)
+	}
+}
+
+// TestRunEmptyMix pins the configuration error path.
+func TestRunEmptyMix(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Addr: "127.0.0.1:1"}); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+}

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"fmt"
+	"math"
+	rtmetrics "runtime/metrics"
 	"sort"
 	"strings"
 	"sync"
@@ -13,13 +15,20 @@ import (
 
 // Dependency-free metrics for the serving subsystem, rendered in the
 // Prometheus text exposition format (version 0.0.4) — counters by query
-// shape and outcome, one latency histogram, gauges for admission state,
+// shape and outcome, latency histograms, gauges for admission state,
 // and engine-wide aggregates of the Explain counters the engine already
 // reports per query (plan-cache hits, stats-cache hits, hash-table
 // growths, fresh resource allocations). A scrape renders everything under
 // one mutex; the per-query observe path touches the same mutex once, so
 // metric cost is a map update per query, not a contention point next to
 // the engine's own serialization.
+//
+// Two histograms split a query's wall time into its serving phases:
+// swole_query_duration_seconds is end-to-end (admission wait included) and
+// swole_admission_wait_seconds is the wait alone, so a scraper attributes
+// tail latency to queueing vs execution from the two sums. The scrape also
+// samples runtime/metrics for GC stop-the-world pauses — the third place a
+// served query's tail can hide.
 
 // Outcome labels for swole_queries_total.
 const (
@@ -37,6 +46,14 @@ var latencyBuckets = []float64{
 	0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// waitBuckets bound the admission-wait histogram. Waits start an order of
+// magnitude below query latencies — an uncontended admit is nanoseconds —
+// so the ladder reaches lower than latencyBuckets.
+var waitBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
 // metrics is the server's registry. The zero value is not ready; use
 // newMetrics.
 type metrics struct {
@@ -45,6 +62,12 @@ type metrics struct {
 	buckets []uint64             // cumulative-style counts per latencyBuckets entry
 	infSum  float64              // histogram sum (seconds)
 	infCnt  uint64               // histogram count
+
+	waits   []uint64 // cumulative-style counts per waitBuckets entry
+	waitSum float64  // admission-wait sum (seconds)
+	waitCnt uint64   // admission-wait count
+
+	gcSamples []rtmetrics.Sample // runtime/metrics scrape buffer
 
 	planCacheHits  uint64
 	statsCacheHits uint64
@@ -59,7 +82,27 @@ func newMetrics() *metrics {
 	return &metrics{
 		queries: map[[2]string]uint64{},
 		buckets: make([]uint64, len(latencyBuckets)),
+		waits:   make([]uint64, len(waitBuckets)),
+		gcSamples: []rtmetrics.Sample{
+			{Name: "/gc/pauses:seconds"},
+			{Name: "/gc/cycles/total:gc-cycles"},
+		},
 	}
+}
+
+// observeWait records how long one query waited for an admission slot
+// (zero for the common uncontended path; rejected queries never reach it).
+func (m *metrics) observeWait(d time.Duration) {
+	sec := d.Seconds()
+	m.mu.Lock()
+	for i, ub := range waitBuckets {
+		if sec <= ub {
+			m.waits[i]++
+		}
+	}
+	m.waitSum += sec
+	m.waitCnt++
+	m.mu.Unlock()
 }
 
 // observe records one finished (or refused) query: its shape and outcome,
@@ -123,6 +166,17 @@ func (m *metrics) render(w *strings.Builder) {
 	fmt.Fprintf(w, "swole_query_duration_seconds_sum %g\n", m.infSum)
 	fmt.Fprintf(w, "swole_query_duration_seconds_count %d\n", m.infCnt)
 
+	fmt.Fprintf(w, "# HELP swole_admission_wait_seconds Time queries spent waiting for an admission slot.\n")
+	fmt.Fprintf(w, "# TYPE swole_admission_wait_seconds histogram\n")
+	for i, ub := range waitBuckets {
+		fmt.Fprintf(w, "swole_admission_wait_seconds_bucket{le=\"%g\"} %d\n", ub, m.waits[i])
+	}
+	fmt.Fprintf(w, "swole_admission_wait_seconds_bucket{le=\"+Inf\"} %d\n", m.waitCnt)
+	fmt.Fprintf(w, "swole_admission_wait_seconds_sum %g\n", m.waitSum)
+	fmt.Fprintf(w, "swole_admission_wait_seconds_count %d\n", m.waitCnt)
+
+	m.renderGC(w)
+
 	fmt.Fprintf(w, "# HELP swole_inflight_queries Queries admitted and executing now.\n")
 	fmt.Fprintf(w, "# TYPE swole_inflight_queries gauge\n")
 	fmt.Fprintf(w, "swole_inflight_queries %d\n", m.inflight.Load())
@@ -143,5 +197,48 @@ func (m *metrics) render(w *strings.Builder) {
 		fmt.Fprintf(w, "# HELP %s %s\n", c.name, c.help)
 		fmt.Fprintf(w, "# TYPE %s counter\n", c.name)
 		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
+	}
+}
+
+// renderGC samples the runtime's GC telemetry at scrape time and emits the
+// pause figures a latency investigation wants: how many stop-the-world
+// pauses the process has taken, the worst one, and the cycle count. The
+// runtime histogram is cumulative since process start, which matches
+// Prometheus counter semantics — scrapers diff two scrapes to attribute
+// pauses to a load window. Called with m.mu held.
+func (m *metrics) renderGC(w *strings.Builder) {
+	rtmetrics.Read(m.gcSamples)
+
+	var pauses uint64
+	maxPause := 0.0
+	if h := m.gcSamples[0]; h.Value.Kind() == rtmetrics.KindFloat64Histogram {
+		hist := h.Value.Float64Histogram()
+		for i, c := range hist.Counts {
+			if c == 0 {
+				continue
+			}
+			pauses += c
+			// The bucket's upper bound caps every pause it holds; the last
+			// bucket's +Inf bound falls back to its finite lower edge.
+			ub := hist.Buckets[i+1]
+			if math.IsInf(ub, 1) {
+				ub = hist.Buckets[i]
+			}
+			if ub > maxPause {
+				maxPause = ub
+			}
+		}
+	}
+	fmt.Fprintf(w, "# HELP swole_gc_pauses_total Stop-the-world GC pauses since process start.\n")
+	fmt.Fprintf(w, "# TYPE swole_gc_pauses_total counter\n")
+	fmt.Fprintf(w, "swole_gc_pauses_total %d\n", pauses)
+	fmt.Fprintf(w, "# HELP swole_gc_pause_max_seconds Upper bound of the longest GC pause observed.\n")
+	fmt.Fprintf(w, "# TYPE swole_gc_pause_max_seconds gauge\n")
+	fmt.Fprintf(w, "swole_gc_pause_max_seconds %g\n", maxPause)
+
+	if c := m.gcSamples[1]; c.Value.Kind() == rtmetrics.KindUint64 {
+		fmt.Fprintf(w, "# HELP swole_gc_cycles_total Completed GC cycles since process start.\n")
+		fmt.Fprintf(w, "# TYPE swole_gc_cycles_total counter\n")
+		fmt.Fprintf(w, "swole_gc_cycles_total %d\n", c.Value.Uint64())
 	}
 }

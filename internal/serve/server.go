@@ -249,10 +249,12 @@ func (s *Server) execute(parent context.Context, q string, timeoutMS int64) (*sw
 	}
 	ctx, cancel := s.deadline(parent, timeoutMS)
 	defer cancel()
+	waitStart := time.Now()
 	release, err := s.admit(ctx)
 	if err != nil {
 		return fail(err)
 	}
+	s.m.observeWait(time.Since(waitStart))
 	s.m.inflight.Add(1)
 	res, ex, err := s.run(ctx, q)
 	s.m.inflight.Add(-1)

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# bench2json.sh — convert `go test -bench -benchmem` output to a JSON array.
+#
+#   tools/bench2json.sh <name-prefix> <bench.txt> <out.json>
+#
+# Rows whose benchmark name starts with <name-prefix> become objects with
+# the iteration count, ns/op, B/op, and allocs/op columns. The CI bench
+# jobs (steady-state, radix, serving) all publish their artifacts through
+# this one script so the JSON shape stays identical across them.
+set -eu
+
+if [ $# -ne 3 ]; then
+    echo "usage: $0 <name-prefix> <bench.txt> <out.json>" >&2
+    exit 2
+fi
+prefix=$1
+in=$2
+out=$3
+
+awk -v prefix="$prefix" 'BEGIN { print "[" }
+     index($1, prefix) == 1 && $4 == "ns/op" {
+       if (n++) print ",";
+       printf "  {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", $1, $2, $3, $5, $7
+     }
+     END { print "\n]" }' "$in" > "$out"
+cat "$out"
