@@ -9,6 +9,7 @@
 //	swolebench -fig 2            # the technique summary table
 //	swolebench -fig scaling -workers 8   # morsel scaling sweep, 1..8 workers
 //	swolebench -repeat 10        # steady state: cold vs plan-cached warm runs
+//	swolebench -kernel-variants  # per-query kernel-variant selection counters
 //	swolebench -repeat 10 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Scales come from the environment (SWOLE_SF, SWOLE_MICRO_R, SWOLE_REPS,
@@ -42,6 +43,7 @@ func realMain() error {
 	csv := flag.Bool("csv", false, "emit micro figures as CSV for plotting")
 	workers := flag.Int("workers", 0, "max morsel workers the scaling figure sweeps to (0 = SWOLE_WORKERS or NumCPU)")
 	repeat := flag.Int("repeat", 0, "steady-state demo: run each supported query shape N times and report cold vs plan-cached warm timings")
+	variants := flag.Bool("kernel-variants", false, "run each supported query shape and report the kernel-variant selection counters from Explain")
 	timeout := flag.Duration("timeout", 0, "per-query deadline for -repeat runs; deadline-exceeded runs are counted and reported separately (0 = no deadline)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -76,6 +78,9 @@ func realMain() error {
 	cfg := harness.FromEnv()
 	if *workers > 0 {
 		cfg.Workers = *workers
+	}
+	if *variants {
+		return runKernelVariants(cfg)
 	}
 	if *repeat > 0 {
 		return runSteady(cfg, *repeat, *timeout)

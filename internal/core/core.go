@@ -103,6 +103,14 @@ type Explain struct {
 	// tables, bitmaps) newly allocated for this execution rather than
 	// recycled from the engine's pools; 0 in steady state.
 	FreshAllocs int
+
+	// Variants aggregates the kernel-variant selection counters across the
+	// run's workers: which lane widths the compare/widen prepasses ran at,
+	// how tile selection split across the density classes, how many tiles
+	// went through dict-coded or masked forms, and how many elements the
+	// software-prefetched probe/scatter loops covered. All zero for plans
+	// compiled before the variant layer or for the tuple-at-a-time kernel.
+	Variants vec.Counters
 }
 
 func (e Explain) String() string {
@@ -110,10 +118,14 @@ func (e Explain) String() string {
 	if e.Partitioned {
 		part = fmt.Sprintf(" partitioned=%d(p1=%s)", e.Partitions, e.PartitionTime)
 	}
-	return fmt.Sprintf("technique=%s sel=%.3f comp=%.1f ht=%dB workers=%d%s scan=%s merge=%s stats_cached=%t plan_cached=%t ht_grows=%d fresh_allocs=%d costs=%v merged=%v",
+	variants := ""
+	if e.Variants.Total() > 0 {
+		variants = fmt.Sprintf(" variants=[%s]", e.Variants.String())
+	}
+	return fmt.Sprintf("technique=%s sel=%.3f comp=%.1f ht=%dB workers=%d%s scan=%s merge=%s stats_cached=%t plan_cached=%t ht_grows=%d fresh_allocs=%d costs=%v merged=%v%s",
 		e.Technique, e.Selectivity, e.CompCost, e.HTBytes, e.Workers, part,
 		e.ScanTime, e.MergeTime, e.StatsCached, e.PlanCached, e.HTGrows, e.FreshAllocs,
-		e.Costs, e.Merged)
+		e.Costs, e.Merged, variants)
 }
 
 // PartitionMode selects how the engine decides between direct and radix-
@@ -216,12 +228,24 @@ func (e *Engine) workers() int {
 // recycled across queries via the engine's pool (getStates/putStates).
 type workerState struct {
 	ev *expr.Evaluator
+	// ctr is this worker's kernel-variant counters. The evaluator shares
+	// the same struct (via SetCounters), so the compare/widen prepass
+	// counts and the counts the kernels bump directly land in one place;
+	// sumVariants folds them into Explain after each run. Heap-allocated so
+	// the evaluator's pointer survives a reallocation of the states slice.
+	ctr *vec.Counters
+	// pf sinks the values returned by the software-prefetch Touch loops so
+	// the loads stay live; per-worker, written once per tile.
+	pf uint64
 	*exec.Scratch
 }
 
 // newWorkerState allocates one worker's scratch set.
 func newWorkerState() workerState {
-	return workerState{ev: expr.NewEvaluator(), Scratch: exec.NewScratch()}
+	ctr := &vec.Counters{}
+	ev := expr.NewEvaluator()
+	ev.SetCounters(ctr)
+	return workerState{ev: ev, ctr: ctr, Scratch: exec.NewScratch()}
 }
 
 // fillCmp evaluates the (possibly nil) filter for one tile into s.Cmp.

@@ -2,11 +2,13 @@ package core
 
 import (
 	"context"
+	"math"
 	"time"
 
 	"github.com/reprolab/swole/internal/cost"
 	"github.com/reprolab/swole/internal/expr"
 	"github.com/reprolab/swole/internal/ht"
+	"github.com/reprolab/swole/internal/storage"
 	"github.com/reprolab/swole/internal/vec"
 )
 
@@ -33,6 +35,13 @@ type PreparedGroupAgg struct {
 	agg    expr.Expr
 	tabs   []*ht.AggTable
 
+	// keyCol is the key's storage column when the key is a bare column
+	// reference — the common case — bound at compile time so the masking
+	// kernels can fuse key materialization and null-masking into one
+	// native-width pass (Column.MaskKeysInto) instead of widening through
+	// the generic evaluator and masking in a second loop. Nil otherwise.
+	keyCol *storage.Column
+
 	// Radix-partitioned two-phase variant (see partition.go): the kernel
 	// becomes the phase-1 scatter (through the engine's shared chunk
 	// arena) and phase2 folds claimed partitions, emitting final groups
@@ -43,7 +52,7 @@ type PreparedGroupAgg struct {
 	parts       int
 	parters     []*ht.Partitioner
 	smalls      []*ht.AggTable
-	emit        [][]kv // indexed by partition; filled by its claiming worker
+	emit        [][]int64 // indexed by partition; filled by its claiming worker
 
 	kernel kernelFn
 	phase2 func(w, part int)
@@ -75,7 +84,8 @@ func newGroupPlan() *PreparedGroupAgg {
 		vec.Tiles(length, func(tb, tl int) {
 			b := base + tb
 			s.fillCmp(p.filter, b, tl)
-			n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
+			n, d := vec.SelFromCmpAdaptive(s.Cmp[:tl], s.Idx)
+			s.ctr.CountSel(d)
 			for j := 0; j < n; j++ {
 				i := b + int(s.Idx[j])
 				slot := tab.Lookup(expr.Eval(p.key, i))
@@ -83,6 +93,13 @@ func newGroupPlan() *PreparedGroupAgg {
 			}
 		})
 	}
+	// The direct probe kernels run plain insert loops, no touch lookahead:
+	// a Lookup's first access IS the home line a touch would load, so the
+	// lookahead doubles the loop's random-line demand, and measured on the
+	// calibration host that loses more than the overlap wins (see DESIGN.md
+	// §11.3). The lookahead pays only where the touched line is distinct
+	// from cheap intervening work: the radix scatter (TouchAppend), the
+	// phase-2 fold, and the table merge keep it.
 	p.kValueMask = func(w, base, length int) {
 		s, tab := &p.states[w], p.tabs[w]
 		vec.Tiles(length, func(tb, tl int) {
@@ -91,9 +108,9 @@ func newGroupPlan() *PreparedGroupAgg {
 			s.ev.EvalInt(p.key, b, tl, s.Keys)
 			s.ev.EvalInt(p.agg, b, tl, s.Vals)
 			for j := 0; j < tl; j++ {
-				slot := tab.Lookup(s.Keys[j])
-				tab.AddMasked(slot, 0, s.Vals[j], s.Cmp[j])
+				tab.AddMasked(tab.Lookup(s.Keys[j]), 0, s.Vals[j], s.Cmp[j])
 			}
+			s.ctr.MaskedAgg++
 		})
 	}
 	p.kKeyMask = func(w, base, length int) {
@@ -101,15 +118,10 @@ func newGroupPlan() *PreparedGroupAgg {
 		vec.Tiles(length, func(tb, tl int) {
 			b := base + tb
 			s.fillCmp(p.filter, b, tl)
-			s.ev.EvalInt(p.key, b, tl, s.Keys)
+			p.maskKeys(s, b, tl)
 			s.ev.EvalInt(p.agg, b, tl, s.Vals)
 			for j := 0; j < tl; j++ {
-				k := s.Keys[j]
-				if s.Cmp[j] == 0 {
-					k = ht.NullKey
-				}
-				slot := tab.Lookup(k)
-				tab.Add(slot, 0, s.Vals[j])
+				tab.Add(tab.Lookup(s.Keys[j]), 0, s.Vals[j])
 			}
 		})
 	}
@@ -124,37 +136,106 @@ func newGroupPlan() *PreparedGroupAgg {
 		vec.Tiles(length, func(tb, tl int) {
 			b := base + tb
 			s.fillCmp(p.filter, b, tl)
-			n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
+			n, d := vec.SelFromCmpAdaptive(s.Cmp[:tl], s.Idx)
+			s.ctr.CountSel(d)
 			for j := 0; j < n; j++ {
 				i := b + int(s.Idx[j])
 				pr.Append(expr.Eval(p.key, i), expr.Eval(p.agg, i))
 			}
 		})
 	}
+	// The scatter appends without a touch lookahead: with a radix fan-out
+	// of P partitions the write targets are P chunk tails — a handful of
+	// cache lines that never leave L2 — so touching them ahead only adds
+	// hash work (measured ~7% of scatter time; see DESIGN.md §11.3).
 	p.kScatterMask = func(w, base, length int) {
 		s, pr := &p.states[w], p.parters[w]
 		vec.Tiles(length, func(tb, tl int) {
 			b := base + tb
 			s.fillCmp(p.filter, b, tl)
+			n, dc := vec.SelFromCmpAdaptive(s.Cmp[:tl], s.Idx)
+			s.ctr.CountSel(dc)
+			if dc == vec.DensityDense {
+				// Nearly every lane passes: append the whole masked tile.
+				// The few rejects ride along as NullKey pairs and fold into
+				// the throwaway entry, cheaper than indirecting every lane
+				// through the selection vector.
+				p.maskKeys(s, b, tl)
+				s.ev.EvalInt(p.agg, b, tl, s.Vals)
+				for j := 0; j < tl; j++ {
+					pr.Append(s.Keys[j], s.Vals[j])
+				}
+				return
+			}
+			// Sparse and mid tiles compact first: rejected pairs never
+			// reach the scatter, so phase 1 writes and phase 2 folds only
+			// the selected (1-selectivity savings on both passes). The
+			// selected keys need no mask — they passed the filter.
 			s.ev.EvalInt(p.key, b, tl, s.Keys)
 			s.ev.EvalInt(p.agg, b, tl, s.Vals)
-			for j := 0; j < tl; j++ {
-				k := s.Keys[j]
-				if s.Cmp[j] == 0 {
-					k = ht.NullKey
-				}
-				pr.Append(k, s.Vals[j])
+			for j := 0; j < n; j++ {
+				i := s.Idx[j]
+				pr.Append(s.Keys[i], s.Vals[i])
 			}
 		})
 	}
 	p.kFold = func(w, part int) {
-		tab := p.smalls[w]
-		foldPartition(tab, p.parters, part)
-		tab.ForEach(false, func(key int64, s int) {
-			p.emit[part] = append(p.emit[part], kv{key, tab.Acc(s, 0)})
+		s, tab := &p.states[w], p.smalls[w]
+		s.ctr.PrefetchProbe += uint64(foldPartition(tab, p.parters, part))
+		tab.ForEach(false, func(key int64, slot int) {
+			p.emit[part] = append(p.emit[part], key, tab.Acc(slot, 0))
 		})
 	}
 	return p
+}
+
+// perWorkerHint sizes each worker-private direct-path table. A gang of nw
+// workers splits roughly inserted table-bound tuples, so one worker's key
+// draw is inserted/nw uniform samples over the group domain; the expected
+// distinct count is groups*(1-e^(-draw/groups)), which correctly spans
+// both regimes — near groups/nw for high-cardinality keys and near groups
+// for heavily repeated ones. The expectation is used without extra
+// headroom: the table's own hint-to-capacity doubling already leaves the
+// expected load under 50%, the sampled group count skews high, and
+// morsel-claim imbalance beyond that grows the table once and the
+// capacity ratchets in the recycled husk — a misestimate costs one
+// rehash, never steady-state allocation. Undershooting the power-of-two
+// capacity step matters here: at high cardinality it is what keeps a
+// worker's table within the last-level cache, which is the direct path's
+// whole scaling story. Sizing per worker instead of cloning the global
+// hint keeps the gang's combined footprint (and the emission scan over
+// it) at the single-worker level.
+func perWorkerHint(groups, nw, inserted int) int {
+	if nw <= 1 || groups <= 0 {
+		return groups
+	}
+	draw := float64(inserted) / float64(nw)
+	distinct := float64(groups) * (1 - math.Exp(-draw/float64(groups)))
+	h := int(distinct)
+	if h > groups {
+		h = groups
+	}
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// maskKeys materializes one tile's group-by keys into s.Keys with rejected
+// lanes replaced by ht.NullKey: a single native-width fused pass when the
+// key is a bare column (keyCol), else the generic widen followed by an
+// unrolled in-place mask.
+func (p *PreparedGroupAgg) maskKeys(s *workerState, b, tl int) {
+	if p.keyCol != nil {
+		p.keyCol.MaskKeysInto(b, tl, s.Cmp[:tl], ht.NullKey, s.Keys)
+		if p.keyCol.Dict != nil {
+			s.ctr.DictKeys++
+		}
+	} else {
+		s.ev.EvalInt(p.key, b, tl, s.Keys)
+		vec.MaskKeysU(s.Keys[:tl], s.Cmp[:tl], ht.NullKey, s.Keys)
+	}
+	s.ctr.KeyMask++
 }
 
 // compileGroupAgg plans a group-by aggregation into p: masking strategy
@@ -182,6 +263,10 @@ func (e *Engine) compileGroupAgg(p *PreparedGroupAgg, q GroupAgg, tech Technique
 	p.dep(q.Table)
 	p.rows = t.Rows()
 	p.filter, p.key, p.agg = q.Filter, q.Key, q.Agg
+	p.keyCol = nil
+	if c, ok := q.Key.(*expr.Col); ok {
+		p.keyCol = c.Column()
+	}
 
 	params := env.params.ForWorkers(p.nw)
 	sel, selHit := e.selectivity(q.Table, p.rows, q.Filter, 16384)
@@ -239,8 +324,14 @@ func (e *Engine) compileGroupAgg(p *PreparedGroupAgg, q GroupAgg, tech Technique
 		}
 	}
 	if !p.partitioned {
+		inserted := int(float64(p.rows) * sel)
+		if tech == TechValueMasking {
+			// Value masking inserts every tuple (rejected ones carry masked
+			// values), so each worker's key draw spans the whole scan.
+			inserted = p.rows
+		}
 		var f int
-		p.tabs, f = ensureTables(p.tabs, p.nw, groups)
+		p.tabs, f = ensureTables(p.tabs, p.nw, perWorkerHint(groups, p.nw, inserted))
 		fresh += f
 		switch tech {
 		case TechDataCentric:
@@ -286,18 +377,21 @@ func (p *PreparedGroupAgg) runDirect(ctx context.Context) error {
 		return err
 	}
 
+	// Merge by sort, not by table: every worker's (key, partial) pairs go
+	// into the emission buffer and the radix sort brings each group's
+	// partials adjacent, where finishCombine sums them. A table merge
+	// would probe the destination once per source group — random DRAM
+	// reads — while the sort's passes stream; at 1M groups the sorted
+	// merge is several times cheaper and the emission sorts anyway.
 	start = time.Now()
-	merged := p.tabs[0]
-	for _, tab := range p.tabs[1:] {
+	p.reset()
+	for _, tab := range p.tabs {
 		tab.ForEach(false, func(key int64, s int) {
-			merged.Add(merged.Lookup(key), 0, tab.Acc(s, 0))
+			p.add(key, tab.Acc(s, 0))
 		})
 	}
-	p.reset()
-	merged.ForEach(false, func(key int64, s int) {
-		p.add(key, merged.Acc(s, 0))
-	})
-	p.finish()
+	p.finishCombine()
+	p.sumVariants()
 	p.ex.MergeTime = time.Since(start)
 	return nil
 }
@@ -324,11 +418,8 @@ func (p *PreparedGroupAgg) runRadix(ctx context.Context) error {
 	}
 
 	start = time.Now()
-	p.reset()
-	for part := range p.emit {
-		p.pairs = append(p.pairs, p.emit[part]...)
-	}
-	p.finish()
+	p.finishFrom(p.emit)
+	p.sumVariants()
 	p.ex.MergeTime = time.Since(start)
 	return nil
 }

@@ -63,7 +63,8 @@ func newSemiPlan() *PreparedSemiJoinAgg {
 		vec.Tiles(length, func(tb, tl int) {
 			b := base + tb
 			s.ev.EvalBool(p.buildFilter, b, tl, s.Cmp)
-			n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
+			n, d := vec.SelFromCmpAdaptive(s.Cmp[:tl], s.Idx)
+			s.ctr.CountSel(d)
 			bm.SetFromSel(b, s.Idx, n)
 		})
 	}
@@ -82,11 +83,15 @@ func newSemiPlan() *PreparedSemiJoinAgg {
 			b := base + tb
 			s.fillCmp(p.probeFilter, b, tl)
 			s.ev.EvalInt(p.agg, b, tl, s.Vals)
+			// The foreign keys widen once per tile at native lane width
+			// instead of a per-element Kind switch.
+			p.fkCol.WidenInto(b, tl, s.Keys)
+			s.ctr.Widen[int(p.fkCol.Kind)]++
 			for j := 0; j < tl; j++ {
-				pos := int(p.fkCol.Get(b + j))
-				m := s.Cmp[j] & bm.TestBit(pos)
+				m := s.Cmp[j] & bm.TestBit(int(s.Keys[j]))
 				sum += s.Vals[j] * int64(m)
 			}
+			s.ctr.MaskedAgg++
 		})
 		p.parts.Add(w, sum)
 	}
@@ -187,6 +192,7 @@ func (p *PreparedSemiJoinAgg) runLocked(ctx context.Context) (int64, Explain, er
 	}
 	start = time.Now()
 	sum := p.parts.Sum()
+	p.sumVariants()
 	p.ex.MergeTime += time.Since(start)
 	return sum, p.snapshot(), nil
 }
@@ -300,7 +306,7 @@ type PreparedGroupJoinAgg struct {
 	parts       int
 	parters     []*ht.Partitioner
 	smalls      []*ht.AggTable
-	emit        [][]kv // indexed by partition; filled by its claiming worker
+	emit        [][]int64 // indexed by partition; filled by its claiming worker
 	phase2      func(w, part int)
 
 	// The kernel menu.
@@ -317,14 +323,25 @@ func newGJoinPlan() *PreparedGroupJoinAgg {
 	p := &PreparedGroupJoinAgg{}
 	p.kProbeEager = func(w, base, length int) {
 		s, tab := &p.states[w], p.tabs[w]
+		d := ht.PrefetchDist
+		var sink uint64
 		vec.Tiles(length, func(tb, tl int) {
 			b := base + tb
 			s.ev.EvalInt(p.agg, b, tl, s.Vals)
-			for j := 0; j < tl; j++ {
-				slot := tab.Lookup(p.fkCol.Get(b + j))
-				tab.Add(slot, 0, s.Vals[j])
+			p.fkCol.WidenInto(b, tl, s.Keys)
+			s.ctr.Widen[int(p.fkCol.Kind)]++
+			for j := 0; j < d && j < tl; j++ {
+				sink += tab.Touch(s.Keys[j])
 			}
+			for j := 0; j < tl; j++ {
+				if j+d < tl {
+					sink += tab.Touch(s.Keys[j+d])
+				}
+				tab.Add(tab.Lookup(s.Keys[j]), 0, s.Vals[j])
+			}
+			s.ctr.PrefetchProbe += uint64(tl)
 		})
+		s.pf += sink
 	}
 	p.kBuildFail = func(w, base, length int) {
 		// Inverted predicate marks non-qualifying groups — the parallel
@@ -343,20 +360,30 @@ func newGJoinPlan() *PreparedGroupJoinAgg {
 		// Unconditional (fk, value) appends — the eager build aggregates
 		// every probe tuple regardless of the join.
 		s, pr := &p.states[w], p.parters[w]
+		d := ht.PrefetchDist
+		var sink uint64
 		vec.Tiles(length, func(tb, tl int) {
 			b := base + tb
 			s.ev.EvalInt(p.agg, b, tl, s.Vals)
+			p.fkCol.WidenInto(b, tl, s.Keys)
+			s.ctr.Widen[int(p.fkCol.Kind)]++
 			for j := 0; j < tl; j++ {
-				pr.Append(p.fkCol.Get(b+j), s.Vals[j])
+				if j+d < tl {
+					sink += pr.TouchAppend(s.Keys[j+d])
+				}
+				pr.Append(s.Keys[j], s.Vals[j])
 			}
+			s.ctr.PrefetchScatter += uint64(tl)
 		})
+		s.pf += sink
 	}
 	p.kBuildTrad = func(w, base, length int) {
 		s, tab := &p.states[w], p.keyTabs[w]
 		vec.Tiles(length, func(tb, tl int) {
 			b := base + tb
 			s.fillCmp(p.buildFilter, b, tl)
-			n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
+			n, d := vec.SelFromCmpAdaptive(s.Cmp[:tl], s.Idx)
+			s.ctr.CountSel(d)
 			for j := 0; j < n; j++ {
 				tab.Lookup(p.pkCol.Get(b + int(s.Idx[j]))) // insert, not valid
 			}
@@ -364,24 +391,33 @@ func newGJoinPlan() *PreparedGroupJoinAgg {
 	}
 	p.kAgg = func(w, base, length int) {
 		s, tab, keys := &p.states[w], p.tabs[w], p.keys
+		d := ht.PrefetchDist
+		var sink uint64
 		vec.Tiles(length, func(tb, tl int) {
 			b := base + tb
 			s.ev.EvalInt(p.agg, b, tl, s.Vals)
+			p.fkCol.WidenInto(b, tl, s.Keys)
+			s.ctr.Widen[int(p.fkCol.Kind)]++
 			for j := 0; j < tl; j++ {
-				if fk := p.fkCol.Get(b + j); keys.Contains(fk) {
+				if j+d < tl {
+					sink += tab.Touch(s.Keys[j+d])
+				}
+				if fk := s.Keys[j]; keys.Contains(fk) {
 					tab.Add(tab.Lookup(fk), 0, s.Vals[j])
 				}
 			}
+			s.ctr.PrefetchProbe += uint64(tl)
 		})
+		s.pf += sink
 	}
 	p.kFold = func(w, part int) {
-		tab, fail := p.smalls[w], p.fails[0]
-		foldPartition(tab, p.parters, part)
-		tab.ForEach(false, func(key int64, s int) {
+		s, tab, fail := &p.states[w], p.smalls[w], p.fails[0]
+		s.ctr.PrefetchProbe += uint64(foldPartition(tab, p.parters, part))
+		tab.ForEach(false, func(key int64, slot int) {
 			if key >= 0 && key < int64(fail.Len()) && fail.Test(int(key)) {
 				return
 			}
-			p.emit[part] = append(p.emit[part], kv{key, tab.Acc(s, 0)})
+			p.emit[part] = append(p.emit[part], key, tab.Acc(slot, 0))
 		})
 	}
 	return p
@@ -544,11 +580,8 @@ func (p *PreparedGroupJoinAgg) runRadixEager(ctx context.Context) error {
 	}
 
 	start = time.Now()
-	p.reset()
-	for part := range p.emit {
-		p.pairs = append(p.pairs, p.emit[part]...)
-	}
-	p.finish()
+	p.finishFrom(p.emit)
+	p.sumVariants()
 	p.ex.MergeTime += time.Since(start)
 	return nil
 }
@@ -578,9 +611,7 @@ func (p *PreparedGroupJoinAgg) runEager(ctx context.Context) error {
 	fail.OrInto(p.fails[1:]...)
 	merged := p.tabs[0]
 	for _, tab := range p.tabs[1:] {
-		tab.ForEach(false, func(key int64, s int) {
-			merged.Add(merged.Lookup(key), 0, tab.Acc(s, 0))
-		})
+		p.states[0].ctr.PrefetchProbe += merged.MergeFrom(tab)
 	}
 	p.reset()
 	merged.ForEach(false, func(key int64, s int) {
@@ -592,6 +623,7 @@ func (p *PreparedGroupJoinAgg) runEager(ctx context.Context) error {
 		p.add(key, merged.Acc(s, 0))
 	})
 	p.finish()
+	p.sumVariants()
 	p.ex.MergeTime = time.Since(start)
 	return nil
 }
@@ -633,15 +665,14 @@ func (p *PreparedGroupJoinAgg) runTraditional(ctx context.Context) error {
 	start = time.Now()
 	merged := p.tabs[0]
 	for _, tab := range p.tabs[1:] {
-		tab.ForEach(false, func(key int64, s int) {
-			merged.Add(merged.Lookup(key), 0, tab.Acc(s, 0))
-		})
+		p.states[0].ctr.PrefetchProbe += merged.MergeFrom(tab)
 	}
 	p.reset()
 	merged.ForEach(false, func(key int64, s int) {
 		p.add(key, merged.Acc(s, 0))
 	})
 	p.finish()
+	p.sumVariants()
 	p.ex.MergeTime += time.Since(start)
 	return nil
 }

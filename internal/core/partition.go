@@ -27,22 +27,33 @@ import (
 // from already-final per-partition emissions).
 
 // subTableHint sizes a phase-2 partition table: the estimated groups
-// spread evenly over the fan-out, with headroom for skew.
+// spread evenly over the fan-out. No extra skew headroom: the radix hash
+// balances partitions to within a few standard deviations of the mean,
+// the table's own hint-to-capacity doubling leaves the expected load
+// under 50%, and the sampled group count already skews high. Staying
+// under the power-of-two capacity step matters twice per run — the fold
+// probes a table half the footprint, and the emission scan walks half
+// the slots — and an underestimate costs one rehash whose capacity
+// ratchets in the recycled table.
 func subTableHint(groups, parts int) int {
-	return 2*groups/parts + 8
+	return groups/parts + 8
 }
 
 // foldPartition aggregates one partition's pairs from every worker's
 // chunk list into tab (Reset first). The partition's keys appear in no
-// other partition, so tab holds those groups' final sums afterwards.
-func foldPartition(tab *ht.AggTable, parters []*ht.Partitioner, part int) {
+// other partition, so tab holds those groups' final sums afterwards. Each
+// chunk folds through ht.AggTable.FoldPairs, which touches probe targets
+// ht.PrefetchDist pairs ahead when (and only when) the table spills past
+// the cache budget. It returns the number of pairs folded with the
+// lookahead, which the kernels tally into the prefetch counters.
+func foldPartition(tab *ht.AggTable, parters []*ht.Partitioner, part int) int {
 	tab.Reset()
+	n := 0
 	for _, pr := range parters {
 		for c := pr.Head(part); c >= 0; c = pr.NextChunk(c) {
 			keys, vals := pr.Chunk(part, c)
-			for i, k := range keys {
-				tab.Add(tab.Lookup(k), 0, vals[i])
-			}
+			n += tab.FoldPairs(keys, vals)
 		}
 	}
+	return n
 }

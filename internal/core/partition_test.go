@@ -173,8 +173,8 @@ func TestPreparedPartitionedParity(t *testing.T) {
 			}
 			sameGroups(t, "workers="+itoa(workers)+" run="+itoa(run), res.Map(), want)
 			// Keys must come out sorted — the GroupResult contract.
-			for i := 1; i < len(res.Keys); i++ {
-				if res.Keys[i-1] >= res.Keys[i] {
+			for i := 1; i < res.Len(); i++ {
+				if res.Key(i-1) >= res.Key(i) {
 					t.Fatalf("workers=%d run=%d: keys not strictly ascending at %d", workers, run, i)
 				}
 			}

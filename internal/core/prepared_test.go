@@ -66,15 +66,16 @@ func TestPreparedGroupAggParity(t *testing.T) {
 					if ex.Technique != wantEx.Technique {
 						t.Errorf("ccard=%d workers=%d sel=%d: technique %s, one-shot %s", ccard, workers, sel, ex.Technique, wantEx.Technique)
 					}
-					if len(res.Keys) != len(want) {
-						t.Fatalf("ccard=%d workers=%d sel=%d rep=%d: %d groups, want %d", ccard, workers, sel, rep, len(res.Keys), len(want))
+					if res.Len() != len(want) {
+						t.Fatalf("ccard=%d workers=%d sel=%d rep=%d: %d groups, want %d", ccard, workers, sel, rep, res.Len(), len(want))
 					}
-					for i, k := range res.Keys {
-						if i > 0 && res.Keys[i-1] >= k {
+					for i := 0; i < res.Len(); i++ {
+						k := res.Key(i)
+						if i > 0 && res.Key(i-1) >= k {
 							t.Fatalf("keys not strictly ascending at %d", i)
 						}
-						if res.Sums[i] != want[k] {
-							t.Errorf("ccard=%d workers=%d sel=%d key=%d: sum %d, want %d", ccard, workers, sel, k, res.Sums[i], want[k])
+						if res.Sum(i) != want[k] {
+							t.Errorf("ccard=%d workers=%d sel=%d key=%d: sum %d, want %d", ccard, workers, sel, k, res.Sum(i), want[k])
 						}
 					}
 				}
@@ -143,12 +144,13 @@ func TestPreparedGroupJoinAggParity(t *testing.T) {
 				if ex.Technique != wantEx.Technique {
 					t.Errorf("workers=%d buildSel=%d: technique %s, one-shot %s", workers, buildSel, ex.Technique, wantEx.Technique)
 				}
-				if len(res.Keys) != len(want) {
-					t.Fatalf("workers=%d buildSel=%d rep=%d: %d groups, want %d", workers, buildSel, rep, len(res.Keys), len(want))
+				if res.Len() != len(want) {
+					t.Fatalf("workers=%d buildSel=%d rep=%d: %d groups, want %d", workers, buildSel, rep, res.Len(), len(want))
 				}
-				for i, k := range res.Keys {
-					if res.Sums[i] != want[k] {
-						t.Errorf("workers=%d buildSel=%d key=%d: sum %d, want %d", workers, buildSel, k, res.Sums[i], want[k])
+				for i := 0; i < res.Len(); i++ {
+					k := res.Key(i)
+					if res.Sum(i) != want[k] {
+						t.Errorf("workers=%d buildSel=%d key=%d: sum %d, want %d", workers, buildSel, k, res.Sum(i), want[k])
 					}
 				}
 			}

@@ -7,6 +7,7 @@ import (
 	"github.com/reprolab/swole/internal/cost"
 	"github.com/reprolab/swole/internal/exec"
 	"github.com/reprolab/swole/internal/expr"
+	"github.com/reprolab/swole/internal/storage"
 	"github.com/reprolab/swole/internal/vec"
 )
 
@@ -30,6 +31,12 @@ type PreparedScalarAgg struct {
 	parts  *exec.Partials
 	partsN int
 	kernel kernelFn
+
+	// aggCol is the aggregate's storage column when the aggregate is a
+	// bare column reference, bound at compile time so the masking kernel
+	// can run the fused native-width masked sum (Column.SumMaskedRange)
+	// instead of widening through the evaluator. Nil otherwise.
+	aggCol *storage.Column
 
 	// The technique menu, built once per husk over the fields above.
 	kTuple  kernelFn // data-centric tuple-at-a-time (forced only)
@@ -58,7 +65,8 @@ func newScalarPlan() *PreparedScalarAgg {
 		vec.Tiles(length, func(tb, tl int) {
 			b := base + tb
 			s.fillCmp(p.filter, b, tl)
-			n := vec.SelFromCmpNoBranch(s.Cmp[:tl], s.Idx)
+			n, d := vec.SelFromCmpAdaptive(s.Cmp[:tl], s.Idx)
+			s.ctr.CountSel(d)
 			// Conditional access: the aggregate is evaluated only for
 			// selected tuples.
 			for j := 0; j < n; j++ {
@@ -73,10 +81,16 @@ func newScalarPlan() *PreparedScalarAgg {
 		vec.Tiles(length, func(tb, tl int) {
 			b := base + tb
 			s.fillCmp(p.filter, b, tl)
-			s.ev.EvalInt(p.agg, b, tl, s.Vals)
-			for j := 0; j < tl; j++ {
-				sum += s.Vals[j] * int64(s.Cmp[j])
+			if p.aggCol != nil {
+				// Fused masked sum at the column's native lane width: the
+				// value pass reads 1-8 bytes per lane instead of widening
+				// every lane to int64 first.
+				sum += p.aggCol.SumMaskedRange(b, tl, s.Cmp[:tl])
+			} else {
+				s.ev.EvalInt(p.agg, b, tl, s.Vals)
+				sum += vec.SumMaskedU(s.Vals[:tl], s.Cmp[:tl])
 			}
+			s.ctr.MaskedAgg++
 		})
 		p.parts.Add(w, sum)
 	}
@@ -110,6 +124,10 @@ func (e *Engine) compileScalarAgg(p *PreparedScalarAgg, q ScalarAgg, tech Techni
 	p.dep(q.Table)
 	p.rows = t.Rows()
 	p.filter, p.agg = q.Filter, q.Agg
+	p.aggCol = nil
+	if c, ok := q.Agg.(*expr.Col); ok {
+		p.aggCol = c.Column()
+	}
 	var f int
 	p.parts, p.partsN, f = ensurePartials(p.parts, p.partsN, p.nw)
 	fresh += f
@@ -167,6 +185,7 @@ func (p *PreparedScalarAgg) runLocked(ctx context.Context) (int64, Explain, erro
 	}
 	start = time.Now()
 	sum := p.parts.Sum()
+	p.sumVariants()
 	p.ex.MergeTime = time.Since(start)
 	return sum, p.snapshot(), nil
 }

@@ -66,6 +66,21 @@ type Params struct {
 	// ~60 GB/s against ~15 GB/s per core, i.e. four scanning cores fill
 	// the bus.
 	MemSaturation float64
+
+	// ProbeMul is the bus-bandwidth demand of one random DRAM probe
+	// relative to the sequential-read baseline: a probe drags a whole
+	// cache line (and its prefetch shadow) across the bus for a few useful
+	// bytes, so a probing worker consumes ProbeMul times the bandwidth of
+	// a scanning one and a gang of probers saturates the bus at
+	// MemSaturation/ProbeMul workers. This is what prices the direct
+	// group-by path's negative scaling: R random probes per worker jam the
+	// bus long before R sequential reads would (see ForWorkers).
+	ProbeMul float64
+	// ScatterMul is the same demand ratio for radix-partition scatter
+	// writes: sequential within a partition, but each append allocates its
+	// line for write (read-for-ownership traffic on top of the store), so
+	// scatter demand sits between a pure stream and a random probe.
+	ScatterMul float64
 }
 
 // Default returns parameters approximating the paper's evaluation machine.
@@ -95,34 +110,60 @@ func Default() Params {
 		PartitionWrite:  1.5,
 
 		MemSaturation: 4,
+		// A 64 B line fetched for ~16 useful bytes of slot state ≈ 4x the
+		// per-byte demand of a stream; scatter writes pay the line twice
+		// (read-for-ownership plus write-back) ≈ 2x. Deterministic, like
+		// every other default, so the model's decisions are reproducible;
+		// Calibrate re-measures both on the host.
+		ProbeMul:   4,
+		ScatterMul: 2,
 	}
 }
 
 // ForWorkers returns the parameters as one of `workers` concurrent morsel
 // workers observes them. Private-cache access costs (L1, L2, the cached
 // throwaway entry) are per-core and unchanged; the costs that bottom out
-// in shared resources — sequential reads, conditional reads, LLC and DRAM
-// random accesses — inflate by the bus-contention factor
-// workers/MemSaturation once the aggregate demand exceeds the bus.
-// Computation costs never change: cores do not share ALUs. This is what
-// moves the pushdown/pullup crossover under parallelism: contention makes
-// memory relatively more expensive than compute, so whichever side of a
-// decision leans harder on contended access primitives loses ground as
-// workers grow (see DESIGN.md, "Per-worker bandwidth share").
+// in shared resources inflate by their own bus-contention factor
+// max(1, workers * demand / MemSaturation), where demand is the
+// primitive's bandwidth appetite relative to a sequential scanner:
+//
+//	sequential/conditional reads, LLC hits   demand 1
+//	random DRAM probes (HitMem)              demand ProbeMul (~4)
+//	partition scatter writes                 demand ScatterMul (~2)
+//
+// Computation costs never change: cores do not share ALUs. The per-
+// primitive demand is what prices the two parallel effects the flat model
+// missed: a gang of workers each hammering a DRAM-resident hash table
+// saturates the bus at MemSaturation/ProbeMul workers — so the direct
+// group-by path regresses as workers grow even while pure scans still
+// scale — and the planner flips to the radix-partitioned path (whose
+// probes stay cache-resident) before that regression, not after. It also
+// moves the pushdown/pullup crossover: contention makes memory relatively
+// more expensive than compute, so whichever side of a decision leans
+// harder on contended primitives loses ground as workers grow (see
+// DESIGN.md, "Per-worker bandwidth share").
 func (p Params) ForWorkers(workers int) Params {
 	if workers <= 1 || p.MemSaturation <= 0 {
 		return p
 	}
-	f := float64(workers) / p.MemSaturation
-	if f <= 1 {
-		return p
-	}
 	q := p
-	q.ReadSeq *= f
-	q.ReadCond *= f
-	q.HitLLC *= f
-	q.HitMem *= f
-	q.PartitionWrite *= f
+	// Streaming primitives: demand 1 per worker.
+	if f := float64(workers) / p.MemSaturation; f > 1 {
+		q.ReadSeq *= f
+		q.ReadCond *= f
+		q.HitLLC *= f
+	}
+	// Random DRAM probes: each worker demands ProbeMul bandwidth shares.
+	// max2(·, 1) keeps zero-valued Params (hand-built test fixtures)
+	// behaving like the old flat model.
+	if f := float64(workers) * max2(p.ProbeMul, 1) / p.MemSaturation; f > 1 {
+		q.HitMem *= f
+	}
+	// Scatter writes: read-for-ownership makes each append cost
+	// ScatterMul shares.
+	if f := float64(workers) * max2(p.ScatterMul, 1) / p.MemSaturation; f > 1 {
+		q.PartitionWrite *= f
+	}
 	return q
 }
 

@@ -218,6 +218,12 @@ func TestCalibrateProducesUsableParams(t *testing.T) {
 	if p.ReadCond <= p.ReadSeq {
 		t.Errorf("conditional read (%v) must cost more than sequential (%v)", p.ReadCond, p.ReadSeq)
 	}
+	if p.ProbeMul < 1 || p.ProbeMul > 8 {
+		t.Errorf("ProbeMul = %v outside [1, 8]", p.ProbeMul)
+	}
+	if p.ScatterMul < 1 || p.ScatterMul > 4 {
+		t.Errorf("ScatterMul = %v outside [1, 4]", p.ScatterMul)
+	}
 }
 
 func TestStrategyStrings(t *testing.T) {
@@ -283,12 +289,12 @@ func TestChoosePartitionedGroupCrossover(t *testing.T) {
 }
 
 func TestPartitionWriteScalesWithWorkers(t *testing.T) {
-	// Partition-buffer appends ride the memory bus: past saturation they
-	// inflate with the other bandwidth-bound primitives.
+	// Partition-buffer appends ride the memory bus with a demand of
+	// ScatterMul bandwidth shares per worker (read-for-ownership).
 	p := Default()
 	w := int(p.MemSaturation) * 2
 	q := p.ForWorkers(w)
-	f := float64(w) / p.MemSaturation
+	f := float64(w) * p.ScatterMul / p.MemSaturation
 	if q.PartitionWrite != p.PartitionWrite*f {
 		t.Errorf("PartitionWrite = %v after ForWorkers(%d), want %v", q.PartitionWrite, w, p.PartitionWrite*f)
 	}
@@ -296,24 +302,68 @@ func TestPartitionWriteScalesWithWorkers(t *testing.T) {
 
 func TestForWorkersBandwidthShare(t *testing.T) {
 	p := Default()
-	// At or below the saturation point the parameters are untouched.
-	for _, w := range []int{0, 1, 2, int(p.MemSaturation)} {
+	// Workers 0 and 1 leave everything untouched.
+	for _, w := range []int{0, 1} {
 		if q := p.ForWorkers(w); q != p {
-			t.Errorf("ForWorkers(%d) changed params below saturation", w)
+			t.Errorf("ForWorkers(%d) changed params for a lone worker", w)
 		}
 	}
-	// Past saturation, shared-resource costs inflate linearly while
-	// per-core costs and computation are untouched.
-	w := int(p.MemSaturation) * 4
+	// At the stream saturation point the streaming primitives are still
+	// untouched — MemSaturation scanning cores exactly fill the bus — but
+	// random DRAM probes, each demanding ProbeMul shares, already contend.
+	w := int(p.MemSaturation)
 	q := p.ForWorkers(w)
+	if q.ReadSeq != p.ReadSeq || q.ReadCond != p.ReadCond || q.HitLLC != p.HitLLC {
+		t.Errorf("streaming costs scaled at the saturation point: %+v", q)
+	}
+	if want := p.HitMem * float64(w) * p.ProbeMul / p.MemSaturation; q.HitMem != want {
+		t.Errorf("HitMem = %v at %d workers, want %v (ProbeMul demand)", q.HitMem, w, want)
+	}
+	// Past saturation every shared primitive scales by its own demand
+	// factor while per-core costs and computation are untouched.
+	w = int(p.MemSaturation) * 4
+	q = p.ForWorkers(w)
 	f := float64(w) / p.MemSaturation
-	if q.ReadSeq != p.ReadSeq*f || q.ReadCond != p.ReadCond*f ||
-		q.HitMem != p.HitMem*f || q.HitLLC != p.HitLLC*f {
-		t.Errorf("shared costs not scaled by %v: %+v", f, q)
+	if q.ReadSeq != p.ReadSeq*f || q.ReadCond != p.ReadCond*f || q.HitLLC != p.HitLLC*f {
+		t.Errorf("streaming costs not scaled by %v: %+v", f, q)
+	}
+	if q.HitMem != p.HitMem*f*p.ProbeMul {
+		t.Errorf("HitMem = %v, want %v", q.HitMem, p.HitMem*f*p.ProbeMul)
+	}
+	if q.PartitionWrite != p.PartitionWrite*f*p.ScatterMul {
+		t.Errorf("PartitionWrite = %v, want %v", q.PartitionWrite, p.PartitionWrite*f*p.ScatterMul)
 	}
 	if q.HitL1 != p.HitL1 || q.HitL2 != p.HitL2 || q.HTNull != p.HTNull ||
 		q.CompMul != p.CompMul || q.CompDiv != p.CompDiv {
 		t.Errorf("per-core costs must not scale: %+v", q)
+	}
+}
+
+func TestPartitionedFlipsBeforeDirectRegresses(t *testing.T) {
+	// The point of the per-primitive demand factors: a DRAM-resident
+	// group-by's direct cost must climb with workers (ProbeMul prices the
+	// probe-stream saturation the flat model missed), and the partitioned
+	// path — whose probes stay cache-resident — must take over by the time
+	// the gang is wide enough for the direct path to scale negatively.
+	p := Default()
+	r := 1_000_000
+	comp := compMulAgg(p)
+	htBytes := 4_000_000 * slotBytes // ~100 MB: DRAM-resident
+	_, d1 := p.ForWorkers(1).ChooseGroupAgg(r, 0.5, comp, 1, htBytes)
+	_, d4 := p.ForWorkers(4).ChooseGroupAgg(r, 0.5, comp, 1, htBytes)
+	if d4 <= d1 {
+		t.Errorf("direct cost at 4 workers (%.0f) must exceed 1 worker (%.0f): probe saturation unpriced", d4, d1)
+	}
+	part, _, pc := p.ForWorkers(4).ChoosePartitionedGroup(r, comp, htBytes, d4)
+	if !part {
+		t.Errorf("4 workers, 1M groups: partitioned (%.0f) must beat direct (%.0f)", pc, d4)
+	}
+	// A cache-resident table sees none of this: no probes hit DRAM, no
+	// partition pass is worth two extra streams.
+	_, s1 := p.ForWorkers(1).ChooseGroupAgg(r, 0.5, comp, 1, 1000*slotBytes)
+	_, s4 := p.ForWorkers(4).ChooseGroupAgg(r, 0.5, comp, 1, 1000*slotBytes)
+	if s4 != s1 {
+		t.Errorf("cache-resident direct cost moved with workers: %v vs %v", s4, s1)
 	}
 }
 

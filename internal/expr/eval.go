@@ -106,10 +106,19 @@ func Eval(e Expr, row int) int64 {
 type Evaluator struct {
 	intScratch  [][]int64
 	boolScratch [][]byte
+
+	// ctr, when set, tallies which specialized kernel variant each tile
+	// ran through (width-specialized cmp prepass, unrolled widen, dict
+	// keys). Plans bind a per-worker counter block at bind() time.
+	ctr *vec.Counters
 }
 
 // NewEvaluator returns an evaluator with empty scratch pools.
 func NewEvaluator() *Evaluator { return &Evaluator{} }
+
+// SetCounters directs per-tile variant tallies into ctr (nil disables
+// counting). The counter block must outlive the evaluator's use.
+func (ev *Evaluator) SetCounters(ctr *vec.Counters) { ev.ctr = ctr }
 
 func (ev *Evaluator) getInt() []int64 {
 	if n := len(ev.intScratch); n > 0 {
@@ -138,14 +147,43 @@ func (ev *Evaluator) putBool(s []byte) { ev.boolScratch = append(ev.boolScratch,
 func (ev *Evaluator) EvalBool(e Expr, base, n int, out []byte) {
 	switch x := e.(type) {
 	case *Cmp:
+		// Width-specialized fast path: column vs literal compares at the
+		// column's physical width, hoisting the Kind switch out of the
+		// loop (control-flow duplication by hand).
+		if col, c, op, ok := colConstCmp(x); ok {
+			if col.col.CmpConstInto(op, c, base, n, out) {
+				if ev.ctr != nil {
+					ev.ctr.Cmp[int(col.col.Kind)]++
+					if col.col.Dict != nil {
+						ev.ctr.DictKeys++
+					}
+				}
+				return
+			}
+		}
 		l := ev.getInt()
 		r := ev.getInt()
 		ev.EvalInt(x.L, base, n, l)
 		ev.EvalInt(x.R, base, n, r)
 		vec.CmpCols(vec.CmpOp(x.Op), l[:n], r[:n], out)
+		if ev.ctr != nil {
+			ev.ctr.Cmp[3]++ // generic compare runs widened to int64
+		}
 		ev.putInt(l)
 		ev.putInt(r)
 	case *Between:
+		if col, ok := x.X.(*Col); ok {
+			if lo, okLo := constVal(x.Lo); okLo {
+				if hi, okHi := constVal(x.Hi); okHi {
+					if col.col.CmpBetweenInto(lo, hi, base, n, out) {
+						if ev.ctr != nil {
+							ev.ctr.Cmp[int(col.col.Kind)]++
+						}
+						return
+					}
+				}
+			}
+		}
 		v := ev.getInt()
 		lo := ev.getInt()
 		hi := ev.getInt()
@@ -156,6 +194,9 @@ func (ev *Evaluator) EvalBool(e Expr, base, n int, out []byte) {
 		vec.CmpCols(vec.GE, v[:n], lo[:n], out)
 		vec.CmpCols(vec.LE, v[:n], hi[:n], tmp)
 		vec.And(out[:n], tmp[:n])
+		if ev.ctr != nil {
+			ev.ctr.Cmp[3]++
+		}
 		ev.putBool(tmp)
 		ev.putInt(v)
 		ev.putInt(lo)
@@ -218,8 +259,12 @@ func (ev *Evaluator) EvalInt(e Expr, base, n int, out []int64) {
 	switch x := e.(type) {
 	case *Col:
 		c := x.col
-		for i := 0; i < n; i++ {
-			out[i] = c.Get(base + i)
+		c.WidenInto(base, n, out)
+		if ev.ctr != nil {
+			ev.ctr.Widen[int(c.Kind)]++
+			if c.Dict != nil {
+				ev.ctr.DictKeys++
+			}
 		}
 	case *Const:
 		for i := 0; i < n; i++ {
@@ -306,4 +351,46 @@ func evalConst(e Expr) int64 {
 		return x.Code()
 	}
 	panic("expr: IN list items must be literals")
+}
+
+// constVal reports e's value if e is a literal.
+func constVal(e Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *Const:
+		return x.Val, true
+	case *StrConst:
+		return x.Code(), true
+	}
+	return 0, false
+}
+
+// colConstCmp matches a comparison of a bare column against a literal on
+// either side, normalizing "literal op column" by flipping the operator.
+func colConstCmp(x *Cmp) (*Col, int64, vec.CmpOp, bool) {
+	if col, ok := x.L.(*Col); ok {
+		if c, isConst := constVal(x.R); isConst {
+			return col, c, vec.CmpOp(x.Op), true
+		}
+	}
+	if col, ok := x.R.(*Col); ok {
+		if c, isConst := constVal(x.L); isConst {
+			return col, c, flipCmp(vec.CmpOp(x.Op)), true
+		}
+	}
+	return nil, 0, 0, false
+}
+
+// flipCmp mirrors an operator across its operands: c op v ⇔ v flip(op) c.
+func flipCmp(op vec.CmpOp) vec.CmpOp {
+	switch op {
+	case vec.LT:
+		return vec.GT
+	case vec.LE:
+		return vec.GE
+	case vec.GT:
+		return vec.LT
+	case vec.GE:
+		return vec.LE
+	}
+	return op // EQ and NE are symmetric
 }

@@ -48,6 +48,9 @@ type AggTable struct {
 	// preallocated from a cardinality hint (Reserve) can assert that a
 	// scan never grew the table mid-flight: Grows stays 0.
 	Grows uint64
+
+	// pf sinks the loads issued by Touch so they cannot be eliminated.
+	pf uint64
 }
 
 // NewAggTable returns a table with nAccs accumulators per group and room

@@ -1,0 +1,111 @@
+package storage
+
+import "github.com/reprolab/swole/internal/vec"
+
+// This file dispatches the width-specialized vec kernels for a column: the
+// Kind switch runs once per tile instead of once per element, so the inner
+// loops are the tight per-width instantiations the paper's generated code
+// would contain. Each method returns which specialized path ran so callers
+// can tally variant counters.
+
+// WidenInto copies rows [base, base+n) into out[:n] widened to int64 using
+// the unrolled width-specialized kernel.
+func (c *Column) WidenInto(base, n int, out []int64) {
+	switch c.Kind {
+	case KindInt8:
+		vec.WidenU(c.I8[base:base+n], out)
+	case KindInt16:
+		vec.WidenU(c.I16[base:base+n], out)
+	case KindInt32:
+		vec.WidenU(c.I32[base:base+n], out)
+	default:
+		copy(out[:n], c.I64[base:base+n])
+	}
+}
+
+// kindRange returns the value range representable at the column's width.
+func kindRange(k Kind) (lo, hi int64) {
+	switch k {
+	case KindInt8:
+		return -1 << 7, 1<<7 - 1
+	case KindInt16:
+		return -1 << 15, 1<<15 - 1
+	case KindInt32:
+		return -1 << 31, 1<<31 - 1
+	default:
+		return -1 << 63, 1<<63 - 1
+	}
+}
+
+// CmpConstInto evaluates column[base+i] op k into out[:n] at the column's
+// native width with the unrolled kernels. It reports false when the
+// constant does not fit the physical width (the caller falls back to the
+// widened int64 path, which is always correct).
+func (c *Column) CmpConstInto(op vec.CmpOp, k int64, base, n int, out []byte) bool {
+	lo, hi := kindRange(c.Kind)
+	if k < lo || k > hi {
+		return false
+	}
+	switch c.Kind {
+	case KindInt8:
+		vec.CmpConstU(op, c.I8[base:base+n], int8(k), out)
+	case KindInt16:
+		vec.CmpConstU(op, c.I16[base:base+n], int16(k), out)
+	case KindInt32:
+		vec.CmpConstU(op, c.I32[base:base+n], int32(k), out)
+	default:
+		vec.CmpConstU(op, c.I64[base:base+n], k, out)
+	}
+	return true
+}
+
+// CmpBetweenInto evaluates lo <= column[base+i] <= hi into out[:n] at the
+// column's native width. It reports false when either bound falls outside
+// the physical width.
+func (c *Column) CmpBetweenInto(klo, khi int64, base, n int, out []byte) bool {
+	rlo, rhi := kindRange(c.Kind)
+	if klo < rlo || klo > rhi || khi < rlo || khi > rhi {
+		return false
+	}
+	switch c.Kind {
+	case KindInt8:
+		vec.CmpConstBetweenU(c.I8[base:base+n], int8(klo), int8(khi), out)
+	case KindInt16:
+		vec.CmpConstBetweenU(c.I16[base:base+n], int16(klo), int16(khi), out)
+	case KindInt32:
+		vec.CmpConstBetweenU(c.I32[base:base+n], int32(klo), int32(khi), out)
+	default:
+		vec.CmpConstBetweenU(c.I64[base:base+n], klo, khi, out)
+	}
+	return true
+}
+
+// MaskKeysInto materializes masked group-by keys from rows [base, base+n)
+// at the column's native width: lanes whose cmp lane is 0 receive nullKey.
+func (c *Column) MaskKeysInto(base, n int, cmp []byte, nullKey int64, out []int64) {
+	switch c.Kind {
+	case KindInt8:
+		vec.MaskKeysU(c.I8[base:base+n], cmp, nullKey, out)
+	case KindInt16:
+		vec.MaskKeysU(c.I16[base:base+n], cmp, nullKey, out)
+	case KindInt32:
+		vec.MaskKeysU(c.I32[base:base+n], cmp, nullKey, out)
+	default:
+		vec.MaskKeysU(c.I64[base:base+n], cmp, nullKey, out)
+	}
+}
+
+// SumMaskedRange sums column[base+i]*cmp[i] over [base, base+n) with the
+// unrolled masked-aggregation kernel at native width.
+func (c *Column) SumMaskedRange(base, n int, cmp []byte) int64 {
+	switch c.Kind {
+	case KindInt8:
+		return vec.SumMaskedU(c.I8[base:base+n], cmp)
+	case KindInt16:
+		return vec.SumMaskedU(c.I16[base:base+n], cmp)
+	case KindInt32:
+		return vec.SumMaskedU(c.I32[base:base+n], cmp)
+	default:
+		return vec.SumMaskedU(c.I64[base:base+n], cmp)
+	}
+}

@@ -58,6 +58,9 @@ func CmpConst[T Number](op CmpOp, vals []T, c T, out []byte) {
 
 // CmpConstLT writes out[i] = (vals[i] < c).
 func CmpConstLT[T Number](vals []T, c T, out []byte) {
+	if len(vals) == 0 {
+		return
+	}
 	_ = out[len(vals)-1]
 	for i := range vals {
 		out[i] = b2i(vals[i] < c)
@@ -66,6 +69,9 @@ func CmpConstLT[T Number](vals []T, c T, out []byte) {
 
 // CmpConstLE writes out[i] = (vals[i] <= c).
 func CmpConstLE[T Number](vals []T, c T, out []byte) {
+	if len(vals) == 0 {
+		return
+	}
 	_ = out[len(vals)-1]
 	for i := range vals {
 		out[i] = b2i(vals[i] <= c)
@@ -74,6 +80,9 @@ func CmpConstLE[T Number](vals []T, c T, out []byte) {
 
 // CmpConstGT writes out[i] = (vals[i] > c).
 func CmpConstGT[T Number](vals []T, c T, out []byte) {
+	if len(vals) == 0 {
+		return
+	}
 	_ = out[len(vals)-1]
 	for i := range vals {
 		out[i] = b2i(vals[i] > c)
@@ -82,6 +91,9 @@ func CmpConstGT[T Number](vals []T, c T, out []byte) {
 
 // CmpConstGE writes out[i] = (vals[i] >= c).
 func CmpConstGE[T Number](vals []T, c T, out []byte) {
+	if len(vals) == 0 {
+		return
+	}
 	_ = out[len(vals)-1]
 	for i := range vals {
 		out[i] = b2i(vals[i] >= c)
@@ -90,6 +102,9 @@ func CmpConstGE[T Number](vals []T, c T, out []byte) {
 
 // CmpConstEQ writes out[i] = (vals[i] == c).
 func CmpConstEQ[T Number](vals []T, c T, out []byte) {
+	if len(vals) == 0 {
+		return
+	}
 	_ = out[len(vals)-1]
 	for i := range vals {
 		out[i] = b2i(vals[i] == c)
@@ -98,6 +113,9 @@ func CmpConstEQ[T Number](vals []T, c T, out []byte) {
 
 // CmpConstNE writes out[i] = (vals[i] != c).
 func CmpConstNE[T Number](vals []T, c T, out []byte) {
+	if len(vals) == 0 {
+		return
+	}
 	_ = out[len(vals)-1]
 	for i := range vals {
 		out[i] = b2i(vals[i] != c)
@@ -107,6 +125,9 @@ func CmpConstNE[T Number](vals []T, c T, out []byte) {
 // CmpConstBetween writes out[i] = (lo <= vals[i] && vals[i] <= hi) without
 // branching, used for range predicates such as TPC-H Q6's discount filter.
 func CmpConstBetween[T Number](vals []T, lo, hi T, out []byte) {
+	if len(vals) == 0 {
+		return
+	}
 	_ = out[len(vals)-1]
 	for i := range vals {
 		out[i] = b2i(vals[i] >= lo) & b2i(vals[i] <= hi)
@@ -117,6 +138,9 @@ func CmpConstBetween[T Number](vals []T, lo, hi T, out []byte) {
 // such as TPC-H Q4's l_commitdate < l_receiptdate.
 func CmpCols[T Number](op CmpOp, a, b []T, out []byte) {
 	n := len(a)
+	if n == 0 {
+		return
+	}
 	_ = b[n-1]
 	_ = out[n-1]
 	switch op {
@@ -151,6 +175,9 @@ func CmpCols[T Number](op CmpOp, a, b []T, out []byte) {
 // Conjunctions in the prepass are chained this way (paper Fig. 7 queries all
 // carry a conjunct "and r_y = 1").
 func And(dst, src []byte) {
+	if len(dst) == 0 {
+		return
+	}
 	_ = src[len(dst)-1]
 	for i := range dst {
 		dst[i] &= src[i]
@@ -160,6 +187,9 @@ func And(dst, src []byte) {
 // Or combines a second predicate's results into dst: dst[i] |= src[i].
 // Disjunctions such as TPC-H Q19's three-way OR use this kernel.
 func Or(dst, src []byte) {
+	if len(dst) == 0 {
+		return
+	}
 	_ = src[len(dst)-1]
 	for i := range dst {
 		dst[i] |= src[i]

@@ -10,6 +10,9 @@ package vec
 // aggregation of Figure 3: non-qualifying values are multiplied by 0 instead
 // of being skipped, so the read of vals is sequential and unconditional.
 func SumMasked[T Number](vals []T, cmp []byte) int64 {
+	if len(vals) == 0 {
+		return 0
+	}
 	_ = cmp[len(vals)-1]
 	var sum int64
 	for i := range vals {
@@ -22,6 +25,9 @@ func SumMasked[T Number](vals []T, cmp []byte) int64 {
 // sum(r_a * r_b) used throughout the paper's microbenchmark.
 func SumProdMasked[T Number](a, b []T, cmp []byte) int64 {
 	n := len(a)
+	if n == 0 {
+		return 0
+	}
 	_ = b[n-1]
 	_ = cmp[n-1]
 	var sum int64
@@ -37,6 +43,9 @@ func SumProdMasked[T Number](a, b []T, cmp []byte) int64 {
 // zero for masked lanes using arithmetic, not branching).
 func SumQuotMasked[T Number](a, b []T, cmp []byte) int64 {
 	n := len(a)
+	if n == 0 {
+		return 0
+	}
 	_ = b[n-1]
 	_ = cmp[n-1]
 	var sum int64
@@ -97,6 +106,9 @@ func SumAll[T Number](vals []T) int64 {
 // throwaway entry. The write is branch-free (conditional move).
 func MaskKeys[T Number](keys []T, cmp []byte, nullKey int64, out []int64) {
 	n := len(keys)
+	if n == 0 {
+		return
+	}
 	_ = cmp[n-1]
 	_ = out[n-1]
 	for i := 0; i < n; i++ {
@@ -111,6 +123,9 @@ func MaskKeys[T Number](keys []T, cmp []byte, nullKey int64, out []int64) {
 // Widen copies a typed column tile into an int64 scratch tile, the
 // unconditional sequential read used before hash lookups.
 func Widen[T Number](vals []T, out []int64) {
+	if len(vals) == 0 {
+		return
+	}
 	_ = out[len(vals)-1]
 	for i := range vals {
 		out[i] = int64(vals[i])
@@ -121,6 +136,9 @@ func Widen[T Number](vals []T, out []int64) {
 // used when a masked product feeds a later hash-aggregation stage.
 func MulMaskedInto[T Number](a, b []T, cmp []byte, tmp []int64) {
 	n := len(a)
+	if n == 0 {
+		return
+	}
 	_ = b[n-1]
 	_ = cmp[n-1]
 	_ = tmp[n-1]
@@ -133,6 +151,9 @@ func MulMaskedInto[T Number](a, b []T, cmp []byte, tmp []int64) {
 // the predicate x < c with the reuse of x in the aggregation, producing
 // tmp[i] = x[i] * (x[i] < c) in a single sequential pass over x.
 func CmpLTMulInto[T Number](x []T, c T, tmp []int64) {
+	if len(x) == 0 {
+		return
+	}
 	_ = tmp[len(x)-1]
 	for i := range x {
 		tmp[i] = int64(x[i]) * int64(b2i(x[i] < c))
@@ -142,6 +163,9 @@ func CmpLTMulInto[T Number](x []T, c T, tmp []int64) {
 // SumProdTmp adds a[i]*tmp[i], the second access-merging loop of Figure 5:
 // tmp already carries both the predicate outcome and the reused value.
 func SumProdTmp[T Number](a []T, tmp []int64) int64 {
+	if len(a) == 0 {
+		return 0
+	}
 	_ = tmp[len(a)-1]
 	var sum int64
 	for i := range a {
@@ -153,6 +177,9 @@ func SumProdTmp[T Number](a []T, tmp []int64) int64 {
 // MulInto computes tmp[i] *= vals[i], chaining further reused attributes
 // into an access-merged intermediate (Figure 10b reuses two attributes).
 func MulInto[T Number](vals []T, tmp []int64) {
+	if len(vals) == 0 {
+		return
+	}
 	_ = tmp[len(vals)-1]
 	for i := range vals {
 		tmp[i] *= int64(vals[i])

@@ -13,8 +13,11 @@ package vec
 //	idx[k] = j; k += cmp[j];
 //
 // sel must have capacity for len(cmp) entries. It returns the number of
-// selected indexes.
+// selected indexes. A zero-length tile selects nothing.
 func SelFromCmpNoBranch(cmp []byte, sel []int32) int {
+	if len(cmp) == 0 {
+		return 0
+	}
 	_ = sel[len(cmp)-1]
 	k := 0
 	for j := range cmp {

@@ -10,8 +10,15 @@ import (
 	"github.com/reprolab/swole/internal/plan"
 	"github.com/reprolab/swole/internal/sql"
 	"github.com/reprolab/swole/internal/storage"
+	"github.com/reprolab/swole/internal/vec"
 	"github.com/reprolab/swole/internal/volcano"
 )
+
+// KernelVariants aggregates the kernel-variant selection counters for one
+// execution: which specialized tile kernels ran and how often. All zero
+// for interpreter-fallback statements and for plans forced onto the
+// tuple-at-a-time kernel. See Explain.Variants.
+type KernelVariants = vec.Counters
 
 // Explain describes the technique SWOLE chose for a query and the cost
 // model evidence behind the choice.
@@ -62,6 +69,13 @@ type Explain struct {
 	Partitions int
 	// PartitionTime is the wall time of the phase-1 partition scatter.
 	PartitionTime time.Duration
+
+	// Variants aggregates the kernel-variant selection counters across the
+	// run's workers: adaptive selection-build density classes, native-width
+	// compare and widen lanes, fused dict/key masking, and software-prefetch
+	// touch counts. All zero for interpreter-fallback statements and for
+	// plans forced onto the tuple-at-a-time kernel.
+	Variants KernelVariants
 }
 
 func fromCore(ex core.Explain) Explain {
@@ -79,6 +93,7 @@ func fromCore(ex core.Explain) Explain {
 		Partitioned:   ex.Partitioned,
 		Partitions:    ex.Partitions,
 		PartitionTime: ex.PartitionTime,
+		Variants:      ex.Variants,
 	}
 }
 

@@ -33,13 +33,21 @@ func benchRadix(b *testing.B, mode PartitionMode, workers int, q string, wantPar
 	d.SetWorkers(workers)
 	defer d.SetPartitionMode(PartitionAuto)
 	defer d.SetWorkers(0)
-	// Warm run: compile, sample, plan, allocate.
+	// Warm runs: the first compiles, samples, plans, and allocates; the
+	// extras let capacity high-water marks (pair buffers, the sort
+	// scratch, per-worker table sizes) converge — multi-worker runs vary
+	// with morsel claiming, so one run does not see the steady state.
 	_, ex, err := d.QuerySwole(q)
 	if err != nil {
 		b.Fatal(err)
 	}
 	if ex.Partitioned != wantPartitioned {
 		b.Fatalf("Partitioned=%v, want %v (Partitions=%d)", ex.Partitioned, wantPartitioned, ex.Partitions)
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := d.QuerySwole(q); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -103,6 +111,11 @@ func benchRadixJoin(b *testing.B, mode PartitionMode, workers int, q string, wan
 	}
 	if ex.Partitioned != wantPartitioned {
 		b.Fatalf("Partitioned=%v, want %v (Partitions=%d)", ex.Partitioned, wantPartitioned, ex.Partitions)
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := d.QuerySwole(q); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
