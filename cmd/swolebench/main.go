@@ -43,6 +43,7 @@ func realMain() error {
 	csv := flag.Bool("csv", false, "emit micro figures as CSV for plotting")
 	workers := flag.Int("workers", 0, "max morsel workers the scaling figure sweeps to (0 = SWOLE_WORKERS or NumCPU)")
 	repeat := flag.Int("repeat", 0, "steady-state demo: run each supported query shape N times and report cold vs plan-cached warm timings")
+	shards := flag.Int("shards", 0, "split the fact table into this many in-process shards for -repeat (negative = cost model decides, 0/1 = unsharded)")
 	variants := flag.Bool("kernel-variants", false, "run each supported query shape and report the kernel-variant selection counters from Explain")
 	timeout := flag.Duration("timeout", 0, "per-query deadline for -repeat runs; deadline-exceeded runs are counted and reported separately (0 = no deadline)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -83,7 +84,7 @@ func realMain() error {
 		return runKernelVariants(cfg)
 	}
 	if *repeat > 0 {
-		return runSteady(cfg, *repeat, *timeout)
+		return runSteady(cfg, *repeat, *timeout, *shards)
 	}
 	fmt.Printf("config: SF=%g micro R=%d reps=%d workers=%d\n\n", cfg.SF, cfg.MicroR, cfg.Reps, cfg.Workers)
 

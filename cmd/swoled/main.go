@@ -13,6 +13,20 @@
 // unless the request carries its own timeout_ms. SIGINT/SIGTERM drains
 // gracefully: in-flight queries finish (up to -drain), then the process
 // exits 0.
+//
+// Two scaling modes ride on top (see README "Scaling out"):
+//
+//	-table-shards K   splits the microbenchmark fact table into K
+//	                  in-process row-range shards, each scanning on its
+//	                  own engine (negative K asks the cost model)
+//	-shards a,b,...   coordinator mode: no local data — every query
+//	                  scatter-gathers over the listed shard processes
+//	                  (each an ordinary swoled serving one row range)
+//	                  and merges the partials; a shard 429 or timeout
+//	                  fails the query with per-shard attribution in the
+//	                  explain. -per-shard bounds outstanding requests
+//	                  per shard. The /metrics page adds
+//	                  swole_shard_queries_total{shard}.
 package main
 
 import (
@@ -22,6 +36,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,6 +59,10 @@ func main() {
 
 		workers   = flag.Int("workers", 0, "morsel worker count per query (0 = GOMAXPROCS)")
 		partition = flag.String("partition", "auto", "radix partitioning mode: auto, on, or off")
+
+		tableShards = flag.Int("table-shards", 0, "split the microbenchmark fact table into this many in-process shards (negative = cost model decides)")
+		shards      = flag.String("shards", "", "coordinator mode: comma-separated shard addresses (host:port); no local data is loaded")
+		perShard    = flag.Int("per-shard", 4, "coordinator mode: outstanding requests per shard")
 	)
 	flag.Parse()
 
@@ -59,41 +78,61 @@ func main() {
 		log.Fatalf("bad -partition %q: want auto, on, or off", *partition)
 	}
 
-	var (
-		db  *swole.DB
-		err error
-	)
-	start := time.Now()
-	if *tpch > 0 {
-		log.Printf("loading TPC-H sf=%g ...", *tpch)
-		db = swole.LoadTPCH(*tpch)
-	} else {
-		log.Printf("loading microbenchmark (rows=%d dim=%d groups=%d) ...", *rows, *dim, *groups)
-		db, err = swole.LoadMicro(swole.MicroConfig{Rows: *rows, DimRows: *dim, GroupKeys: *groups})
-		if err != nil {
-			log.Fatalf("load dataset: %v", err)
-		}
-	}
-	log.Printf("dataset ready in %v", time.Since(start).Round(time.Millisecond))
-	db.SetWorkers(*workers)
-	db.SetPartitionMode(pmode)
-
 	dt := *timeout
 	if dt == 0 {
 		dt = -1 // Config treats 0 as "use default"; flag 0 means no deadline
 	}
-	srv := serve.New(db, serve.Config{
+	scfg := serve.Config{
 		Addr:           *addr,
 		MaxInFlight:    *maxInflight,
 		MaxQueue:       *maxQueue,
 		DefaultTimeout: dt,
 		DrainTimeout:   *drain,
-	})
-	if err := srv.Start(); err != nil {
-		log.Fatalf("listen: %v", err)
 	}
-	log.Printf("swoled serving on %s (max-inflight=%d max-queue=%d timeout=%v)",
-		srv.Addr(), *maxInflight, *maxQueue, *timeout)
+
+	var (
+		db  *swole.DB
+		srv *serve.Server
+		err error
+	)
+	if *shards != "" {
+		addrs := strings.Split(*shards, ",")
+		srv, err = serve.NewCoordinator(serve.CoordinatorConfig{
+			Config:   scfg,
+			Shards:   addrs,
+			PerShard: *perShard,
+		})
+		if err != nil {
+			log.Fatalf("coordinator: %v", err)
+		}
+		if err := srv.Start(); err != nil {
+			log.Fatalf("listen: %v", err)
+		}
+		log.Printf("swoled coordinating %d shards on %s (per-shard=%d max-inflight=%d max-queue=%d timeout=%v)",
+			len(addrs), srv.Addr(), *perShard, *maxInflight, *maxQueue, *timeout)
+	} else {
+		start := time.Now()
+		if *tpch > 0 {
+			log.Printf("loading TPC-H sf=%g ...", *tpch)
+			db = swole.LoadTPCH(*tpch)
+		} else {
+			log.Printf("loading microbenchmark (rows=%d dim=%d groups=%d shards=%d) ...", *rows, *dim, *groups, *tableShards)
+			db, err = swole.LoadMicro(swole.MicroConfig{Rows: *rows, DimRows: *dim, GroupKeys: *groups, Shards: *tableShards})
+			if err != nil {
+				log.Fatalf("load dataset: %v", err)
+			}
+		}
+		log.Printf("dataset ready in %v", time.Since(start).Round(time.Millisecond))
+		db.SetWorkers(*workers)
+		db.SetPartitionMode(pmode)
+
+		srv = serve.New(db, scfg)
+		if err := srv.Start(); err != nil {
+			log.Fatalf("listen: %v", err)
+		}
+		log.Printf("swoled serving on %s (max-inflight=%d max-queue=%d timeout=%v)",
+			srv.Addr(), *maxInflight, *maxQueue, *timeout)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -104,6 +143,8 @@ func main() {
 		log.Printf("drain incomplete: %v", err)
 		os.Exit(1)
 	}
-	db.Close()
+	if db != nil {
+		db.Close()
+	}
 	fmt.Println("swoled: drained, bye")
 }

@@ -103,6 +103,9 @@ func main() {
 	if s := rep.Server; s != nil {
 		fmt.Printf("server      %d queries  exec %.2fs  queue-wait %.2fs  gc pauses %d (max %.1fms, %d cycles)\n",
 			s.Queries, s.ExecSeconds, s.WaitSeconds, s.GCPauses, s.GCPauseMaxSeconds*1000, s.GCCycles)
+		if s.ShardQueries > 0 {
+			fmt.Printf("coordinator %d shard dispatches (swole_shard_queries_total)\n", s.ShardQueries)
+		}
 	} else {
 		fmt.Println("server      /metrics scrape unavailable; no attribution")
 	}

@@ -1,0 +1,29 @@
+package core
+
+// GroupMerger folds per-shard GroupResult partials into one sorted
+// answer through the exact machinery the worker merge uses: the partials
+// are concatenated into the merger's pair buffer and finishCombine
+// radix-sorts them and sums duplicate keys in one compaction pass. A
+// shard merge is therefore the same code path as a worker merge — the
+// two-phase partition-merge the single-engine runs already exercise —
+// just fed cross-engine partials instead of cross-worker ones. The
+// merger owns its buffers and reuses them across runs, so a warm
+// scatter-gather merges without allocating.
+type GroupMerger struct {
+	g groupEmit
+}
+
+// Merge combines the partials into one ascending-key GroupResult. Nil
+// partials (skipped shards) are ignored. The returned result aliases the
+// merger's buffer and is overwritten by the next Merge.
+func (m *GroupMerger) Merge(parts []*GroupResult) *GroupResult {
+	m.g.reset()
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		m.g.pairs = append(m.g.pairs, p.Flat...)
+	}
+	m.g.finishCombine()
+	return &m.g.out
+}

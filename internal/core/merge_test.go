@@ -1,0 +1,59 @@
+package core
+
+import "testing"
+
+func TestGroupMergerCombinesShardPartials(t *testing.T) {
+	a := &GroupResult{Flat: []int64{1, 10, 3, 30, 5, 50}}
+	b := &GroupResult{Flat: []int64{2, 20, 3, 3, 5, 5}}
+	var m GroupMerger
+	got := m.Merge([]*GroupResult{a, nil, b})
+	want := [][2]int64{{1, 10}, {2, 20}, {3, 33}, {5, 55}}
+	if got.Len() != len(want) {
+		t.Fatalf("merged %d groups, want %d: %v", got.Len(), len(want), got.Flat)
+	}
+	for i, w := range want {
+		if got.Key(i) != w[0] || got.Sum(i) != w[1] {
+			t.Fatalf("group %d = (%d, %d), want (%d, %d)", i, got.Key(i), got.Sum(i), w[0], w[1])
+		}
+	}
+	// A second merge reuses the buffer and overwrites the previous answer.
+	got2 := m.Merge([]*GroupResult{{Flat: []int64{7, 7}}})
+	if got2.Len() != 1 || got2.Key(0) != 7 || got2.Sum(0) != 7 {
+		t.Fatalf("second merge = %v", got2.Flat)
+	}
+}
+
+func TestGroupMergerLargeRadixPath(t *testing.T) {
+	// Above the 512-pair insertion-sort crossover, exercising finishCombine's
+	// radix path across 4 shard partials with overlapping keys.
+	const n, shards = 2000, 4
+	parts := make([]*GroupResult, shards)
+	for s := 0; s < shards; s++ {
+		flat := make([]int64, 0, 2*n)
+		for k := 0; k < n; k++ {
+			flat = append(flat, int64(k*7%n), int64(k+s))
+		}
+		parts[s] = &GroupResult{Flat: flat}
+	}
+	var m GroupMerger
+	got := m.Merge(parts)
+	if got.Len() != n {
+		t.Fatalf("merged %d groups, want %d", got.Len(), n)
+	}
+	want := map[int64]int64{}
+	for s := 0; s < shards; s++ {
+		for k := 0; k < n; k++ {
+			want[int64(k*7%n)] += int64(k + s)
+		}
+	}
+	prev := int64(-1)
+	for i := 0; i < got.Len(); i++ {
+		if got.Key(i) <= prev {
+			t.Fatalf("keys not strictly ascending at %d: %d after %d", i, got.Key(i), prev)
+		}
+		prev = got.Key(i)
+		if got.Sum(i) != want[got.Key(i)] {
+			t.Fatalf("key %d sum = %d, want %d", got.Key(i), got.Sum(i), want[got.Key(i)])
+		}
+	}
+}

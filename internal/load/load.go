@@ -77,6 +77,10 @@ type Attribution struct {
 	GCPauses          uint64  `json:"gc_pauses"`
 	GCCycles          uint64  `json:"gc_cycles"`
 	GCPauseMaxSeconds float64 `json:"gc_pause_max_seconds"`
+	// ShardQueries is the window's scatter-gather dispatch count, summed
+	// across swole_shard_queries_total{shard}; zero against a non-
+	// coordinator swoled.
+	ShardQueries uint64 `json:"shard_queries,omitempty"`
 }
 
 // Report is a finished run, shaped for JSON (BENCH_serving.json).
@@ -325,7 +329,22 @@ func scrape(ctx context.Context, client *http.Client, base string) (map[string]f
 	}
 	vals := map[string]float64{}
 	for _, line := range strings.Split(string(raw), "\n") {
-		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Labeled series are summed under the bare metric name; the only
+		// one the attribution wants is the coordinator's per-shard dispatch
+		// counter.
+		if brace := strings.IndexByte(line, '{'); brace >= 0 {
+			name := line[:brace]
+			if name != "swole_shard_queries_total" {
+				continue
+			}
+			if sp := strings.LastIndexByte(line, ' '); sp >= 0 {
+				if f, err := strconv.ParseFloat(strings.TrimSpace(line[sp+1:]), 64); err == nil {
+					vals[name] += f
+				}
+			}
 			continue
 		}
 		name, val, ok := strings.Cut(line, " ")
@@ -355,5 +374,6 @@ func attribute(before, after map[string]float64) *Attribution {
 		GCPauses:          uint64(d("swole_gc_pauses_total")),
 		GCCycles:          uint64(d("swole_gc_cycles_total")),
 		GCPauseMaxSeconds: after["swole_gc_pause_max_seconds"],
+		ShardQueries:      uint64(d("swole_shard_queries_total")),
 	}
 }

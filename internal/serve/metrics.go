@@ -74,6 +74,11 @@ type metrics struct {
 	htGrows        uint64
 	freshAllocs    uint64
 
+	// shardQueries counts queries dispatched to each shard process by the
+	// scatter-gather coordinator, keyed by shard index; nil on non-
+	// coordinator servers (the metric is then omitted from scrapes).
+	shardQueries map[int]uint64
+
 	inflight atomic.Int64
 	queued   atomic.Int64
 }
@@ -102,6 +107,16 @@ func (m *metrics) observeWait(d time.Duration) {
 	}
 	m.waitSum += sec
 	m.waitCnt++
+	m.mu.Unlock()
+}
+
+// observeShard counts one query dispatched to a shard process.
+func (m *metrics) observeShard(shard int) {
+	m.mu.Lock()
+	if m.shardQueries == nil {
+		m.shardQueries = map[int]uint64{}
+	}
+	m.shardQueries[shard]++
 	m.mu.Unlock()
 }
 
@@ -197,6 +212,19 @@ func (m *metrics) render(w *strings.Builder) {
 		fmt.Fprintf(w, "# HELP %s %s\n", c.name, c.help)
 		fmt.Fprintf(w, "# TYPE %s counter\n", c.name)
 		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
+	}
+
+	if m.shardQueries != nil {
+		fmt.Fprintf(w, "# HELP swole_shard_queries_total Queries the coordinator dispatched, by shard.\n")
+		fmt.Fprintf(w, "# TYPE swole_shard_queries_total counter\n")
+		shards := make([]int, 0, len(m.shardQueries))
+		for s := range m.shardQueries {
+			shards = append(shards, s)
+		}
+		sort.Ints(shards)
+		for _, s := range shards {
+			fmt.Fprintf(w, "swole_shard_queries_total{shard=\"%d\"} %d\n", s, m.shardQueries[s])
+		}
 	}
 }
 

@@ -196,6 +196,10 @@ type queryResponse struct {
 type errorResponse struct {
 	Error   string `json:"error"`
 	Outcome string `json:"outcome"`
+	// Explain carries per-shard failure attribution when a coordinator
+	// scatter-gather fails partially (Explain.ShardErrors); omitted
+	// otherwise.
+	Explain *swole.Explain `json:"explain,omitempty"`
 }
 
 // deadline derives the query's context from the request's.
@@ -279,7 +283,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, errRejected) && s.draining.Load() {
 			status = http.StatusServiceUnavailable
 		}
-		writeJSON(w, status, errorResponse{Error: err.Error(), Outcome: outcome})
+		eresp := errorResponse{Error: err.Error(), Outcome: outcome}
+		if ex != nil && len(ex.ShardErrors) > 0 {
+			eresp.Explain = ex
+		}
+		writeJSON(w, status, eresp)
 		return
 	}
 	writeJSON(w, status, queryResponse{Columns: res.Columns(), Rows: res.Rows(), Explain: ex})

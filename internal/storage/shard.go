@@ -1,0 +1,73 @@
+package storage
+
+import "fmt"
+
+// Row-range shard views. A shard of a table is an ordinary *Table whose
+// columns are re-slices of the full table's arrays — no data is copied,
+// the dictionary is shared, and the shard stays valid for as long as the
+// arrays it references are reachable. The shard layer in the public
+// package registers such views into per-shard databases so each shard's
+// engine compiles and scans over [0, shardRows) exactly as it would over
+// a standalone table.
+
+// Slice returns a view of values [lo, hi) sharing the backing array and
+// dictionary.
+func (c *Column) Slice(lo, hi int) *Column {
+	out := &Column{Name: c.Name, Kind: c.Kind, Log: c.Log, Dict: c.Dict}
+	switch c.Kind {
+	case KindInt8:
+		out.I8 = c.I8[lo:hi:hi]
+	case KindInt16:
+		out.I16 = c.I16[lo:hi:hi]
+	case KindInt32:
+		out.I32 = c.I32[lo:hi:hi]
+	default:
+		out.I64 = c.I64[lo:hi:hi]
+	}
+	return out
+}
+
+// Slice returns a view of rows [lo, hi) of the table under the same name,
+// sharing every column's backing array.
+func (t *Table) Slice(lo, hi int) (*Table, error) {
+	if lo < 0 || hi < lo || hi > t.Rows() {
+		return nil, fmt.Errorf("storage: table %s: slice [%d, %d) out of range 0..%d", t.Name, lo, hi, t.Rows())
+	}
+	cols := make([]*Column, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = c.Slice(lo, hi)
+	}
+	return NewTable(t.Name, cols...)
+}
+
+// Slice returns the index restricted to child rows [lo, hi). Positions
+// keep pointing into the full parent table, so a shard view of the child
+// joined against the replicated parent probes the same rows the full
+// index would.
+func (idx *FKIndex) Slice(lo, hi int) *FKIndex {
+	return &FKIndex{
+		Child: idx.Child, FK: idx.FK, Parent: idx.Parent, PK: idx.PK,
+		Pos: idx.Pos[lo:hi:hi],
+	}
+}
+
+// ShardRanges splits rows into k contiguous ranges of near-equal length;
+// the first rows%k ranges hold one extra row. It returns the k+1 range
+// boundaries: shard i covers [bounds[i], bounds[i+1]).
+func ShardRanges(rows, k int) []int {
+	if k < 1 {
+		k = 1
+	}
+	bounds := make([]int, k+1)
+	base, extra := rows/k, rows%k
+	off := 0
+	for i := 0; i < k; i++ {
+		bounds[i] = off
+		off += base
+		if i < extra {
+			off++
+		}
+	}
+	bounds[k] = off
+	return bounds
+}

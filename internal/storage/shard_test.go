@@ -1,0 +1,84 @@
+package storage
+
+import "testing"
+
+func TestShardRanges(t *testing.T) {
+	cases := []struct {
+		rows, k int
+		want    []int
+	}{
+		{10, 1, []int{0, 10}},
+		{10, 2, []int{0, 5, 10}},
+		{10, 3, []int{0, 4, 7, 10}},
+		{3, 4, []int{0, 1, 2, 3, 3}},
+		{0, 2, []int{0, 0, 0}},
+		{7, 0, []int{0, 7}}, // k < 1 clamps to 1
+	}
+	for _, c := range cases {
+		got := ShardRanges(c.rows, c.k)
+		if len(got) != len(c.want) {
+			t.Fatalf("ShardRanges(%d, %d) = %v, want %v", c.rows, c.k, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("ShardRanges(%d, %d) = %v, want %v", c.rows, c.k, got, c.want)
+			}
+		}
+	}
+}
+
+func TestTableSlice(t *testing.T) {
+	vals := []int64{10, 20, 30, 40, 50}
+	big := make([]int64, 5)
+	for i := range big {
+		big[i] = int64(i) << 40 // force KindInt64
+	}
+	tab := MustNewTable("t",
+		Compress("a", vals, LogInt), // int8
+		Compress("w", big, LogInt),  // int64
+		NewStrings("s", []string{"x", "y", "z", "x", "y"}),
+	)
+	sl, err := tab.Slice(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Name != "t" || sl.Rows() != 3 {
+		t.Fatalf("slice name=%s rows=%d", sl.Name, sl.Rows())
+	}
+	for i := 0; i < 3; i++ {
+		if got, want := sl.Column("a").Get(i), vals[i+1]; got != want {
+			t.Fatalf("a[%d] = %d, want %d", i, got, want)
+		}
+		if got, want := sl.Column("w").Get(i), big[i+1]; got != want {
+			t.Fatalf("w[%d] = %d, want %d", i, got, want)
+		}
+	}
+	if got := sl.Column("s").GetString(2); got != "x" {
+		t.Fatalf("s[2] = %q, want x (shared dict)", got)
+	}
+	if sl.Column("s").Dict != tab.Column("s").Dict {
+		t.Fatal("sliced string column must share the dictionary")
+	}
+	if _, err := tab.Slice(2, 9); err == nil {
+		t.Fatal("out-of-range slice must error")
+	}
+	if _, err := tab.Slice(-1, 2); err == nil {
+		t.Fatal("negative slice must error")
+	}
+}
+
+func TestFKIndexSlice(t *testing.T) {
+	parent := MustNewTable("p", Compress("pk", []int64{100, 200, 300}, LogInt))
+	child := MustNewTable("c", Compress("fk", []int64{300, 100, 200, 100}, LogInt))
+	idx, err := BuildFKIndex(child, "fk", parent, "pk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl := idx.Slice(1, 3)
+	if len(sl.Pos) != 2 || sl.Pos[0] != 0 || sl.Pos[1] != 1 {
+		t.Fatalf("sliced positions = %v, want [0 1]", sl.Pos)
+	}
+	if sl.Child != "c" || sl.Parent != "p" {
+		t.Fatalf("sliced index metadata lost: %+v", sl)
+	}
+}

@@ -1,6 +1,9 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Table is a named collection of equal-length columns.
 type Table struct {
@@ -109,7 +112,15 @@ func BuildFKIndex(child *Table, fk string, parent *Table, pk string) (*FKIndex, 
 }
 
 // Database is a set of tables plus their foreign-key indexes.
+//
+// Registration maps are guarded by an internal lock, so lookups may race
+// with AddTable/PutFKIndex: a reader sees either the old or the new
+// registration, never a torn map. Column data itself is immutable once
+// registered, so a stale *Table stays readable for as long as anyone
+// holds it — which is what lets the shard layer replace one shard's
+// rows while queries over other shards keep running.
 type Database struct {
+	mu      sync.RWMutex
 	tables  map[string]*Table
 	indexes map[string]*FKIndex // keyed child.fk->parent.pk
 	// versions counts registrations per table name. Columns are immutable
@@ -132,22 +143,34 @@ func NewDatabase() *Database {
 // AddTable registers a table, replacing any previous table of that name
 // and bumping the table's version so caches keyed on it invalidate.
 func (db *Database) AddTable(t *Table) {
+	db.mu.Lock()
 	db.tables[t.Name] = t
 	db.versions[t.Name]++
+	db.mu.Unlock()
 }
 
 // TableVersion returns the registration count of the named table: 0 if it
 // was never registered, incremented every time AddTable (re)binds the
 // name. Cached statistics and plans record the versions of the tables
 // they depend on and are stale once any recorded version differs.
-func (db *Database) TableVersion(name string) uint64 { return db.versions[name] }
+func (db *Database) TableVersion(name string) uint64 {
+	db.mu.RLock()
+	v := db.versions[name]
+	db.mu.RUnlock()
+	return v
+}
 
 // Table returns the named table or nil.
-func (db *Database) Table(name string) *Table { return db.tables[name] }
+func (db *Database) Table(name string) *Table {
+	db.mu.RLock()
+	t := db.tables[name]
+	db.mu.RUnlock()
+	return t
+}
 
 // MustTable returns the named table or panics.
 func (db *Database) MustTable(name string) *Table {
-	t := db.tables[name]
+	t := db.Table(name)
 	if t == nil {
 		panic("storage: no table " + name)
 	}
@@ -156,6 +179,8 @@ func (db *Database) MustTable(name string) *Table {
 
 // Tables returns the table names in unspecified order.
 func (db *Database) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	names := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		names = append(names, n)
@@ -173,13 +198,37 @@ func (db *Database) AddFKIndex(child, fk, parent, pk string) error {
 	if err != nil {
 		return err
 	}
-	db.indexes[fkKey(child, fk, parent, pk)] = idx
+	db.PutFKIndex(idx)
 	return nil
+}
+
+// PutFKIndex registers a pre-built foreign-key index, replacing any
+// previous index over the same columns. The shard layer uses it to
+// install row-range slices of an already-verified index.
+func (db *Database) PutFKIndex(idx *FKIndex) {
+	db.mu.Lock()
+	db.indexes[fkKey(idx.Child, idx.FK, idx.Parent, idx.PK)] = idx
+	db.mu.Unlock()
+}
+
+// FKIndexes returns a snapshot of the registered foreign-key indexes in
+// unspecified order.
+func (db *Database) FKIndexes() []*FKIndex {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]*FKIndex, 0, len(db.indexes))
+	for _, idx := range db.indexes {
+		out = append(out, idx)
+	}
+	return out
 }
 
 // FK returns a registered foreign-key index or nil.
 func (db *Database) FK(child, fk, parent, pk string) *FKIndex {
-	return db.indexes[fkKey(child, fk, parent, pk)]
+	db.mu.RLock()
+	idx := db.indexes[fkKey(child, fk, parent, pk)]
+	db.mu.RUnlock()
+	return idx
 }
 
 // MustFK returns a registered foreign-key index or panics.

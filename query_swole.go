@@ -76,6 +76,24 @@ type Explain struct {
 	// touch counts. All zero for interpreter-fallback statements and for
 	// plans forced onto the tuple-at-a-time kernel.
 	Variants KernelVariants
+
+	// ShardCount is the number of row-range table shards the execution
+	// fanned out over; 0 or 1 means unsharded (see DB.ShardTable).
+	ShardCount int
+	// ShardTimes holds each shard's partial wall time for a fan-out
+	// execution, indexed by shard; nil when unsharded.
+	ShardTimes []time.Duration
+	// ShardMergeTime is the wall time of folding the shard partials into
+	// the final answer (the cross-shard sorted merge-combine for group
+	// shapes, summation for scalar ones).
+	ShardMergeTime time.Duration
+
+	// ShardErrors attributes per-shard failures of a coordinator
+	// scatter-gather (cmd/swoled -shards): entry i names what shard i
+	// returned when the query failed partially. Empty on success and for
+	// in-process executions, which fail the whole query with the shard
+	// attributed in the error instead.
+	ShardErrors []string
 }
 
 func fromCore(ex core.Explain) Explain {
@@ -152,12 +170,12 @@ func (d *DB) query(ctx context.Context, q string, copyRes bool) (*Result, Explai
 			return nil, Explain{}, err
 		}
 		d.storePlan(q, c)
-		d.mu.Lock()
+		c.mu.Lock()
 		res, ex, err := c.run(ctx)
 		if err == nil && copyRes {
 			res = cloneResult(&c.vres)
 		}
-		d.mu.Unlock()
+		c.mu.Unlock()
 		if err != nil {
 			return nil, ex, err
 		}
@@ -188,13 +206,23 @@ func (d *DB) query(ctx context.Context, q string, copyRes bool) (*Result, Explai
 // queryShape is a pattern-matched SWOLE statement, ready to prepare.
 type queryShape interface {
 	// tables lists the input tables the compiled plan will read, in the
-	// order their versions should be pinned.
+	// order their versions should be pinned. The first entry is the
+	// driving table — the one whose shard layout the fan-out follows.
 	tables() []string
 	// fields is the result header the statement materializes.
 	fields() volcano.Fields
+	// grouped reports whether the statement materializes (key, sum) rows
+	// (and its shard partials merge through the GroupMerger) rather than
+	// a single scalar (partials sum).
+	grouped() bool
 	// prepare compiles the shape on the engine and wraps the compiled
 	// plan as a cache-entry runner.
 	prepare(e *core.Engine) (planRunner, error)
+	// clone deep-copies the shape's expression trees. Bind mutates
+	// expression nodes in place, so every shard's compile needs a private
+	// tree (expr.Clone); sharing one would leave all shards' kernels
+	// reading whichever shard's columns bound last.
+	clone() queryShape
 }
 
 // shapeDef is one registry entry: a named matcher from the normalized
@@ -272,12 +300,18 @@ func matchScalarAgg(d *DB, in plan.Node, groupBy []string, spec plan.AggSpec) (q
 
 func (s scalarShape) tables() []string       { return []string{s.q.Table} }
 func (s scalarShape) fields() volcano.Fields { return volcano.Fields{{Name: s.aggName}} }
+func (s scalarShape) grouped() bool          { return false }
 func (s scalarShape) prepare(e *core.Engine) (planRunner, error) {
 	p, err := e.PrepareScalarAgg(s.q)
 	if err != nil {
 		return nil, err
 	}
 	return scalarRunner{p}, nil
+}
+func (s scalarShape) clone() queryShape {
+	s.q.Filter = expr.Clone(s.q.Filter)
+	s.q.Agg = expr.Clone(s.q.Agg)
+	return s
 }
 
 // groupShape: filtered single-key group-by aggregation over one table.
@@ -306,12 +340,19 @@ func (s groupShape) tables() []string { return []string{s.q.Table} }
 func (s groupShape) fields() volcano.Fields {
 	return volcano.Fields{{Name: s.keyName}, {Name: s.aggName}}
 }
+func (s groupShape) grouped() bool { return true }
 func (s groupShape) prepare(e *core.Engine) (planRunner, error) {
 	p, err := e.PrepareGroupAgg(s.q)
 	if err != nil {
 		return nil, err
 	}
 	return groupRunner{p}, nil
+}
+func (s groupShape) clone() queryShape {
+	s.q.Filter = expr.Clone(s.q.Filter)
+	s.q.Key = expr.Clone(s.q.Key)
+	s.q.Agg = expr.Clone(s.q.Agg)
+	return s
 }
 
 // joinShape destructures the common join prefix of the two join shapes: a
@@ -357,12 +398,19 @@ func matchSemiJoinAgg(d *DB, in plan.Node, groupBy []string, spec plan.AggSpec) 
 
 func (s semiShape) tables() []string       { return []string{s.q.Probe, s.q.Build} }
 func (s semiShape) fields() volcano.Fields { return volcano.Fields{{Name: s.aggName}} }
+func (s semiShape) grouped() bool          { return false }
 func (s semiShape) prepare(e *core.Engine) (planRunner, error) {
 	p, err := e.PrepareSemiJoinAgg(s.q)
 	if err != nil {
 		return nil, err
 	}
 	return semiRunner{p}, nil
+}
+func (s semiShape) clone() queryShape {
+	s.q.ProbeFilter = expr.Clone(s.q.ProbeFilter)
+	s.q.BuildFilter = expr.Clone(s.q.BuildFilter)
+	s.q.Agg = expr.Clone(s.q.Agg)
+	return s
 }
 
 // gjoinShape: groupjoin aggregation keyed by the probe's foreign key.
@@ -392,6 +440,7 @@ func (s gjoinShape) tables() []string { return []string{s.q.Probe, s.q.Build} }
 func (s gjoinShape) fields() volcano.Fields {
 	return volcano.Fields{{Name: s.keyName}, {Name: s.aggName}}
 }
+func (s gjoinShape) grouped() bool { return true }
 func (s gjoinShape) prepare(e *core.Engine) (planRunner, error) {
 	p, err := e.PrepareGroupJoinAgg(s.q)
 	if err != nil {
@@ -399,17 +448,39 @@ func (s gjoinShape) prepare(e *core.Engine) (planRunner, error) {
 	}
 	return gjoinRunner{p}, nil
 }
+func (s gjoinShape) clone() queryShape {
+	s.q.BuildFilter = expr.Clone(s.q.BuildFilter)
+	s.q.Agg = expr.Clone(s.q.Agg)
+	return s
+}
 
-// prepareShape compiles the matched statement once and wraps it as a cache
-// entry with its table-version dependencies and reusable result.
+// prepareShape compiles the matched statement and wraps it as a cache
+// entry with its table-version and shard-epoch dependencies and reusable
+// result. Over an unsharded driving table the statement compiles once on
+// the catalog engine; over a sharded one it compiles one plan per shard
+// — the same shape cloned (private expression trees) and prepared
+// against each shard's engine, whose database holds that shard's row
+// range — and the entry's fan carries each arm with its shard read lock.
 func (d *DB) prepareShape(name string, s queryShape) (*cachedPlan, error) {
-	r, err := s.prepare(d.engine)
-	if err != nil {
-		return nil, err
+	c := &cachedPlan{shape: name, grouped: s.grouped()}
+	for _, tn := range s.tables() {
+		c.deps = append(c.deps, tableDep{name: tn, ver: d.db.TableVersion(tn), epoch: d.shardEpoch(tn)})
 	}
-	c := &cachedPlan{exec: r, shape: name}
-	for _, name := range s.tables() {
-		c.deps = append(c.deps, tableDep{name: name, ver: d.db.TableVersion(name)})
+	meta, fleet := d.shardFanFor(s.tables()[0])
+	if meta == nil {
+		r, err := s.prepare(d.engine)
+		if err != nil {
+			return nil, err
+		}
+		c.fan = []shardRun{{exec: r}}
+	} else {
+		for i := 0; i < meta.k; i++ {
+			r, err := s.clone().prepare(fleet[i].engine)
+			if err != nil {
+				return nil, err
+			}
+			c.fan = append(c.fan, shardRun{shard: i, exec: r, lock: meta.locks[i]})
+		}
 	}
 	c.vres.Fields = s.fields()
 	c.res = Result{res: &c.vres}

@@ -2,7 +2,10 @@ package swole
 
 import (
 	"context"
+	"fmt"
 	"strings"
+	"sync"
+	"time"
 
 	"github.com/reprolab/swole/internal/core"
 	"github.com/reprolab/swole/internal/volcano"
@@ -37,19 +40,26 @@ import (
 // than maxCachedPlans distinct steady-state statements is not steady.
 const maxCachedPlans = 256
 
-// tableDep pins one input table at the version the plan was prepared
-// against.
+// tableDep pins one input table at the version AND shard epoch the plan
+// was prepared against. The epoch moves on ShardTable (layout change, no
+// data change) and ReplaceShard (data change in one shard), so a plan
+// whose fan-out no longer matches the table's layout is dropped on its
+// next lookup — and only that table's plans are, which is the shard-
+// aware invalidation granularity TestInvalidationGranularity pins.
 type tableDep struct {
-	name string
-	ver  uint64
+	name  string
+	ver   uint64
+	epoch uint64
 }
 
-// planRunner executes one compiled core plan under a context deadline and
-// rematerializes the cache entry's result in place. Each shape contributes
-// one small runner (built by its queryShape's prepare, see
-// query_swole.go); the cache itself is shape-blind.
+// planRunner executes one compiled core plan under a context deadline
+// and returns its partial answer: the scalar sum for single-value
+// shapes, the sorted group partial for group shapes. Returning partials
+// rather than writing the entry's result directly is what lets the fan-
+// out path collect per-shard answers and merge them afterwards; the
+// cache itself stays shape-blind.
 type planRunner interface {
-	run(ctx context.Context, c *cachedPlan) (core.Explain, error)
+	run(ctx context.Context) (sum int64, groups *core.GroupResult, ex core.Explain, err error)
 }
 
 type scalarRunner struct{ p *core.PreparedScalarAgg }
@@ -57,48 +67,55 @@ type groupRunner struct{ p *core.PreparedGroupAgg }
 type semiRunner struct{ p *core.PreparedSemiJoinAgg }
 type gjoinRunner struct{ p *core.PreparedGroupJoinAgg }
 
-func (r scalarRunner) run(ctx context.Context, c *cachedPlan) (core.Explain, error) {
+func (r scalarRunner) run(ctx context.Context) (int64, *core.GroupResult, core.Explain, error) {
 	sum, ex, err := r.p.RunContext(ctx)
-	if err != nil {
-		return ex, err
-	}
-	c.putScalar(sum)
-	return ex, nil
+	return sum, nil, ex, err
 }
 
-func (r groupRunner) run(ctx context.Context, c *cachedPlan) (core.Explain, error) {
+func (r groupRunner) run(ctx context.Context) (int64, *core.GroupResult, core.Explain, error) {
 	g, ex, err := r.p.RunContext(ctx)
-	if err != nil {
-		return ex, err
-	}
-	c.putGroups(g)
-	return ex, nil
+	return 0, g, ex, err
 }
 
-func (r semiRunner) run(ctx context.Context, c *cachedPlan) (core.Explain, error) {
+func (r semiRunner) run(ctx context.Context) (int64, *core.GroupResult, core.Explain, error) {
 	sum, ex, err := r.p.RunContext(ctx)
-	if err != nil {
-		return ex, err
-	}
-	c.putScalar(sum)
-	return ex, nil
+	return sum, nil, ex, err
 }
 
-func (r gjoinRunner) run(ctx context.Context, c *cachedPlan) (core.Explain, error) {
+func (r gjoinRunner) run(ctx context.Context) (int64, *core.GroupResult, core.Explain, error) {
 	g, ex, err := r.p.RunContext(ctx)
-	if err != nil {
-		return ex, err
-	}
-	c.putGroups(g)
-	return ex, nil
+	return 0, g, ex, err
+}
+
+// shardRun is one arm of a statement's fan-out: the plan compiled
+// against one shard's engine plus that shard's read lock. Unsharded
+// statements have a single arm with a nil lock.
+type shardRun struct {
+	shard int
+	exec  planRunner
+	lock  *sync.RWMutex
 }
 
 // cachedPlan is one prepared statement plus its reusable result
 // materialization.
 type cachedPlan struct {
-	exec  planRunner
-	shape string // registry name of the matched shape (Explain.Shape)
-	deps  []tableDep
+	// mu serializes executions of this statement: the fan scratch, the
+	// merger, and the result buffers below are all per-entry and reused
+	// across runs. Different statements run in parallel.
+	mu      sync.Mutex
+	fan     []shardRun
+	grouped bool // shape materializes (key, sum) rows
+	shape   string
+	deps    []tableDep
+
+	// Fan-out scratch and the cross-shard merger (reused across runs; the
+	// merge is the same finishCombine path the worker merge uses).
+	merger   core.GroupMerger
+	partials []*core.GroupResult
+	sums     []int64
+	exs      []core.Explain
+	errs     []error
+	times    []time.Duration
 
 	// Reused result: vres's rows are slice headers into flat.
 	res  Result
@@ -133,10 +150,10 @@ func (c *cachedPlan) putGroups(g *core.GroupResult) {
 }
 
 // fresh reports whether every input table is still at its prepared
-// version.
+// version and shard epoch.
 func (c *cachedPlan) fresh(d *DB) bool {
 	for _, dep := range c.deps {
-		if d.db.TableVersion(dep.name) != dep.ver {
+		if d.db.TableVersion(dep.name) != dep.ver || d.shardEpoch(dep.name) != dep.epoch {
 			return false
 		}
 	}
@@ -157,13 +174,89 @@ func (c *cachedPlan) dependsOn(table string) bool {
 // place. Allocation-free once flat and the row-header array have reached
 // the result's size. A canceled run returns the context's error with the
 // entry (and the plan's pooled resources) intact for the next execution.
+// Callers hold c.mu.
 func (c *cachedPlan) run(ctx context.Context) (*Result, Explain, error) {
-	cex, err := c.exec.run(ctx, c)
-	ex := fromCore(cex)
-	ex.Shape = c.shape
-	if err != nil {
-		return nil, ex, err
+	if len(c.fan) == 1 && c.fan[0].lock == nil {
+		sum, g, cex, err := c.fan[0].exec.run(ctx)
+		ex := fromCore(cex)
+		ex.Shape = c.shape
+		if err != nil {
+			return nil, ex, err
+		}
+		if c.grouped {
+			c.putGroups(g)
+		} else {
+			c.putScalar(sum)
+		}
+		return &c.res, ex, nil
 	}
+	return c.runFan(ctx)
+}
+
+// runFan scatter-gathers the statement across its shards: each arm runs
+// on its own engine (its own worker gang) concurrently, holding only its
+// shard's read lock, and the partials merge on this goroutine — group
+// shapes through the merger's sorted merge-combine, scalar shapes by
+// summation. A failed or canceled arm cancels the rest and the error
+// carries the shard's attribution.
+func (c *cachedPlan) runFan(ctx context.Context) (*Result, Explain, error) {
+	n := len(c.fan)
+	if cap(c.partials) < n {
+		c.partials = make([]*core.GroupResult, n)
+		c.sums = make([]int64, n)
+		c.exs = make([]core.Explain, n)
+		c.errs = make([]error, n)
+		c.times = make([]time.Duration, n)
+	}
+	partials, sums := c.partials[:n], c.sums[:n]
+	exs, errs, times := c.exs[:n], c.errs[:n], c.times[:n]
+	fanCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := range c.fan {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			arm := &c.fan[i]
+			start := time.Now()
+			arm.lock.RLock()
+			sums[i], partials[i], exs[i], errs[i] = arm.exec.run(fanCtx)
+			arm.lock.RUnlock()
+			times[i] = time.Since(start)
+			if errs[i] != nil {
+				cancel() // a lost shard fails the query; stop the others
+			}
+		}(i)
+	}
+	wg.Wait()
+	ex := fromCore(exs[0])
+	ex.Shape = c.shape
+	ex.ShardCount = n
+	ex.ShardTimes = append([]time.Duration(nil), times...)
+	for i := range errs {
+		if errs[i] != nil {
+			return nil, ex, fmt.Errorf("shard %d: %w", c.fan[i].shard, errs[i])
+		}
+	}
+	for i := 1; i < n; i++ {
+		ex.FreshAllocs += exs[i].FreshAllocs
+		ex.HTGrows += exs[i].HTGrows
+		ex.Variants.Add(&exs[i].Variants)
+		if exs[i].PartitionTime > ex.PartitionTime {
+			ex.PartitionTime = exs[i].PartitionTime
+		}
+	}
+	mergeStart := time.Now()
+	if c.grouped {
+		c.putGroups(c.merger.Merge(partials))
+	} else {
+		total := int64(0)
+		for _, s := range sums {
+			total += s
+		}
+		c.putScalar(total)
+	}
+	ex.ShardMergeTime = time.Since(mergeStart)
 	return &c.res, ex, nil
 }
 
@@ -195,27 +288,39 @@ func normalizeQuery(q string) string {
 
 // cachedRun serves a statement from the plan cache; found reports whether
 // a current cache entry handled it (possibly with an error — a canceled
-// execution). The DB mutex is held across the run: cached executions
-// reuse per-entry result buffers, and the engine serializes prepared
-// scans on its own lock anyway. With copyRes the caller receives a
-// private copy of the result, detached from the entry's reused buffers —
-// the concurrent-caller contract of QueryContext.
+// execution). The DB mutex covers only the map lookup; the run itself
+// holds the entry's own lock, so different statements execute in
+// parallel (down to the engine locks) while executions of one statement
+// — which reuse per-entry result buffers — still serialize. With copyRes
+// the caller receives a private copy of the result, detached from the
+// entry's reused buffers — the concurrent-caller contract of
+// QueryContext.
 func (d *DB) cachedRun(ctx context.Context, q string, copyRes bool) (res *Result, ex Explain, found bool, err error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	c := d.plans[q]
 	if c == nil {
 		norm := normalizeQuery(q)
 		if c = d.normPlans[norm]; c == nil {
+			d.mu.Unlock()
 			return nil, Explain{}, false, nil
 		}
 		// Alias the raw spelling so its next execution is a single lookup.
 		d.plans[q] = c
 	}
+	d.mu.Unlock()
+	// The freshness check reads shard epochs (shardMu), so it must run
+	// outside d.mu: the lock order is shardMu before d.mu (ReplaceShard
+	// holds shardMu while evicting plans). A plan going stale between this
+	// check and the run is benign — it executes against the immutable
+	// arrays it was bound to, answering as of just before the swap.
 	if !c.fresh(d) {
+		d.mu.Lock()
 		d.dropPlanLocked(c)
+		d.mu.Unlock()
 		return nil, Explain{}, false, nil
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	res, ex, err = c.run(ctx)
 	if err != nil {
 		return nil, ex, true, err
@@ -257,6 +362,18 @@ func (d *DB) dropPlanLocked(c *cachedPlan) {
 // table. Called on every CreateTable.
 func (d *DB) invalidateTable(table string) {
 	d.engine.InvalidateStats(table)
+	d.shardMu.RLock()
+	for _, fs := range d.fleet {
+		fs.engine.InvalidateStats(table)
+	}
+	d.shardMu.RUnlock()
+	d.evictPlans(table)
+}
+
+// evictPlans drops the cached plans that read the named table — and only
+// those; other tables' plans stay warm. ShardTable uses it directly
+// (layout changed, data and statistics did not).
+func (d *DB) evictPlans(table string) {
 	d.mu.Lock()
 	for k, c := range d.plans {
 		if c.dependsOn(table) {
@@ -288,6 +405,11 @@ func (d *DB) SetWorkers(n int) {
 	d.normPlans = map[string]*cachedPlan{}
 	d.mu.Unlock()
 	d.engine.Workers = n
+	d.shardMu.RLock()
+	for _, fs := range d.fleet {
+		fs.engine.Workers = n
+	}
+	d.shardMu.RUnlock()
 }
 
 // PartitionMode selects how the SWOLE executor decides between direct
@@ -316,9 +438,22 @@ func (d *DB) SetPartitionMode(m PartitionMode) {
 	d.normPlans = map[string]*cachedPlan{}
 	d.mu.Unlock()
 	d.engine.Partition = m
+	d.shardMu.RLock()
+	for _, fs := range d.fleet {
+		fs.engine.Partition = m
+	}
+	d.shardMu.RUnlock()
 }
 
-// Close releases the executor's persistent worker goroutines. The DB
-// remains usable after Close (the gang respawns on demand); Close exists
-// for goroutine hygiene when many DBs are created in one process.
-func (d *DB) Close() { d.engine.Close() }
+// Close releases the executor's persistent worker goroutines, including
+// every shard engine's gang. The DB remains usable after Close (gangs
+// respawn on demand); Close exists for goroutine hygiene when many DBs
+// are created in one process.
+func (d *DB) Close() {
+	d.engine.Close()
+	d.shardMu.RLock()
+	for _, fs := range d.fleet {
+		fs.engine.Close()
+	}
+	d.shardMu.RUnlock()
+}

@@ -219,6 +219,44 @@ func TestInvalidationGranularity(t *testing.T) {
 	} else if !ex.PlanCached {
 		t.Error("t's plan evicted by u's replacement")
 	}
+
+	// Re-sharding is a layout change, not a data change: it must evict
+	// exactly the re-sharded table's plans (they bake in the fan-out) while
+	// other tables' plans and the sampling statistics survive.
+	if _, _, err := d.QuerySwole("select sum(v) from u where v < 100"); err != nil {
+		t.Fatal(err)
+	}
+	if d.PlanCacheLen() != 2 {
+		t.Fatalf("plan cache holds %d entries, want 2", d.PlanCacheLen())
+	}
+	statsBefore := d.engine.StatsCacheLen()
+	if err := d.ShardTable("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	if d.PlanCacheLen() != 1 {
+		t.Errorf("re-sharding t left cache len %d, want 1 (u's plan only)", d.PlanCacheLen())
+	}
+	if got := d.engine.StatsCacheLen(); got != statsBefore {
+		t.Errorf("re-sharding dropped statistics: %d, want %d (layout changes keep stats)", got, statsBefore)
+	}
+	if _, ex, err = d.QuerySwole("select sum(v) from u where v < 100"); err != nil {
+		t.Fatal(err)
+	} else if !ex.PlanCached {
+		t.Error("u's plan evicted by t's re-sharding")
+	}
+	res3, ex, err := d.QuerySwole(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.PlanCached {
+		t.Error("t's sharded recompile claims a cache hit")
+	}
+	if ex.ShardCount != 2 {
+		t.Errorf("ShardCount = %d after ShardTable(t, 2), want 2", ex.ShardCount)
+	}
+	if got := res3.Rows()[0][0]; got != want {
+		t.Errorf("answer changed after sharding: got %d, want %d", got, want)
+	}
 }
 
 // TestSetWorkersClearsCache checks worker reconfiguration invalidates

@@ -1,0 +1,233 @@
+package swole
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// shardParityQueries are the four SWOLE shapes the fan-out must answer
+// identically to the interpreter, sharded or not.
+var shardParityQueries = []struct {
+	name string
+	q    string
+}{
+	{"scalar-agg", "select sum(r_a * r_b) from r where r_x < 50"},
+	{"group-agg", "select r_c, sum(r_a) from r where r_x < 50 group by r_c"},
+	{"semijoin-agg", "select sum(r_a) from r, s where r_fk = s_pk and s_x < 50 and r_x < 50"},
+	{"groupjoin-agg", "select r_fk, sum(r_a) from r, s where r_fk = s_pk and s_x < 50 group by r_fk"},
+}
+
+// sameRows compares a SWOLE answer to the interpreter's, order-insensitive
+// for two-column (grouped) results.
+func sameRows(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if len(want.Rows()) > 0 && len(want.Rows()[0]) == 1 {
+		if g, w := got.Rows()[0][0], want.Rows()[0][0]; g != w {
+			t.Errorf("%s: scalar %d, want %d", label, g, w)
+		}
+		return
+	}
+	gm, wm := rowsAsMap(t, got), rowsAsMap(t, want)
+	if len(gm) != len(wm) {
+		t.Fatalf("%s: %d groups, want %d", label, len(gm), len(wm))
+	}
+	for k, w := range wm {
+		if gm[k] != w {
+			t.Errorf("%s: group %d = %d, want %d", label, k, gm[k], w)
+		}
+	}
+}
+
+// TestShardParityMatrixAllEntryPoints runs every SWOLE shape through both
+// public entry points, cold and plan-cached warm, at fan-outs 1, 2, and 4,
+// and requires bit-identical answers to the interpreted engine. This is
+// the shard layer's correctness matrix: the same statement must mean the
+// same thing whether it scans one table or K row-range slices merged.
+func TestShardParityMatrixAllEntryPoints(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			d, err := LoadMicro(MicroConfig{
+				Rows: 40_000, DimRows: 500, GroupKeys: 64, Seed: 42, Shards: shards,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			if got := d.ShardCount("r"); got != shards {
+				t.Fatalf("ShardCount(r) = %d, want %d", got, shards)
+			}
+			for _, tc := range shardParityQueries {
+				want, err := d.Query(tc.q) // interpreted reference
+				if err != nil {
+					t.Fatalf("%s: interpreter: %v", tc.name, err)
+				}
+				// QuerySwole cold, then warm (plan-cached).
+				for _, pass := range []string{"cold", "warm"} {
+					wantCached := pass == "warm"
+					res, ex, err := d.QuerySwole(tc.q)
+					if err != nil {
+						t.Fatalf("%s/%s: QuerySwole: %v", tc.name, pass, err)
+					}
+					if ex.Technique == "interpreter-fallback" {
+						t.Fatalf("%s/%s: fell back to the interpreter", tc.name, pass)
+					}
+					if ex.PlanCached != wantCached {
+						t.Errorf("%s/%s: PlanCached = %v, want %v", tc.name, pass, ex.PlanCached, wantCached)
+					}
+					if shards > 1 && ex.ShardCount != shards {
+						t.Errorf("%s/%s: ShardCount = %d, want %d", tc.name, pass, ex.ShardCount, shards)
+					}
+					if shards > 1 && len(ex.ShardTimes) != shards {
+						t.Errorf("%s/%s: %d shard times, want %d", tc.name, pass, len(ex.ShardTimes), shards)
+					}
+					sameRows(t, tc.name+"/QuerySwole/"+pass, res, want)
+				}
+				// QueryContext returns a private copy of the same answer.
+				res, ex, err := d.QueryContext(context.Background(), tc.q)
+				if err != nil {
+					t.Fatalf("%s: QueryContext: %v", tc.name, err)
+				}
+				if !ex.PlanCached {
+					t.Errorf("%s: QueryContext missed the plan cache", tc.name)
+				}
+				sameRows(t, tc.name+"/QueryContext", res, want)
+			}
+		})
+	}
+}
+
+// TestShardReplaceRaceCrossShardReads is the shard layer's -race test: 4
+// writer goroutines each continuously ReplaceShard their own shard of a
+// 4-way table while 12 readers run cross-shard scalar and grouped queries
+// through both entry points. Writers install row-rotations of their
+// shard's data, so every aggregate is invariant — readers must see exactly
+// the reference answer at every instant, while plans are being evicted and
+// re-prepared underneath them.
+func TestShardReplaceRaceCrossShardReads(t *testing.T) {
+	d := cacheTestDB(t, 1) // table t(a, x, c), 4096 rows
+	defer d.Close()
+	const k = 4
+	if err := d.ShardTable("t", k); err != nil {
+		t.Fatal(err)
+	}
+
+	scalarQ := "select sum(a) from t where x < 5"
+	groupQ := "select c, sum(a) from t where x < 5 group by c"
+	wantScalarRes, err := d.Query(scalarQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScalar := wantScalarRes.Rows()[0][0]
+	wantGroupRes, err := d.Query(groupQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGroups := rowsAsMap(t, wantGroupRes)
+
+	// Per-shard base data, from cacheTestDB's formulas over global row
+	// indexes.
+	const n, per = 4096, 4096 / k
+	base := func(shard int) (a, x, c []int64) {
+		a = make([]int64, per)
+		x = make([]int64, per)
+		c = make([]int64, per)
+		for j := 0; j < per; j++ {
+			i := shard*per + j
+			a[j] = int64(i % 7)
+			x[j] = int64(i % 10)
+			c[j] = int64(i % 5)
+		}
+		return
+	}
+	rotate := func(v []int64, r int) []int64 {
+		out := make([]int64, len(v))
+		for j := range v {
+			out[j] = v[(j+r)%len(v)]
+		}
+		return out
+	}
+
+	const writers, readers, iters = 4, 12, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for s := 0; s < writers; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a, x, c := base(s)
+			for it := 1; it <= iters; it++ {
+				r := (it * 37) % per
+				err := d.ReplaceShard("t", s,
+					IntColumn("a", rotate(a, r)),
+					IntColumn("x", rotate(x, r)),
+					IntColumn("c", rotate(c, r)),
+				)
+				if err != nil {
+					errs <- fmt.Errorf("writer %d: %w", s, err)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < readers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				if g%2 == 0 {
+					q := scalarQ
+					res, _, err := d.QueryContext(context.Background(), q)
+					if err != nil {
+						errs <- fmt.Errorf("reader %d: %w", g, err)
+						return
+					}
+					if got := res.Rows()[0][0]; got != wantScalar {
+						errs <- fmt.Errorf("reader %d: scalar %d, want %d (rotation must not change the sum)", g, got, wantScalar)
+						return
+					}
+				} else if g%4 == 1 {
+					res, _, err := d.QueryContext(context.Background(), groupQ)
+					if err != nil {
+						errs <- fmt.Errorf("reader %d: %w", g, err)
+						return
+					}
+					got := map[int64]int64{}
+					for _, row := range res.Rows() {
+						got[row[0]] = row[1]
+					}
+					for key, w := range wantGroups {
+						if got[key] != w {
+							errs <- fmt.Errorf("reader %d: group %d = %d, want %d", g, key, got[key], w)
+							return
+						}
+					}
+				} else {
+					// Aliasing entry point: race-free execution is the contract;
+					// rows may not be read concurrently.
+					if _, _, err := d.QuerySwole(scalarQ); err != nil {
+						errs <- fmt.Errorf("reader %d: QuerySwole: %w", g, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The dust settled: one more cold-to-warm pair must still be exact.
+	res, _, err := d.QueryContext(context.Background(), scalarQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows()[0][0]; got != wantScalar {
+		t.Errorf("post-race scalar %d, want %d", got, wantScalar)
+	}
+}

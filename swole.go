@@ -35,26 +35,36 @@ import (
 // DB is an in-memory column-store database.
 //
 // A DB is safe for concurrent queries: Query, QuerySwole, and
-// QueryContext may be called from any number of goroutines. Cached SWOLE
-// executions serialize on the plan-cache lock (and on the engine's single
-// worker gang below it), so concurrency buys admission, not intra-engine
-// parallelism — that comes from the morsel workers. Note that the
-// *Result returned by QuerySwole aliases cache-owned buffers and is only
-// safe to read until the same statement runs again; concurrent callers
-// should use QueryContext, which returns a private copy. Schema changes
-// (CreateTable, AddForeignKey) and engine reconfiguration (SetWorkers,
-// SetPartitionMode) must not race with in-flight queries.
+// QueryContext may be called from any number of goroutines. Executions
+// of one cached statement serialize on that statement's own lock (its
+// result buffers are per-entry); different statements proceed in
+// parallel down to the engine locks below. Note that the *Result
+// returned by QuerySwole aliases cache-owned buffers and is only safe to
+// read until the same statement runs again; concurrent callers should
+// use QueryContext, which returns a private copy. Schema changes
+// (CreateTable, AddForeignKey, ShardTable) and engine reconfiguration
+// (SetWorkers, SetPartitionMode) may run concurrently with queries —
+// in-flight scans finish on the immutable arrays they started on — but
+// the per-shard write path is ReplaceShard, whose write lock covers only
+// the one shard it swaps (see shard.go).
 type DB struct {
 	db     *storage.Database
 	engine *core.Engine
 
 	// Plan cache (querycache.go): prepared SWOLE statements keyed by raw
-	// and whitespace-normalized query text, invalidated by table version.
-	// The write lock is held across cached executions (their result
-	// buffers are per-entry); read-only introspection takes the read lock.
+	// and whitespace-normalized query text, invalidated by table version
+	// and shard epoch. mu guards only the maps; executions run under each
+	// entry's own lock.
 	mu        sync.RWMutex
 	plans     map[string]*cachedPlan
 	normPlans map[string]*cachedPlan
+
+	// Shard fleet (shard.go): per-shard databases and engines for tables
+	// split with ShardTable, plus the per-table shard layout and epochs.
+	shardMu     sync.RWMutex
+	fleet       []*fleetShard
+	shardMeta   map[string]*tableShards
+	shardEpochs map[string]uint64
 }
 
 // NewDB returns an empty database.
@@ -66,10 +76,12 @@ func NewDB() *DB {
 // generators use this).
 func newDBWith(db *storage.Database) *DB {
 	return &DB{
-		db:        db,
-		engine:    core.NewEngine(db),
-		plans:     map[string]*cachedPlan{},
-		normPlans: map[string]*cachedPlan{},
+		db:          db,
+		engine:      core.NewEngine(db),
+		plans:       map[string]*cachedPlan{},
+		normPlans:   map[string]*cachedPlan{},
+		shardMeta:   map[string]*tableShards{},
+		shardEpochs: map[string]uint64{},
 	}
 }
 
@@ -128,6 +140,17 @@ func (d *DB) CreateTable(name string, cols ...Column) error {
 		return err
 	}
 	d.db.AddTable(t)
+	// A (re)created table starts unsharded: clear any shard layout and
+	// replicate the full table to every fleet member.
+	d.shardMu.Lock()
+	if d.shardMeta[name] != nil {
+		delete(d.shardMeta, name)
+		d.shardEpochs[name]++
+	}
+	for _, fs := range d.fleet {
+		fs.db.AddTable(t)
+	}
+	d.shardMu.Unlock()
 	// Registering a name — first time or replacement — bumps the table's
 	// version; drop statistics and plans that read the old data.
 	d.invalidateTable(name)
@@ -136,13 +159,48 @@ func (d *DB) CreateTable(name string, cols ...Column) error {
 
 // AddForeignKey declares and verifies a foreign key from child.fk to
 // parent.pk, building the positional index SWOLE's bitmap joins use.
+// The parent must be unsharded (replicated): shard slices of the child's
+// index address the full parent by position.
 func (d *DB) AddForeignKey(child, fk, parent, pk string) error {
-	return d.db.AddFKIndex(child, fk, parent, pk)
+	d.shardMu.Lock()
+	defer d.shardMu.Unlock()
+	if d.shardMeta[parent] != nil {
+		return fmt.Errorf("swole: AddForeignKey: parent table %s is sharded; foreign-key parents must stay replicated", parent)
+	}
+	if err := d.db.AddFKIndex(child, fk, parent, pk); err != nil {
+		return err
+	}
+	idx := d.db.FK(child, fk, parent, pk)
+	for i, fs := range d.fleet {
+		if m := d.shardMeta[child]; m != nil && i < m.k {
+			fs.db.PutFKIndex(idx.Slice(m.bounds[i], m.bounds[i+1]))
+		} else {
+			fs.db.PutFKIndex(idx)
+		}
+	}
+	return nil
 }
 
 // Result is a materialized query answer.
 type Result struct {
 	res *volcano.Result
+}
+
+// NewResult builds a Result from raw column names and rows. The
+// scatter-gather coordinator (internal/serve) materializes merged
+// cross-process answers with it; values are served as raw int64s
+// (dictionary codes and fixed-point values unrendered), exactly as
+// Rows exposes them.
+func NewResult(cols []string, rows [][]int64) *Result {
+	fields := make(volcano.Fields, len(cols))
+	for i, c := range cols {
+		fields[i] = volcano.Field{Name: c}
+	}
+	vr := make([]volcano.Row, len(rows))
+	for i, r := range rows {
+		vr[i] = r
+	}
+	return &Result{res: &volcano.Result{Fields: fields, Rows: vr}}
 }
 
 // Columns returns the output column names.
