@@ -9,6 +9,8 @@
 //	swolebench -fig 2            # the technique summary table
 //	swolebench -fig scaling -workers 8   # morsel scaling sweep, 1..8 workers
 //	swolebench -repeat 10        # steady state: cold vs plan-cached warm runs
+//	swolebench -query 'select r_c, count(*) as n from r group by r_c having n > 10'
+//	                             # one arbitrary statement: synthesized plan + timings
 //	swolebench -kernel-variants  # per-query kernel-variant selection counters
 //	swolebench -repeat 10 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -43,6 +45,7 @@ func realMain() error {
 	csv := flag.Bool("csv", false, "emit micro figures as CSV for plotting")
 	workers := flag.Int("workers", 0, "max morsel workers the scaling figure sweeps to (0 = SWOLE_WORKERS or NumCPU)")
 	repeat := flag.Int("repeat", 0, "steady-state demo: run each supported query shape N times and report cold vs plan-cached warm timings")
+	query := flag.String("query", "", "run one arbitrary SQL statement against the micro dataset and report its synthesized plan, cold timing, and plan-cached warm timing")
 	shards := flag.Int("shards", 0, "split the fact table into this many in-process shards for -repeat (negative = cost model decides, 0/1 = unsharded)")
 	variants := flag.Bool("kernel-variants", false, "run each supported query shape and report the kernel-variant selection counters from Explain")
 	timeout := flag.Duration("timeout", 0, "per-query deadline for -repeat runs; deadline-exceeded runs are counted and reported separately (0 = no deadline)")
@@ -82,6 +85,9 @@ func realMain() error {
 	}
 	if *variants {
 		return runKernelVariants(cfg)
+	}
+	if *query != "" {
+		return runQuery(cfg, *query, *repeat, *timeout, *shards)
 	}
 	if *repeat > 0 {
 		return runSteady(cfg, *repeat, *timeout, *shards)

@@ -22,6 +22,71 @@ var steadyQueries = []struct {
 	{"groupjoin-agg", "select r_fk, sum(r_a) from r, s where r_fk = s_pk and s_x < 50 group by r_fk"},
 }
 
+// runQuery executes one arbitrary SQL statement against the micro dataset
+// (-query): a cold run that plans it through the synthesizer, then warm
+// plan-cached repetitions, reporting the synthesized plan signature, the
+// chosen technique, and the steady-state counters alongside the timings
+// and a preview of the answer. Statements outside the synthesizer's
+// grammar run on the interpreter and say so.
+func runQuery(cfg harness.Config, q string, reps int, timeout time.Duration, shards int) error {
+	if reps < 2 {
+		reps = 5
+	}
+	groups := cfg.MicroR / 10
+	if groups > 100_000 {
+		groups = 100_000
+	}
+	db, err := swole.LoadMicro(swole.MicroConfig{
+		Rows: cfg.MicroR, DimRows: 1000, GroupKeys: groups, Seed: 42, Shards: shards,
+	})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	db.SetWorkers(cfg.Workers)
+	fmt.Printf("query: %s\ndataset: R=%d rows, %d group keys, workers=%d\n\n", q, cfg.MicroR, groups, cfg.Workers)
+
+	run := func() (*swole.Result, swole.Explain, time.Duration, error) {
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+		}
+		defer cancel()
+		start := time.Now()
+		res, ex, err := db.QueryContext(ctx, q)
+		return res, ex, time.Since(start), err
+	}
+
+	res, ex, cold, err := run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan:      %s (bucket %s)\n", ex.Shape, swole.ShapeBucket(ex.Shape))
+	fmt.Printf("technique: %s\n", ex.Technique)
+	if len(ex.Costs) > 0 {
+		fmt.Printf("costs:     %v\n", ex.Costs)
+	}
+	warmMin := time.Duration(0)
+	var lastEx swole.Explain
+	for i := 1; i < reps; i++ {
+		_, wex, d, err := run()
+		if err != nil {
+			return err
+		}
+		if warmMin == 0 || d < warmMin {
+			warmMin = d
+		}
+		lastEx = wex
+	}
+	fmt.Printf("cold:      %s\nwarm(min): %s (%.2fx, plan-cached=%v fresh-allocs=%d)\n\n",
+		cold.Round(time.Microsecond), warmMin.Round(time.Microsecond),
+		float64(cold)/float64(warmMin), lastEx.PlanCached, lastEx.FreshAllocs)
+
+	fmt.Printf("result: %d row(s)\n%s", res.NumRows(), res.StringLimit(20))
+	return nil
+}
+
 // runSteady executes each supported query shape `reps` times on one DB and
 // reports the cold (first, plan + statistics + allocation) execution
 // against the warm (plan-cached, recycled-resource) steady state. With a

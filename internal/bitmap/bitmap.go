@@ -76,6 +76,44 @@ func (b *Bitmap) SetFromCmp(base int, cmp []byte) {
 	}
 }
 
+// OrFromCmp ORs a tile of predicate results into positions
+// [base, base+len(cmp)) — the accumulation step of term-at-a-time
+// disjunction evaluation, where each OR term contributes its accepted
+// positions without disturbing bits earlier terms set.
+func (b *Bitmap) OrFromCmp(base int, cmp []byte) {
+	for j, v := range cmp {
+		b.OrBit(base+j, v)
+	}
+}
+
+// RangeAllSet reports whether every bit in [base, base+n) is set — the
+// tile-level short circuit of term-at-a-time disjunction evaluation: once
+// earlier terms accepted an entire tile, later terms skip it.
+func (b *Bitmap) RangeAllSet(base, n int) bool {
+	for i := base; i < base+n; {
+		w := b.words[i>>6]
+		lo := uint(i) & 63
+		span := 64 - int(lo)
+		if rem := base + n - i; span > rem {
+			span = rem
+		}
+		mask := (^uint64(0) >> (64 - uint(span))) << lo
+		if w&mask != mask {
+			return false
+		}
+		i += span
+	}
+	return true
+}
+
+// ReadCmp materializes bits [base, base+len(cmp)) as a 0/1 byte mask — the
+// consumer side of a positional bitmap feeding a tiled kernel.
+func (b *Bitmap) ReadCmp(base int, cmp []byte) {
+	for j := range cmp {
+		cmp[j] = b.TestBit(base + j)
+	}
+}
+
 // SetFromSel sets bits for the first n entries of a tile-local selection
 // vector offset by base — the pushdown-style construction the cost model
 // picks at very low selectivities.

@@ -1,0 +1,77 @@
+package cost
+
+// Disjunction strategy costing (after "Optimizing Query Predicates with
+// Disjunctions for Column-Oriented Engines"): an OR of k terms can be
+// evaluated fused (every term over every tuple, branchless byte-mask
+// combination — cheapest when terms are cheap) or term at a time into a
+// positional bitmap, where a term is only evaluated over tuples no earlier
+// term accepted (tile-level short circuit) at the price of bitmap
+// maintenance traffic.
+
+// DisjunctionStrategy selects how an OR tree is evaluated.
+type DisjunctionStrategy int
+
+// Disjunction strategies.
+const (
+	// DisjFused evaluates the whole OR tree per tile with branchless
+	// byte-mask combination.
+	DisjFused DisjunctionStrategy = iota
+	// DisjBitmap evaluates each disjunct term at a time into a positional
+	// bitmap, skipping tiles already saturated by earlier terms.
+	DisjBitmap
+)
+
+// String names the strategy for Explain output.
+func (s DisjunctionStrategy) String() string {
+	if s == DisjBitmap {
+		return "term-bitmap"
+	}
+	return "fused"
+}
+
+// DisjunctionFused is the cost of fused evaluation: every term is computed
+// for every tuple plus one mask combine per extra term.
+func (p Params) DisjunctionFused(rows int, termComp []float64) float64 {
+	total := 0.0
+	for _, c := range termComp {
+		total += c
+	}
+	if k := len(termComp); k > 1 {
+		total += float64(k-1) * p.CompCmp
+	}
+	return float64(rows) * total
+}
+
+// DisjunctionBitmap is the cost of term-at-a-time evaluation into a
+// positional bitmap. Term i runs over the tuples every earlier term
+// rejected (selectivities assumed independent); each term pays one
+// bitmap-write pass and the consumer one bitmap-read pass, both sequential
+// over rows/8 bytes.
+func (p Params) DisjunctionBitmap(rows int, termComp, termSel []float64) float64 {
+	bitPass := float64(rows) / 8 * p.ReadSeq
+	total := bitPass // consumer read pass
+	remaining := 1.0
+	for i, c := range termComp {
+		total += float64(rows)*remaining*c + bitPass
+		s := 0.0
+		if i < len(termSel) {
+			s = termSel[i]
+		}
+		remaining *= 1 - s
+		if remaining < 0 {
+			remaining = 0
+		}
+	}
+	return total
+}
+
+// ChooseDisjunction picks the cheaper strategy for an OR of k terms and
+// returns both costs for Explain.
+func (p Params) ChooseDisjunction(rows int, termComp, termSel []float64) (DisjunctionStrategy, float64, float64) {
+	fused := p.DisjunctionFused(rows, termComp)
+	bitmap := p.DisjunctionBitmap(rows, termComp, termSel)
+	if bitmap < fused {
+		return DisjBitmap, fused, bitmap
+	}
+	return DisjFused, fused, bitmap
+}

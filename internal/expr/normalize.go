@@ -1,0 +1,93 @@
+package expr
+
+// Normalization to negation normal form (NNF) and disjunct extraction.
+// The plan synthesizer normalizes WHERE trees before choosing a disjunction
+// strategy: NNF pushes NOT down to the leaves (so the tile kernels see only
+// AND/OR over directly evaluable predicates), and OrTerms exposes the
+// top-level disjuncts that the positional-bitmap strategy evaluates term at
+// a time.
+//
+// NNF is structure-sharing: untouched subtrees are returned as-is, so the
+// caller must own the input tree (Clone first if it is shared) before
+// binding the result.
+
+// NNF returns e in negation normal form: NOT is pushed through AND/OR by
+// De Morgan's laws, double negations cancel, negated comparisons flip their
+// operator, and negated LIKE folds into the node's Negate flag. NOT over
+// BETWEEN/IN (and anything else without a complemented form) stays as a
+// NOT wrapper, which the kernels evaluate directly. Same-operator AND/OR
+// nests are flattened so OrTerms sees every disjunct.
+func NNF(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	l, ok := e.(*Logic)
+	if !ok {
+		return e
+	}
+	switch l.Op {
+	case And, Or:
+		args := make([]Expr, 0, len(l.Args))
+		for _, a := range l.Args {
+			na := NNF(a)
+			if inner, ok := na.(*Logic); ok && inner.Op == l.Op {
+				args = append(args, inner.Args...)
+				continue
+			}
+			args = append(args, na)
+		}
+		if len(args) == 1 {
+			return args[0]
+		}
+		return &Logic{Op: l.Op, Args: args}
+	case Not:
+		return negate(l.Args[0])
+	}
+	return e
+}
+
+// negate returns the NNF of NOT x.
+func negate(x Expr) Expr {
+	switch n := x.(type) {
+	case *Logic:
+		switch n.Op {
+		case Not:
+			return NNF(n.Args[0])
+		case And:
+			args := make([]Expr, len(n.Args))
+			for i, a := range n.Args {
+				args[i] = negate(a)
+			}
+			return NNF(&Logic{Op: Or, Args: args})
+		case Or:
+			args := make([]Expr, len(n.Args))
+			for i, a := range n.Args {
+				args[i] = negate(a)
+			}
+			return NNF(&Logic{Op: And, Args: args})
+		}
+	case *Cmp:
+		if neg, ok := negCmp[n.Op]; ok {
+			return &Cmp{Op: neg, L: n.L, R: n.R}
+		}
+	case *Like:
+		return &Like{X: n.X, Pattern: n.Pattern, Negate: !n.Negate}
+	}
+	// No complemented form (BETWEEN, IN, bare column, arithmetic):
+	// keep the NOT, which every evaluator handles.
+	return &Logic{Op: Not, Args: []Expr{x}}
+}
+
+var negCmp = map[CmpOp]CmpOp{
+	LT: GE, GE: LT, LE: GT, GT: LE, EQ: NE, NE: EQ,
+}
+
+// OrTerms returns the top-level disjuncts of an NNF tree: the arguments of
+// a top-level OR, or a single-element slice otherwise. Term order is source
+// order, which the cost model may reorder by selectivity.
+func OrTerms(e Expr) []Expr {
+	if l, ok := e.(*Logic); ok && l.Op == Or {
+		return l.Args
+	}
+	return []Expr{e}
+}

@@ -1,0 +1,111 @@
+package expr
+
+import "testing"
+
+func cmp(op CmpOp, col string, v int64) *Cmp {
+	return &Cmp{Op: op, L: NewCol(col), R: &Const{Val: v}}
+}
+
+func TestNNF(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Expr
+		want string
+	}{
+		{
+			"negated comparison flips",
+			&Logic{Op: Not, Args: []Expr{cmp(LT, "a", 5)}},
+			"a >= 5",
+		},
+		{
+			"double negation cancels",
+			&Logic{Op: Not, Args: []Expr{&Logic{Op: Not, Args: []Expr{cmp(EQ, "a", 1)}}}},
+			"a = 1",
+		},
+		{
+			"de morgan over and",
+			&Logic{Op: Not, Args: []Expr{&Logic{Op: And, Args: []Expr{
+				cmp(LT, "a", 5), cmp(GE, "b", 7),
+			}}}},
+			"(a >= 5) or (b < 7)",
+		},
+		{
+			"de morgan over or",
+			&Logic{Op: Not, Args: []Expr{&Logic{Op: Or, Args: []Expr{
+				cmp(EQ, "a", 1), cmp(NE, "b", 2),
+			}}}},
+			"(a <> 1) and (b = 2)",
+		},
+		{
+			"nested not under de morgan",
+			&Logic{Op: Not, Args: []Expr{&Logic{Op: Or, Args: []Expr{
+				cmp(LT, "a", 5),
+				&Logic{Op: Not, Args: []Expr{cmp(GT, "b", 3)}},
+			}}}},
+			"(a >= 5) and (b > 3)",
+		},
+		{
+			"same-op nests flatten",
+			&Logic{Op: Or, Args: []Expr{
+				cmp(LT, "a", 1),
+				&Logic{Op: Or, Args: []Expr{cmp(LT, "b", 2), cmp(LT, "c", 3)}},
+			}},
+			"(a < 1) or (b < 2) or (c < 3)",
+		},
+		{
+			"between keeps its not wrapper",
+			&Logic{Op: Not, Args: []Expr{
+				&Between{X: NewCol("a"), Lo: &Const{Val: 1}, Hi: &Const{Val: 5}},
+			}},
+			"not (a between 1 and 5)",
+		},
+		{
+			"in keeps its not wrapper",
+			&Logic{Op: Not, Args: []Expr{
+				&In{X: NewCol("a"), List: []Expr{&Const{Val: 1}, &Const{Val: 2}}},
+			}},
+			"not (a in (1, 2))",
+		},
+		{
+			"negated like folds into the flag",
+			&Logic{Op: Not, Args: []Expr{&Like{X: NewCol("s"), Pattern: "a%"}}},
+			"s not like 'a%'",
+		},
+		{
+			"single-arg logic unwraps",
+			&Logic{Op: And, Args: []Expr{cmp(LT, "a", 9)}},
+			"a < 9",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := NNF(tc.in).String(); got != tc.want {
+				t.Errorf("NNF = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestNNFNilAndLeafPassThrough(t *testing.T) {
+	if NNF(nil) != nil {
+		t.Error("NNF(nil) != nil")
+	}
+	leaf := cmp(LT, "a", 5)
+	if NNF(leaf) != leaf {
+		t.Error("NNF should return an untouched leaf as-is (structure sharing)")
+	}
+}
+
+func TestOrTerms(t *testing.T) {
+	or := &Logic{Op: Or, Args: []Expr{cmp(LT, "a", 1), cmp(LT, "b", 2), cmp(LT, "c", 3)}}
+	if n := len(OrTerms(or)); n != 3 {
+		t.Errorf("OrTerms over a 3-way OR returned %d terms", n)
+	}
+	if n := len(OrTerms(cmp(LT, "a", 1))); n != 1 {
+		t.Errorf("OrTerms over a leaf returned %d terms, want 1", n)
+	}
+	and := &Logic{Op: And, Args: []Expr{cmp(LT, "a", 1), cmp(LT, "b", 2)}}
+	if n := len(OrTerms(and)); n != 1 {
+		t.Errorf("OrTerms over an AND returned %d terms, want 1 (the AND itself)", n)
+	}
+}

@@ -142,10 +142,13 @@ func (a AggSpec) String() string {
 }
 
 // Aggregate is a hash (or scalar, when GroupBy is empty) aggregation.
+// Having, if set, filters finalized result rows; it is evaluated over the
+// output schema (group keys followed by aggregate aliases).
 type Aggregate struct {
 	Input   Node
 	GroupBy []string
 	Aggs    []AggSpec
+	Having  expr.Expr
 }
 
 // Inputs implements Node.
@@ -160,6 +163,9 @@ func (a *Aggregate) Describe() string {
 	s := "agg " + strings.Join(parts, ", ")
 	if len(a.GroupBy) > 0 {
 		s += " group by " + strings.Join(a.GroupBy, ", ")
+	}
+	if a.Having != nil {
+		s += " having " + a.Having.String()
 	}
 	return s
 }

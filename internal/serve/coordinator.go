@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"time"
 
 	swole "github.com/reprolab/swole"
@@ -75,6 +76,21 @@ func NewCoordinator(cfg CoordinatorConfig) (*Server, error) {
 	return s, nil
 }
 
+// distributiveShape reports whether a synthesized plan signature's
+// per-shard partials merge correctly by the coordinator's summation
+// merge: scalar sums/counts and (key, sum) group rows do; HAVING (a
+// filter over finalized rows), avg/min/max (whose finalized values are
+// not additive), and multi-aggregate rows (whose signatures carry a ":K"
+// count after the aggregate class) do not.
+func distributiveShape(sig string) bool {
+	for _, marker := range []string{"having", "avg", "min", "max", "scalaragg:", "groupagg:"} {
+		if strings.Contains(sig, marker) {
+			return false
+		}
+	}
+	return true
+}
+
 // shardAnswer is one shard's contribution to a scatter-gather.
 type shardAnswer struct {
 	resp queryResponse
@@ -124,6 +140,9 @@ func (c *coordinator) run(ctx context.Context, q string) (*swole.Result, swole.E
 	}
 	if ex.Shape == "interpreter-fallback" {
 		return nil, ex, fmt.Errorf("serve: statement falls outside the SWOLE shapes and cannot be scatter-gathered (shape %q)", ex.Shape)
+	}
+	if !distributiveShape(ex.Shape) {
+		return nil, ex, fmt.Errorf("serve: shape %q is not distributive over shard partials and cannot be scatter-gathered", ex.Shape)
 	}
 	cols := answers[0].resp.Columns
 	mergeStart := time.Now()
@@ -214,6 +233,12 @@ func (c *coordinator) queryShard(ctx context.Context, i int, q string) (queryRes
 		}
 		if hresp.StatusCode == http.StatusTooManyRequests {
 			return out, fmt.Errorf("rejected (HTTP 429%s)", msg)
+		}
+		if hresp.StatusCode == http.StatusGatewayTimeout {
+			// The shard's deadline (the forwarded remainder of ours) fired
+			// before our own context did; classify as the timeout it is so
+			// the coordinator's outcome and status match the cause.
+			return out, fmt.Errorf("HTTP %d%s: %w", hresp.StatusCode, msg, context.DeadlineExceeded)
 		}
 		return out, fmt.Errorf("HTTP %d%s", hresp.StatusCode, msg)
 	}

@@ -264,7 +264,11 @@ func (s *Server) execute(parent context.Context, q string, timeoutMS int64) (*sw
 	s.m.inflight.Add(-1)
 	release()
 	outcome, status := outcomeOf(err)
-	s.m.observe(ex.Shape, outcome, time.Since(start), &ex)
+	// Metrics aggregate under the bounded shape bucket, not the raw
+	// synthesized signature: signatures grow with the statement (join
+	// counts, OR widths, aggregate lists) and would make the shape label's
+	// cardinality unbounded. /explain still reports the full signature.
+	s.m.observe(swole.ShapeBucket(ex.Shape), outcome, time.Since(start), &ex)
 	return res, &ex, outcome, status, err
 }
 

@@ -136,8 +136,9 @@ func TestQueryEndToEnd(t *testing.T) {
 		t.Fatalf("metrics: status %d", resp.StatusCode)
 	}
 	text := string(body)
-	if !strings.Contains(text, fmt.Sprintf(`swole_queries_total{shape=%q,outcome="ok"} 2`, ex.Shape)) {
-		t.Fatalf("metrics missing ok counter for shape %q:\n%s", ex.Shape, text)
+	// Metrics label by the bounded shape bucket, not the raw signature.
+	if !strings.Contains(text, fmt.Sprintf(`swole_queries_total{shape=%q,outcome="ok"} 2`, swole.ShapeBucket(ex.Shape))) {
+		t.Fatalf("metrics missing ok counter for shape bucket %q:\n%s", swole.ShapeBucket(ex.Shape), text)
 	}
 	for _, want := range []string{
 		"swole_query_duration_seconds_count 2",

@@ -10,9 +10,10 @@ import (
 )
 
 // Compile parses a SELECT statement and builds a logical plan against db.
-// Supported shapes: single-table queries, and two-table queries joined by
-// one equality over a registered foreign key (the FK side becomes the
-// probe, following the repository's join convention).
+// Supported shapes: any single-block SELECT over one table, or over up to
+// four tables connected by equalities on registered foreign keys (each FK
+// side probes its parent, following the repository's join convention; the
+// join graph is a tree rooted at the one table that is never a parent).
 func Compile(src string, db *storage.Database) (plan.Node, error) {
 	s, err := parse(src)
 	if err != nil {
@@ -20,6 +21,9 @@ func Compile(src string, db *storage.Database) (plan.Node, error) {
 	}
 	return compileStmt(s, db)
 }
+
+// maxTables bounds the FROM list; join trees are left-deep FK chains.
+const maxTables = 4
 
 // Parse exposes the bare parser for tests and tooling; most callers want
 // Compile.
@@ -29,8 +33,8 @@ func Parse(src string) error {
 }
 
 func compileStmt(s *stmt, db *storage.Database) (plan.Node, error) {
-	if len(s.tables) == 0 || len(s.tables) > 2 {
-		return nil, fmt.Errorf("sql: %d tables unsupported (1 or 2)", len(s.tables))
+	if len(s.tables) == 0 || len(s.tables) > maxTables {
+		return nil, fmt.Errorf("sql: %d tables unsupported (1 to %d)", len(s.tables), maxTables)
 	}
 	owners := map[string]string{} // column -> table
 	for _, tn := range s.tables {
@@ -75,60 +79,114 @@ func compileStmt(s *stmt, db *storage.Database) (plan.Node, error) {
 	return root, nil
 }
 
-// compileJoin splits the WHERE conjuncts of a two-table query into
-// per-table filters, the join equality, and a residual.
+// joinEdge is one oriented FK equality: child.fk = parent.pk.
+type joinEdge struct {
+	child, fk, parent, pk string
+}
+
+// compileJoin splits the WHERE conjuncts of a multi-table query into
+// per-table filters, oriented FK join equalities, and a residual, then
+// assembles a left-deep join tree. The root (probe) table is the one table
+// that is never the parent of a used FK edge; each remaining table must be
+// reachable from it through registered foreign keys.
 func compileJoin(s *stmt, db *storage.Database, owners map[string]string) (plan.Node, error) {
-	t1, t2 := s.tables[0], s.tables[1]
-	var f1, f2, residual []expr.Expr
-	var joinL, joinR string
+	filters := map[string][]expr.Expr{}
+	var residual []expr.Expr
+	var edges []joinEdge
+	hasParent := map[string]bool{}
 
 	conjuncts := flattenAnd(s.where)
 	for _, c := range conjuncts {
-		// Join equality?
+		// Oriented FK join equality?
 		if eq, ok := c.(*expr.Cmp); ok && eq.Op == expr.EQ {
 			lc, lok := eq.L.(*expr.Col)
 			rc, rok := eq.R.(*expr.Col)
-			if lok && rok && owners[lc.Name] != "" && owners[rc.Name] != "" && owners[lc.Name] != owners[rc.Name] && joinL == "" {
-				if owners[lc.Name] == t1 {
-					joinL, joinR = lc.Name, rc.Name
-				} else {
-					joinL, joinR = rc.Name, lc.Name
+			if lok && rok {
+				lt, rt := owners[lc.Name], owners[rc.Name]
+				if lt != "" && rt != "" && lt != rt {
+					var e joinEdge
+					switch {
+					case db.FK(lt, lc.Name, rt, rc.Name) != nil:
+						e = joinEdge{child: lt, fk: lc.Name, parent: rt, pk: rc.Name}
+					case db.FK(rt, rc.Name, lt, lc.Name) != nil:
+						e = joinEdge{child: rt, fk: rc.Name, parent: lt, pk: lc.Name}
+					default:
+						return nil, fmt.Errorf("sql: no foreign key registered between %s.%s and %s.%s", lt, lc.Name, rt, rc.Name)
+					}
+					if hasParent[e.parent] {
+						// A second equality into an already-joined parent
+						// is an extra condition, not a new edge.
+						residual = append(residual, c)
+						continue
+					}
+					hasParent[e.parent] = true
+					edges = append(edges, e)
+					continue
 				}
-				continue
 			}
 		}
-		switch tablesOf(c, owners) {
-		case t1:
-			f1 = append(f1, c)
-		case t2:
-			f2 = append(f2, c)
-		default:
+		if t := tablesOf(c, owners); t != "" {
+			filters[t] = append(filters[t], c)
+		} else {
 			residual = append(residual, c)
 		}
 	}
-	if joinL == "" {
-		return nil, fmt.Errorf("sql: two-table query requires an equality join condition")
+
+	// Root: the unique FROM table that is never a parent.
+	root := ""
+	for _, t := range s.tables {
+		if !hasParent[t] {
+			if root != "" {
+				return nil, fmt.Errorf("sql: join graph is not connected: both %s and %s lack a join condition", root, t)
+			}
+			root = t
+		}
+	}
+	if root == "" {
+		return nil, fmt.Errorf("sql: join graph has no root (cyclic foreign keys)")
 	}
 
-	// Orient the join: the registered foreign key side probes.
-	probe, build := t1, t2
-	probeKey, buildKey := joinL, joinR
-	if db.FK(t2, joinR, t1, joinL) != nil {
-		probe, build = t2, t1
-		probeKey, buildKey = joinR, joinL
-		f1, f2 = f2, f1
-	} else if db.FK(t1, joinL, t2, joinR) == nil {
-		return nil, fmt.Errorf("sql: no foreign key registered between %s.%s and %s.%s", t1, joinL, t2, joinR)
+	// Order edges so each child is already attached, then nest left-deep.
+	attached := map[string]bool{root: true}
+	var node plan.Node = &plan.Scan{Table: root, Filter: andAll(filters[root])}
+	remaining := append([]joinEdge(nil), edges...)
+	for len(remaining) > 0 {
+		progress := false
+		for i, e := range remaining {
+			if !attached[e.child] {
+				continue
+			}
+			node = &plan.Join{
+				Probe:    node,
+				Build:    &plan.Scan{Table: e.parent, Filter: andAll(filters[e.parent])},
+				ProbeKey: e.fk,
+				BuildKey: e.pk,
+			}
+			attached[e.parent] = true
+			remaining = append(remaining[:i], remaining[i+1:]...)
+			progress = true
+			break
+		}
+		if !progress {
+			return nil, fmt.Errorf("sql: join graph is not connected to table %s", remaining[0].child)
+		}
 	}
-
-	j := &plan.Join{
-		Probe:    &plan.Scan{Table: probe, Filter: andAll(f1)},
-		Build:    &plan.Scan{Table: build, Filter: andAll(f2)},
-		ProbeKey: probeKey,
-		BuildKey: buildKey,
-		Residual: andAll(residual),
+	for _, t := range s.tables {
+		if !attached[t] {
+			return nil, fmt.Errorf("sql: table %s has no join condition", t)
+		}
 	}
-	return j, nil
+	if len(residual) > 0 {
+		top, ok := node.(*plan.Join)
+		if !ok {
+			return nil, fmt.Errorf("sql: multi-table query requires an equality join condition")
+		}
+		top.Residual = andAll(residual)
+	}
+	if _, ok := node.(*plan.Join); !ok {
+		return nil, fmt.Errorf("sql: multi-table query requires an equality join condition")
+	}
+	return node, nil
 }
 
 // compileSelect adds aggregation/projection and returns the output column
@@ -160,6 +218,9 @@ func compileSelect(s *stmt, input plan.Node, owners map[string]string) (plan.Nod
 		if len(s.groupBy) > 0 {
 			return nil, nil, fmt.Errorf("sql: GROUP BY without aggregates")
 		}
+		if s.having != nil {
+			return nil, nil, fmt.Errorf("sql: HAVING without aggregates")
+		}
 		exprs := make([]plan.NamedExpr, len(s.items))
 		for i, it := range s.items {
 			exprs[i] = plan.NamedExpr{Expr: it.arg, As: names[i]}
@@ -171,7 +232,7 @@ func compileSelect(s *stmt, input plan.Node, owners map[string]string) (plan.Nod
 		"sum": plan.Sum, "count": plan.Count, "avg": plan.Avg,
 		"min": plan.Min, "max": plan.Max,
 	}
-	agg := &plan.Aggregate{Input: input, GroupBy: s.groupBy}
+	agg := &plan.Aggregate{Input: input, GroupBy: s.groupBy, Having: s.having}
 	for i, it := range s.items {
 		if it.agg == "" {
 			c, ok := it.arg.(*expr.Col)
@@ -186,17 +247,23 @@ func compileSelect(s *stmt, input plan.Node, owners map[string]string) (plan.Nod
 		}
 		agg.Aggs = append(agg.Aggs, spec)
 	}
-	// Project in SELECT order (the Aggregate node emits keys first).
-	exprs := make([]plan.NamedExpr, len(s.items))
+	// Project in SELECT order (the Aggregate node emits keys first); hidden
+	// HAVING aggregates are aggregated above but projected away here.
+	var exprs []plan.NamedExpr
+	var outCols []string
 	for i, it := range s.items {
+		if it.hidden {
+			continue
+		}
 		if it.agg == "" {
 			c := it.arg.(*expr.Col)
-			exprs[i] = plan.NamedExpr{Expr: expr.NewCol(c.Name), As: names[i]}
+			exprs = append(exprs, plan.NamedExpr{Expr: expr.NewCol(c.Name), As: names[i]})
 		} else {
-			exprs[i] = plan.NamedExpr{Expr: expr.NewCol(names[i]), As: names[i]}
+			exprs = append(exprs, plan.NamedExpr{Expr: expr.NewCol(names[i]), As: names[i]})
 		}
+		outCols = append(outCols, names[i])
 	}
-	return &plan.Map{Input: agg, Exprs: exprs}, names, nil
+	return &plan.Map{Input: agg, Exprs: exprs}, outCols, nil
 }
 
 // flattenAnd splits nested conjunctions into a list.

@@ -9,12 +9,15 @@ import (
 	"github.com/reprolab/swole/internal/storage"
 )
 
-// selectItem is one SELECT-list entry.
+// selectItem is one SELECT-list entry. hidden marks aggregates hoisted out
+// of the HAVING clause: they participate in aggregation but are projected
+// away before rows are returned.
 type selectItem struct {
-	agg  string // "", "sum", "count", "avg", "min", "max"
-	arg  expr.Expr
-	star bool // count(*)
-	as   string
+	agg    string // "", "sum", "count", "avg", "min", "max"
+	arg    expr.Expr
+	star   bool // count(*)
+	as     string
+	hidden bool
 }
 
 // orderItem is one ORDER BY entry.
@@ -29,6 +32,7 @@ type stmt struct {
 	tables  []string
 	where   expr.Expr
 	groupBy []string
+	having  expr.Expr
 	orderBy []orderItem
 	limit   int
 }
@@ -36,6 +40,10 @@ type stmt struct {
 type parser struct {
 	toks []token
 	pos  int
+	st   *stmt
+	// inHaving makes parsePrimary accept aggregate calls, hoisting each
+	// into a hidden select item and substituting a reference to its alias.
+	inHaving bool
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -84,6 +92,7 @@ func parse(src string) (*stmt, error) {
 	}
 	p := &parser{toks: toks}
 	s := &stmt{}
+	p.st = s
 	if err := p.expectKw("select"); err != nil {
 		return nil, err
 	}
@@ -132,6 +141,15 @@ func parse(src string) (*stmt, error) {
 			}
 		}
 	}
+	if p.acceptKw("having") {
+		p.inHaving = true
+		h, err := p.parseExpr()
+		p.inHaving = false
+		if err != nil {
+			return nil, err
+		}
+		s.having = h
+	}
 	if p.acceptKw("order") {
 		if err := p.expectKw("by"); err != nil {
 			return nil, err
@@ -174,22 +192,12 @@ var aggNames = map[string]bool{"sum": true, "count": true, "avg": true, "min": t
 
 func (p *parser) parseSelectItem() (selectItem, error) {
 	var item selectItem
-	t := p.peek()
-	if t.kind == tokIdent && aggNames[strings.ToLower(t.text)] && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
-		item.agg = strings.ToLower(p.next().text)
-		p.next() // (
-		if p.acceptSym("*") {
-			item.star = true
-		} else {
-			arg, err := p.parseExpr()
-			if err != nil {
-				return item, err
-			}
-			item.arg = arg
-		}
-		if err := p.expectSym(")"); err != nil {
+	if p.atAggCall() {
+		agg, arg, star, err := p.parseAggCall()
+		if err != nil {
 			return item, err
 		}
+		item.agg, item.arg, item.star = agg, arg, star
 	} else {
 		e, err := p.parseExpr()
 		if err != nil {
@@ -205,6 +213,31 @@ func (p *parser) parseSelectItem() (selectItem, error) {
 		item.as = strings.ToLower(n.text)
 	}
 	return item, nil
+}
+
+// atAggCall reports whether the parser sits on `agg(`.
+func (p *parser) atAggCall() bool {
+	t := p.peek()
+	return t.kind == tokIdent && aggNames[strings.ToLower(t.text)] &&
+		p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "("
+}
+
+// parseAggCall consumes `agg ( * | expr )`.
+func (p *parser) parseAggCall() (agg string, arg expr.Expr, star bool, err error) {
+	agg = strings.ToLower(p.next().text)
+	p.next() // (
+	if p.acceptSym("*") {
+		star = true
+	} else {
+		arg, err = p.parseExpr()
+		if err != nil {
+			return "", nil, false, err
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return "", nil, false, err
+	}
+	return agg, arg, star, nil
 }
 
 // parseColumnName accepts ident or ident.ident (qualifier dropped; column
@@ -457,6 +490,16 @@ func (p *parser) parsePrimary() (expr.Expr, error) {
 		return &expr.Const{Val: int64(d), Repr: "date '" + s.text + "'"}, nil
 	case p.isKw("case"):
 		return p.parseCase()
+	case p.inHaving && p.atAggCall():
+		agg, arg, star, err := p.parseAggCall()
+		if err != nil {
+			return nil, err
+		}
+		alias := fmt.Sprintf("__h%d", len(p.st.items))
+		p.st.items = append(p.st.items, selectItem{
+			agg: agg, arg: arg, star: star, as: alias, hidden: true,
+		})
+		return expr.NewCol(alias), nil
 	case t.kind == tokIdent:
 		name, err := p.parseColumnName()
 		if err != nil {

@@ -105,6 +105,12 @@ func buildAggregate(a *plan.Aggregate, db *storage.Database) (iterator, Fields, 
 		}
 		outFields = append(outFields, Field{Name: a.Aggs[i].As, Log: storage.LogInt})
 	}
+	if a.Having != nil {
+		// HAVING sees the finalized output row: keys then aggregates.
+		if err := expr.BindRow(a.Having, outFields); err != nil {
+			return nil, nil, err
+		}
+	}
 	return &aggIter{spec: a, in: in, keyIdx: keyIdx, fields: outFields, inFields: inFields}, outFields, nil
 }
 
@@ -158,6 +164,9 @@ func (it *aggIter) open() error {
 		out = append(out, g.keys...)
 		for i := range g.accs {
 			out = append(out, g.accs[i].finalize(it.spec.Aggs[i].Func))
+		}
+		if it.spec.Having != nil && expr.EvalRow(it.spec.Having, out) == 0 {
+			continue
 		}
 		it.groups = append(it.groups, out)
 	}

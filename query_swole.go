@@ -2,7 +2,9 @@ package swole
 
 import (
 	"context"
+	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/reprolab/swole/internal/core"
@@ -28,10 +30,12 @@ type Explain struct {
 	// "interpreter-fallback" when the query shape is outside the SWOLE
 	// executor's vocabulary.
 	Technique string
-	// Shape is the registry name of the matched SWOLE query shape (one of
-	// SupportedShapes()), or "interpreter-fallback" for statements outside
-	// the registry's vocabulary. It is the label serving metrics aggregate
-	// query counters under.
+	// Shape is the synthesized plan signature — the components the plan
+	// synthesizer assembled for this statement, rendered as a compact
+	// spine such as "scan+filter(or:2)+join:2+groupagg+having" — or
+	// "interpreter-fallback" for statements the synthesizer declined.
+	// Signatures are unbounded; serving metrics aggregate them under the
+	// bounded buckets of ShapeBucket.
 	Shape string
 	// Selectivity is the sampled predicate selectivity.
 	Selectivity float64
@@ -116,13 +120,17 @@ func fromCore(ex core.Explain) Explain {
 }
 
 // QuerySwole executes a SQL statement with the access-aware SWOLE
-// executor. Supported shapes (the paper's operator vocabulary): filtered
-// scalar and single-key group-by aggregation over one table, semijoin
-// aggregation, and groupjoin aggregation over a registered foreign key.
-// Other statements fall back to the interpreted engine, reported in the
-// Explain as "interpreter-fallback".
+// executor. Any single-block aggregate SELECT the frontend accepts —
+// filtered scans, up to three foreign-key join edges (star or snowflake),
+// OR/NOT predicate trees, multiple aggregates (sum, count, avg, min,
+// max), GROUP BY, and HAVING — is synthesized into one compiled plan; the
+// four classic SWOLE shapes (scalar, group-by, semijoin, and groupjoin
+// aggregation) are degenerate cases that compile onto their hand-
+// specialized kernels. Statements outside that grammar (no aggregate,
+// ORDER BY, unsupported joins) fall back to the interpreted engine,
+// reported in the Explain as "interpreter-fallback".
 //
-// Supported statements are cached as prepared plans: re-executing one —
+// Synthesized statements are cached as prepared plans: re-executing one —
 // byte-identical or merely whitespace-reformatted — skips parsing,
 // sampling, and the cost-model decision, and runs on recycled execution
 // state, allocation-free in the steady state. The returned *Result of a
@@ -164,8 +172,8 @@ func (d *DB) query(ctx context.Context, q string, copyRes bool) (*Result, Explai
 	if err != nil {
 		return nil, Explain{}, err
 	}
-	if shape, name, ok := d.matchSwole(p); ok {
-		c, err := d.prepareShape(name, shape)
+	if shape, sig, ok := d.synthesize(p); ok {
+		c, err := d.prepareShape(sig, shape)
 		if err != nil {
 			return nil, Explain{}, err
 		}
@@ -195,21 +203,27 @@ func (d *DB) query(ctx context.Context, q string, copyRes bool) (*Result, Explai
 	return &Result{res: vres}, Explain{Technique: "interpreter-fallback", Shape: "interpreter-fallback"}, nil
 }
 
-// The shape registry. A queryShape is one matched SWOLE statement: it
-// knows its input tables, its result header, and how to compile itself
-// into a runnable core plan. Each registered shapeDef pattern-matches one
-// input form of the normalized single-aggregate plan; everything above —
-// the plan cache, QuerySwole, and through them the harness and the bench
-// binary — routes through the registry, so supporting a new shape is one
-// registration here plus its core kernels, not an edit per layer.
+// The plan synthesizer. A compiled statement is no longer pattern-matched
+// against a registry of fixed shapes: synthesize destructures the logical
+// plan's aggregate spine (Map over Aggregate over a Scan or a left-deep
+// FK join chain) into a compositional core.Select spec — root scan, join
+// edges, residual, group keys, aggregates, HAVING, projection — and
+// assembles one compiled plan from kernel-closure plan cores. The four
+// classic SWOLE shapes remain as degenerate cases: when a statement's
+// spec collapses to one of them, it compiles onto the hand-specialized
+// kernel husk (keeping their multi-worker morsel parallelism, zero-alloc
+// warm replays, and shard fan-out); everything else compiles through
+// core.PrepareSelect, whose per-edge positional bitmaps and cost-chosen
+// disjunction strategy cover the general grammar.
 
-// queryShape is a pattern-matched SWOLE statement, ready to prepare.
+// queryShape is a synthesized SWOLE statement, ready to prepare.
 type queryShape interface {
 	// tables lists the input tables the compiled plan will read, in the
 	// order their versions should be pinned. The first entry is the
 	// driving table — the one whose shard layout the fan-out follows.
 	tables() []string
-	// fields is the result header the statement materializes.
+	// fields is the result header the statement materializes. It may be
+	// called only after prepare.
 	fields() volcano.Fields
 	// grouped reports whether the statement materializes (key, sum) rows
 	// (and its shard partials merge through the GroupMerger) rather than
@@ -225,43 +239,227 @@ type queryShape interface {
 	clone() queryShape
 }
 
-// shapeDef is one registry entry: a named matcher from the normalized
-// aggregate plan to a queryShape.
-type shapeDef struct {
-	name  string
-	match func(d *DB, in plan.Node, groupBy []string, spec plan.AggSpec) (queryShape, bool)
-}
-
-// swoleShapes is the registry, tried in order.
-var swoleShapes = []shapeDef{
-	{name: "scalar-agg", match: matchScalarAgg},
-	{name: "group-agg", match: matchGroupAgg},
-	{name: "semijoin-agg", match: matchSemiJoinAgg},
-	{name: "groupjoin-agg", match: matchGroupJoinAgg},
-}
-
-// SupportedShapes lists the names of the registered SWOLE query shapes in
-// match order; statements outside these shapes run on the interpreter
-// ("interpreter-fallback"). Exposed for tests and introspection.
+// SupportedShapes lists the bounded shape buckets synthesized plans
+// aggregate under (see ShapeBucket): every signature the synthesizer can
+// emit folds into one of these; statements outside the synthesizer's
+// grammar run on the interpreter ("interpreter-fallback"). The list is
+// derived from the component vocabulary, not a registry — there is no
+// fixed set of accepted statements anymore. Exposed for tests and
+// introspection.
 func SupportedShapes() []string {
-	names := make([]string, len(swoleShapes))
-	for i, def := range swoleShapes {
-		names[i] = def.name
+	// One representative signature per (join, aggregate) component
+	// combination; the buckets are their ShapeBucket images, deduplicated.
+	sigs := []string{
+		"scan+filter+scalaragg",
+		"scan+filter+groupagg",
+		"scan+filter+join:1+scalaragg",
+		"scan+filter+join:1+groupagg",
 	}
-	return names
+	seen := map[string]bool{}
+	out := make([]string, 0, len(sigs))
+	for _, sig := range sigs {
+		if b := ShapeBucket(sig); !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	return out
 }
 
-// matchSwole normalizes the plan's aggregate spine (single sum/count
-// aggregate under a projection) and tries each registered shape matcher,
-// returning the matched shape and its registry name.
-func (d *DB) matchSwole(p plan.Node) (queryShape, string, bool) {
+// ShapeBucket folds a synthesized plan signature (Explain.Shape) into one
+// of the four bounded label values serving metrics aggregate under:
+// "scalar-agg", "group-agg", "semijoin-agg", "groupjoin-agg" — or
+// "interpreter-fallback", which buckets as itself. Signatures grow with
+// the statement (join counts, OR widths, aggregate lists), so exporting
+// them raw would make metric label cardinality unbounded; the bucket is
+// the join/grouping class, which is what capacity dashboards key on.
+func ShapeBucket(sig string) string {
+	hasJoin := strings.Contains(sig, "join")
+	hasGroup := strings.Contains(sig, "groupagg")
+	if !hasGroup && !strings.Contains(sig, "scalaragg") {
+		// Not a synthesized signature ("interpreter-fallback", test stubs,
+		// the empty shape of a failed execution): already bounded, pass
+		// through unchanged.
+		return sig
+	}
+	switch {
+	case hasJoin && hasGroup:
+		return "groupjoin-agg"
+	case hasJoin:
+		return "semijoin-agg"
+	case hasGroup:
+		return "group-agg"
+	default:
+		return "scalar-agg"
+	}
+}
+
+// planSignature renders the spec's component spine: scan, filter (with
+// its OR width when the root predicate is a disjunction), join edge
+// count, the aggregate class (with count and non-additive functions when
+// beyond a single sum/count), and HAVING. The signature is Explain.Shape
+// for every synthesized statement — including the degenerate ones — and
+// buckets through ShapeBucket for metrics.
+func planSignature(spec *core.Select) string {
+	var b strings.Builder
+	b.WriteString("scan")
+	if spec.Filter != nil {
+		b.WriteString("+filter")
+		if n := len(expr.OrTerms(spec.Filter)); n > 1 {
+			fmt.Fprintf(&b, "(or:%d)", n)
+		}
+	}
+	if len(spec.Edges) > 0 {
+		fmt.Fprintf(&b, "+join:%d", len(spec.Edges))
+	}
+	if len(spec.GroupBy) > 0 {
+		b.WriteString("+groupagg")
+	} else {
+		b.WriteString("+scalaragg")
+	}
+	if len(spec.Aggs) > 1 {
+		fmt.Fprintf(&b, ":%d", len(spec.Aggs))
+	}
+	var funcs []string
+	seen := map[core.AggKind]bool{}
+	for _, a := range spec.Aggs {
+		switch a.Kind {
+		case core.AggAvg, core.AggMin, core.AggMax:
+			if !seen[a.Kind] {
+				seen[a.Kind] = true
+				funcs = append(funcs, a.Kind.String())
+			}
+		}
+	}
+	if len(funcs) > 0 {
+		b.WriteString("(" + strings.Join(funcs, ",") + ")")
+	}
+	if spec.Having != nil {
+		b.WriteString("+having")
+	}
+	return b.String()
+}
+
+// synthesize destructures a compiled logical plan into a queryShape and
+// its plan signature. It accepts any Map-over-Aggregate spine whose input
+// is a Scan or a left-deep chain of FK joins with Scan build sides —
+// exactly what the SQL frontend emits for a single-block aggregate SELECT
+// without ORDER BY. The root filter is normalized to NNF first, so the
+// disjunction planner sees the top-level OR terms.
+func (d *DB) synthesize(p plan.Node) (queryShape, string, bool) {
 	m, ok := p.(*plan.Map)
 	if !ok {
 		return nil, "", false
 	}
 	agg, ok := m.Input.(*plan.Aggregate)
-	if !ok || len(agg.Aggs) != 1 {
+	if !ok || len(agg.Aggs) == 0 {
 		return nil, "", false
+	}
+
+	// Destructure the join chain bottom-up: the probe spine ends at the
+	// root scan, each join's build side is a parent scan.
+	var joins []*plan.Join
+	node := agg.Input
+	for {
+		j, jok := node.(*plan.Join)
+		if !jok {
+			break
+		}
+		if j.Semi {
+			return nil, "", false
+		}
+		joins = append(joins, j)
+		node = j.Probe
+	}
+	root, ok := node.(*plan.Scan)
+	if !ok {
+		return nil, "", false
+	}
+	for i, j := 0, len(joins)-1; i < j; i, j = i+1, j-1 {
+		joins[i], joins[j] = joins[j], joins[i]
+	}
+	for _, j := range joins {
+		if _, bok := j.Build.(*plan.Scan); !bok {
+			return nil, "", false
+		}
+	}
+
+	// NNF the root predicate (structure-sharing; the compiled tree is
+	// ours) so OrTerms exposes the disjuncts to the cost model, for the
+	// degenerate kernels and the generic executor alike.
+	rootFilter := expr.NNF(root.Filter)
+
+	spec := core.Select{
+		Root:    root.Table,
+		Filter:  rootFilter,
+		GroupBy: agg.GroupBy,
+		Having:  agg.Having,
+	}
+	var residual []expr.Expr
+	for _, j := range joins {
+		b := j.Build.(*plan.Scan)
+		// Src: which side owns the FK column — the root scan or an earlier
+		// edge's parent (snowflake chain). Column names are query-unique.
+		src := -1
+		if d.db.MustTable(root.Table).Column(j.ProbeKey) == nil {
+			src = -2
+			for ei := range spec.Edges {
+				if d.db.MustTable(spec.Edges[ei].Parent).Column(j.ProbeKey) != nil {
+					src = ei
+					break
+				}
+			}
+			if src == -2 {
+				return nil, "", false
+			}
+		}
+		spec.Edges = append(spec.Edges, core.SelectEdge{
+			Src: src, FK: j.ProbeKey, Parent: b.Table, PK: j.BuildKey, Filter: b.Filter,
+		})
+		if j.Residual != nil {
+			// FK inner joins never drop or duplicate probe rows, so a
+			// mid-chain residual evaluates identically over the full row.
+			residual = append(residual, j.Residual)
+		}
+	}
+	switch len(residual) {
+	case 0:
+	case 1:
+		spec.Residual = residual[0]
+	default:
+		spec.Residual = &expr.Logic{Op: expr.And, Args: residual}
+	}
+	aggKinds := map[plan.AggFunc]core.AggKind{
+		plan.Sum: core.AggSum, plan.Count: core.AggCount, plan.Avg: core.AggAvg,
+		plan.Min: core.AggMin, plan.Max: core.AggMax,
+	}
+	for _, a := range agg.Aggs {
+		spec.Aggs = append(spec.Aggs, core.SelectAgg{Kind: aggKinds[a.Func], Arg: a.Arg, As: a.As})
+	}
+	for _, e := range m.Exprs {
+		spec.Project = append(spec.Project, core.SelectProj{Expr: e.Expr, As: e.As})
+	}
+
+	sig := planSignature(&spec)
+	if s, ok := d.degenerate(m, agg, root, rootFilter, joins); ok {
+		return s, sig, true
+	}
+	tabs := []string{spec.Root}
+	for _, e := range spec.Edges {
+		tabs = append(tabs, e.Parent)
+	}
+	return &selectShape{spec: spec, tabs: tabs}, sig, true
+}
+
+// degenerate recognizes the statements the four hand-specialized husks
+// cover — a single sum/count(*) aggregate, no HAVING, canonical
+// projection, at most one join edge with the classic restrictions — and
+// returns the matching shape. These keep their multi-worker kernels,
+// shard fan-out, and zero-alloc warm paths; anything richer compiles
+// through the generic executor.
+func (d *DB) degenerate(m *plan.Map, agg *plan.Aggregate, root *plan.Scan, rootFilter expr.Expr, joins []*plan.Join) (queryShape, bool) {
+	if len(agg.Aggs) != 1 || agg.Having != nil || len(joins) > 1 {
+		return nil, false
 	}
 	spec := agg.Aggs[0]
 	switch {
@@ -271,31 +469,78 @@ func (d *DB) matchSwole(p plan.Node) (queryShape, string, bool) {
 		// count(*) is sum(1).
 		spec.Arg = &expr.Const{Val: 1}
 	default:
-		return nil, "", false
+		return nil, false
 	}
-	for _, def := range swoleShapes {
-		if s, ok := def.match(d, agg.Input, agg.GroupBy, spec); ok {
-			return s, def.name, true
+	// Canonical projection: the group keys in order under their own names,
+	// then the aggregate alias. Anything else (reordered or aliased output
+	// columns) needs the generic executor's projection stage.
+	if len(m.Exprs) != len(agg.GroupBy)+1 {
+		return nil, false
+	}
+	for i, g := range agg.GroupBy {
+		c, cok := m.Exprs[i].Expr.(*expr.Col)
+		if !cok || c.Name != g || m.Exprs[i].As != g {
+			return nil, false
 		}
 	}
-	return nil, "", false
+	if c, cok := m.Exprs[len(agg.GroupBy)].Expr.(*expr.Col); !cok || c.Name != spec.As || m.Exprs[len(agg.GroupBy)].As != spec.As {
+		return nil, false
+	}
+
+	if len(joins) == 0 {
+		switch len(agg.GroupBy) {
+		case 0:
+			return scalarShape{
+				q:       core.ScalarAgg{Table: root.Table, Filter: rootFilter, Agg: spec.Arg},
+				aggName: spec.As,
+			}, true
+		case 1:
+			return groupShape{
+				q: core.GroupAgg{
+					Table: root.Table, Filter: rootFilter,
+					Key: expr.NewCol(agg.GroupBy[0]), Agg: spec.Arg,
+				},
+				keyName: agg.GroupBy[0],
+				aggName: spec.As,
+			}, true
+		}
+		return nil, false
+	}
+
+	j := joins[0]
+	build := j.Build.(*plan.Scan)
+	if j.Residual != nil || !colsSubset(expr.Cols(spec.Arg), d.db.MustTable(root.Table)) {
+		return nil, false
+	}
+	switch {
+	case len(agg.GroupBy) == 0:
+		return semiShape{
+			q: core.SemiJoinAgg{
+				Probe: root.Table, Build: build.Table,
+				FK: j.ProbeKey, PK: j.BuildKey,
+				ProbeFilter: rootFilter, BuildFilter: build.Filter,
+				Agg: spec.Arg,
+			},
+			aggName: spec.As,
+		}, true
+	case len(agg.GroupBy) == 1 && agg.GroupBy[0] == j.ProbeKey && rootFilter == nil:
+		return gjoinShape{
+			q: core.GroupJoinAgg{
+				Probe: root.Table, Build: build.Table,
+				FK: j.ProbeKey, PK: j.BuildKey,
+				BuildFilter: build.Filter, Agg: spec.Arg,
+			},
+			keyName: agg.GroupBy[0],
+			aggName: spec.As,
+		}, true
+	}
+	return nil, false
 }
 
 // scalarShape: filtered scalar aggregation over one table.
 type scalarShape struct {
 	q       core.ScalarAgg
 	aggName string
-}
-
-func matchScalarAgg(d *DB, in plan.Node, groupBy []string, spec plan.AggSpec) (queryShape, bool) {
-	scan, ok := in.(*plan.Scan)
-	if !ok || len(groupBy) != 0 {
-		return nil, false
-	}
-	return scalarShape{
-		q:       core.ScalarAgg{Table: scan.Table, Filter: scan.Filter, Agg: spec.Arg},
-		aggName: spec.As,
-	}, true
 }
 
 func (s scalarShape) tables() []string       { return []string{s.q.Table} }
@@ -321,21 +566,6 @@ type groupShape struct {
 	aggName string
 }
 
-func matchGroupAgg(d *DB, in plan.Node, groupBy []string, spec plan.AggSpec) (queryShape, bool) {
-	scan, ok := in.(*plan.Scan)
-	if !ok || len(groupBy) != 1 {
-		return nil, false
-	}
-	return groupShape{
-		q: core.GroupAgg{
-			Table: scan.Table, Filter: scan.Filter,
-			Key: expr.NewCol(groupBy[0]), Agg: spec.Arg,
-		},
-		keyName: groupBy[0],
-		aggName: spec.As,
-	}, true
-}
-
 func (s groupShape) tables() []string { return []string{s.q.Table} }
 func (s groupShape) fields() volcano.Fields {
 	return volcano.Fields{{Name: s.keyName}, {Name: s.aggName}}
@@ -355,45 +585,10 @@ func (s groupShape) clone() queryShape {
 	return s
 }
 
-// joinShape destructures the common join prefix of the two join shapes: a
-// scan-scan foreign-key join whose aggregate touches only probe columns
-// (what makes the join a semijoin in disguise).
-func joinShape(d *DB, in plan.Node, spec plan.AggSpec) (probe, build *plan.Scan, j *plan.Join, ok bool) {
-	j, ok = in.(*plan.Join)
-	if !ok {
-		return nil, nil, nil, false
-	}
-	probe, pok := j.Probe.(*plan.Scan)
-	build, bok := j.Build.(*plan.Scan)
-	if !pok || !bok || j.Residual != nil || j.Semi {
-		return nil, nil, nil, false
-	}
-	if !colsSubset(expr.Cols(spec.Arg), d.db.MustTable(probe.Table)) {
-		return nil, nil, nil, false
-	}
-	return probe, build, j, true
-}
-
 // semiShape: semijoin aggregation over a registered foreign key.
 type semiShape struct {
 	q       core.SemiJoinAgg
 	aggName string
-}
-
-func matchSemiJoinAgg(d *DB, in plan.Node, groupBy []string, spec plan.AggSpec) (queryShape, bool) {
-	probe, build, j, ok := joinShape(d, in, spec)
-	if !ok || len(groupBy) != 0 {
-		return nil, false
-	}
-	return semiShape{
-		q: core.SemiJoinAgg{
-			Probe: probe.Table, Build: build.Table,
-			FK: j.ProbeKey, PK: j.BuildKey,
-			ProbeFilter: probe.Filter, BuildFilter: build.Filter,
-			Agg: spec.Arg,
-		},
-		aggName: spec.As,
-	}, true
 }
 
 func (s semiShape) tables() []string       { return []string{s.q.Probe, s.q.Build} }
@@ -420,22 +615,6 @@ type gjoinShape struct {
 	aggName string
 }
 
-func matchGroupJoinAgg(d *DB, in plan.Node, groupBy []string, spec plan.AggSpec) (queryShape, bool) {
-	probe, build, j, ok := joinShape(d, in, spec)
-	if !ok || len(groupBy) != 1 || groupBy[0] != j.ProbeKey || probe.Filter != nil {
-		return nil, false
-	}
-	return gjoinShape{
-		q: core.GroupJoinAgg{
-			Probe: probe.Table, Build: build.Table,
-			FK: j.ProbeKey, PK: j.BuildKey,
-			BuildFilter: build.Filter, Agg: spec.Arg,
-		},
-		keyName: groupBy[0],
-		aggName: spec.As,
-	}, true
-}
-
 func (s gjoinShape) tables() []string { return []string{s.q.Probe, s.q.Build} }
 func (s gjoinShape) fields() volcano.Fields {
 	return volcano.Fields{{Name: s.keyName}, {Name: s.aggName}}
@@ -454,19 +633,78 @@ func (s gjoinShape) clone() queryShape {
 	return s
 }
 
-// prepareShape compiles the matched statement and wraps it as a cache
+// selectShape: the generic synthesized statement, compiled through
+// core.PrepareSelect. It always executes single-arm on the catalog
+// engine — which holds the full concatenated tables even when a table is
+// sharded — because the general grammar (HAVING, avg/min/max, multi-key
+// grouping) is not distributive over shard partials the way the
+// degenerate shapes' sums are.
+type selectShape struct {
+	spec core.Select
+	tabs []string
+	prep *core.PreparedSelect // set by prepare; fields() reads its header
+}
+
+func (s *selectShape) tables() []string { return s.tabs }
+func (s *selectShape) fields() volcano.Fields {
+	rf := s.prep.ResultFields()
+	fs := make(volcano.Fields, len(rf))
+	for i, f := range rf {
+		fs[i] = volcano.Field{Name: f.Name, Dict: f.Dict, Log: f.Log}
+	}
+	return fs
+}
+func (s *selectShape) grouped() bool { return len(s.spec.GroupBy) > 0 }
+func (s *selectShape) prepare(e *core.Engine) (planRunner, error) {
+	p, err := e.PrepareSelect(s.spec)
+	if err != nil {
+		return nil, err
+	}
+	s.prep = p
+	return selectRunner{p}, nil
+}
+func (s *selectShape) clone() queryShape {
+	c := *s
+	c.prep = nil
+	c.spec.Filter = expr.Clone(s.spec.Filter)
+	c.spec.Residual = expr.Clone(s.spec.Residual)
+	c.spec.Having = expr.Clone(s.spec.Having)
+	c.spec.Edges = append([]core.SelectEdge(nil), s.spec.Edges...)
+	for i := range c.spec.Edges {
+		c.spec.Edges[i].Filter = expr.Clone(c.spec.Edges[i].Filter)
+	}
+	c.spec.Aggs = append([]core.SelectAgg(nil), s.spec.Aggs...)
+	for i := range c.spec.Aggs {
+		c.spec.Aggs[i].Arg = expr.Clone(c.spec.Aggs[i].Arg)
+	}
+	c.spec.Project = append([]core.SelectProj(nil), s.spec.Project...)
+	for i := range c.spec.Project {
+		c.spec.Project[i].Expr = expr.Clone(c.spec.Project[i].Expr)
+	}
+	return &c
+}
+
+// prepareShape compiles the synthesized statement and wraps it as a cache
 // entry with its table-version and shard-epoch dependencies and reusable
 // result. Over an unsharded driving table the statement compiles once on
 // the catalog engine; over a sharded one it compiles one plan per shard
 // — the same shape cloned (private expression trees) and prepared
 // against each shard's engine, whose database holds that shard's row
 // range — and the entry's fan carries each arm with its shard read lock.
-func (d *DB) prepareShape(name string, s queryShape) (*cachedPlan, error) {
-	c := &cachedPlan{shape: name, grouped: s.grouped()}
+// Generic selectShape statements never fan out: their answers are not
+// mergeable from shard partials, and the catalog engine's tables always
+// hold every shard's rows, so the single-arm plan stays correct under
+// any shard layout (the shard-epoch dependency still drops it when a
+// shard's data changes).
+func (d *DB) prepareShape(sig string, s queryShape) (*cachedPlan, error) {
+	c := &cachedPlan{shape: sig, grouped: s.grouped()}
 	for _, tn := range s.tables() {
 		c.deps = append(c.deps, tableDep{name: tn, ver: d.db.TableVersion(tn), epoch: d.shardEpoch(tn)})
 	}
 	meta, fleet := d.shardFanFor(s.tables()[0])
+	if _, generic := s.(*selectShape); generic {
+		meta = nil
+	}
 	if meta == nil {
 		r, err := s.prepare(d.engine)
 		if err != nil {

@@ -54,37 +54,44 @@ type tableDep struct {
 
 // planRunner executes one compiled core plan under a context deadline
 // and returns its partial answer: the scalar sum for single-value
-// shapes, the sorted group partial for group shapes. Returning partials
-// rather than writing the entry's result directly is what lets the fan-
-// out path collect per-shard answers and merge them afterwards; the
-// cache itself stays shape-blind.
+// shapes, the sorted group partial for group shapes, or the materialized
+// row set for generic synthesized plans (which never fan out). Returning
+// partials rather than writing the entry's result directly is what lets
+// the fan-out path collect per-shard answers and merge them afterwards;
+// the cache itself stays shape-blind.
 type planRunner interface {
-	run(ctx context.Context) (sum int64, groups *core.GroupResult, ex core.Explain, err error)
+	run(ctx context.Context) (sum int64, groups *core.GroupResult, rows *core.SelectResult, ex core.Explain, err error)
 }
 
 type scalarRunner struct{ p *core.PreparedScalarAgg }
 type groupRunner struct{ p *core.PreparedGroupAgg }
 type semiRunner struct{ p *core.PreparedSemiJoinAgg }
 type gjoinRunner struct{ p *core.PreparedGroupJoinAgg }
+type selectRunner struct{ p *core.PreparedSelect }
 
-func (r scalarRunner) run(ctx context.Context) (int64, *core.GroupResult, core.Explain, error) {
+func (r scalarRunner) run(ctx context.Context) (int64, *core.GroupResult, *core.SelectResult, core.Explain, error) {
 	sum, ex, err := r.p.RunContext(ctx)
-	return sum, nil, ex, err
+	return sum, nil, nil, ex, err
 }
 
-func (r groupRunner) run(ctx context.Context) (int64, *core.GroupResult, core.Explain, error) {
+func (r groupRunner) run(ctx context.Context) (int64, *core.GroupResult, *core.SelectResult, core.Explain, error) {
 	g, ex, err := r.p.RunContext(ctx)
-	return 0, g, ex, err
+	return 0, g, nil, ex, err
 }
 
-func (r semiRunner) run(ctx context.Context) (int64, *core.GroupResult, core.Explain, error) {
+func (r semiRunner) run(ctx context.Context) (int64, *core.GroupResult, *core.SelectResult, core.Explain, error) {
 	sum, ex, err := r.p.RunContext(ctx)
-	return sum, nil, ex, err
+	return sum, nil, nil, ex, err
 }
 
-func (r gjoinRunner) run(ctx context.Context) (int64, *core.GroupResult, core.Explain, error) {
+func (r gjoinRunner) run(ctx context.Context) (int64, *core.GroupResult, *core.SelectResult, core.Explain, error) {
 	g, ex, err := r.p.RunContext(ctx)
-	return 0, g, ex, err
+	return 0, g, nil, ex, err
+}
+
+func (r selectRunner) run(ctx context.Context) (int64, *core.GroupResult, *core.SelectResult, core.Explain, error) {
+	res, ex, err := r.p.RunContext(ctx)
+	return 0, nil, res, ex, err
 }
 
 // shardRun is one arm of a statement's fan-out: the plan compiled
@@ -149,6 +156,22 @@ func (c *cachedPlan) putGroups(g *core.GroupResult) {
 	}
 }
 
+// putRows rematerializes an arbitrary-width row set (a generic
+// synthesized plan's answer) into the entry's flat buffer and row
+// headers, reusing both across runs.
+func (c *cachedPlan) putRows(res *core.SelectResult) {
+	c.flat = c.flat[:0]
+	for _, r := range res.Rows {
+		c.flat = append(c.flat, r...)
+	}
+	c.vres.Rows = c.vres.Rows[:0]
+	off := 0
+	for _, r := range res.Rows {
+		c.vres.Rows = append(c.vres.Rows, c.flat[off:off+len(r)])
+		off += len(r)
+	}
+}
+
 // fresh reports whether every input table is still at its prepared
 // version and shard epoch.
 func (c *cachedPlan) fresh(d *DB) bool {
@@ -177,15 +200,18 @@ func (c *cachedPlan) dependsOn(table string) bool {
 // Callers hold c.mu.
 func (c *cachedPlan) run(ctx context.Context) (*Result, Explain, error) {
 	if len(c.fan) == 1 && c.fan[0].lock == nil {
-		sum, g, cex, err := c.fan[0].exec.run(ctx)
+		sum, g, rows, cex, err := c.fan[0].exec.run(ctx)
 		ex := fromCore(cex)
 		ex.Shape = c.shape
 		if err != nil {
 			return nil, ex, err
 		}
-		if c.grouped {
+		switch {
+		case rows != nil:
+			c.putRows(rows)
+		case c.grouped:
 			c.putGroups(g)
-		} else {
+		default:
 			c.putScalar(sum)
 		}
 		return &c.res, ex, nil
@@ -220,7 +246,7 @@ func (c *cachedPlan) runFan(ctx context.Context) (*Result, Explain, error) {
 			arm := &c.fan[i]
 			start := time.Now()
 			arm.lock.RLock()
-			sums[i], partials[i], exs[i], errs[i] = arm.exec.run(fanCtx)
+			sums[i], partials[i], _, exs[i], errs[i] = arm.exec.run(fanCtx)
 			arm.lock.RUnlock()
 			times[i] = time.Since(start)
 			if errs[i] != nil {
@@ -281,9 +307,46 @@ func cloneResult(src *volcano.Result) *Result {
 // normalizeQuery collapses runs of whitespace to single spaces so
 // reformatted spellings of one statement share a cache entry. Case is
 // preserved: string literals are case-significant, and a lowercased key
-// would conflate them.
+// would conflate them. Single-quoted literals are copied verbatim —
+// whitespace inside them is data, and collapsing it would alias two
+// statements that differ only inside a quoted string onto one plan.
+// A doubled quote (”) inside a literal is the SQL escape for a quote,
+// not a close-and-reopen, and stays inside the literal.
 func normalizeQuery(q string) string {
-	return strings.Join(strings.Fields(q), " ")
+	var b strings.Builder
+	b.Grow(len(q))
+	pendingSpace := false
+	for i := 0; i < len(q); i++ {
+		c := q[i]
+		switch {
+		case c == '\'':
+			if pendingSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			pendingSpace = false
+			b.WriteByte(c)
+			for i++; i < len(q); i++ {
+				b.WriteByte(q[i])
+				if q[i] == '\'' {
+					if i+1 < len(q) && q[i+1] == '\'' {
+						i++
+						b.WriteByte(q[i])
+						continue
+					}
+					break
+				}
+			}
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f':
+			pendingSpace = true
+		default:
+			if pendingSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			pendingSpace = false
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
 }
 
 // cachedRun serves a statement from the plan cache; found reports whether

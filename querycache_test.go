@@ -290,12 +290,71 @@ func TestSetWorkersClearsCache(t *testing.T) {
 	}
 }
 
-// TestFallbackNotCached checks unsupported shapes still fall back to the
+// TestNormalizationKeepsLiterals pins the quote-awareness of the cache's
+// whitespace normalization: two statements that differ only inside a
+// quoted string literal are different statements and must not share a
+// normalized cache entry, while whitespace outside literals still
+// collapses onto one plan.
+func TestNormalizationKeepsLiterals(t *testing.T) {
+	d := NewDB()
+	defer d.Close()
+	if err := d.CreateTable("r",
+		StringColumn("s", []string{"red apple", "red  apple", "red apple", "pear"}),
+		IntColumn("v", []int64{1, 10, 100, 1000}),
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	// One space vs two inside the literal: distinct predicates, distinct
+	// answers. A normalization that collapsed whitespace inside literals
+	// would alias them onto one cached plan and serve the wrong sum.
+	one := "select sum(v) from r where s = 'red apple'"
+	two := "select sum(v) from r where s = 'red  apple'"
+	res1, _, err := d.QuerySwole(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res1.Rows()[0][0]; got != 101 {
+		t.Fatalf("sum for 'red apple' = %d, want 101", got)
+	}
+	res2, ex2, err := d.QuerySwole(two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex2.PlanCached {
+		t.Error("statement differing only inside a quoted literal hit the other statement's plan")
+	}
+	if got := res2.Rows()[0][0]; got != 10 {
+		t.Fatalf("sum for 'red  apple' = %d, want 10", got)
+	}
+
+	// Whitespace outside literals still normalizes onto the cached plan,
+	// and the literal's interior survives the round trip.
+	res3, ex3, err := d.QuerySwole("select  sum(v)\n\tfrom r where s = 'red  apple'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex3.PlanCached {
+		t.Error("reformatted spelling (whitespace outside the literal) missed the cache")
+	}
+	if got := res3.Rows()[0][0]; got != 10 {
+		t.Fatalf("reformatted spelling sum = %d, want 10", got)
+	}
+
+	// The doubled-quote escape stays inside the literal: a '' is a quote
+	// character, not a close-and-reopen that would expose the interior.
+	if got := normalizeQuery("select sum(v) from r where s = 'it''s  a  test'"); got != "select sum(v) from r where s = 'it''s  a  test'" {
+		t.Errorf("escaped-quote literal was rewritten: %q", got)
+	}
+}
+
+// TestFallbackNotCached checks statements outside the synthesizer's
+// grammar (here: a non-aggregate projection) still fall back to the
 // interpreter and are not inserted into the plan cache.
 func TestFallbackNotCached(t *testing.T) {
 	d := cacheTestDB(t, 1)
 	defer d.Close()
-	q := "select c, x, sum(a) from t group by c, x"
+	q := "select a, x from t where c < 3"
 	_, ex, err := d.QuerySwole(q)
 	if err != nil {
 		t.Fatal(err)
