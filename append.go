@@ -1,0 +1,319 @@
+package swole
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/reprolab/swole/internal/ingest"
+	"github.com/reprolab/swole/internal/storage"
+)
+
+// Streaming append path (DESIGN.md §14). Appends keep the store's
+// append-only-at-table-granularity discipline: a batch builds replacement
+// columns with storage.Column.Append (sharing backing arrays whenever the
+// physical width holds), registers the replacement table, and lets the
+// existing invalidation machinery do exactly — and only — the work the
+// change requires: the table's version and shard epoch advance, its
+// cached plans are evicted, and its cached statistics are merged
+// incrementally with the delta instead of being dropped. Other tables'
+// plans and statistics are untouched.
+//
+// Sharded tables route appends to the last row-range shard (swapped under
+// that one shard's write lock, so readers of every other shard never
+// block) until it reaches twice the nominal shard size fixed at
+// ShardTable time, then grow a fresh shard covering exactly the delta.
+//
+// Lock order: ingestMu → shardMu → d.mu; engine mutexes are leaves.
+
+// IngestPolicy controls what a malformed CSV row does to a batch.
+type IngestPolicy = ingest.Policy
+
+// Ingest error policies.
+const (
+	// IngestStrict aborts the whole batch on the first malformed row;
+	// nothing is appended.
+	IngestStrict = ingest.Strict
+	// IngestSkip drops malformed rows, counting and attributing each,
+	// and appends the rest.
+	IngestSkip = ingest.Skip
+)
+
+// IngestReport summarizes one CSV batch: rows appended, rows rejected,
+// and up to ingest.MaxRowErrors line-attributed error messages.
+type IngestReport struct {
+	Accepted int      `json:"accepted"`
+	Rejected int      `json:"rejected"`
+	Errors   []string `json:"errors,omitempty"`
+}
+
+// AppendCSV parses data as CSV through the table's compiled ingestion
+// kernel and appends the accepted rows. Fields line up positionally with
+// the table's columns and decode per column logical type: integers,
+// fixed-point decimals ("12.34"), dates ("2024-01-31"), and
+// dictionary-encoded strings (the value must already be in the column's
+// dictionary — appends never grow dictionaries, which is what keeps
+// shard replicas and cached predicates valid).
+//
+// Under IngestStrict a malformed row fails the whole batch: the report
+// carries the offending line and nothing is appended. Under IngestSkip
+// malformed rows are dropped and attributed in the report while the rest
+// append. The kernel is compiled once per table and reused across
+// batches, so the warm parse path performs zero heap allocations.
+func (d *DB) AppendCSV(table string, data []byte, policy IngestPolicy) (IngestReport, error) {
+	d.ingestMu.Lock()
+	defer d.ingestMu.Unlock()
+	k, err := d.kernelLocked(table)
+	if err != nil {
+		return IngestReport{}, err
+	}
+	k.SetPolicy(policy)
+	k.Reset()
+	perr := k.Parse(data)
+	rep := IngestReport{Accepted: k.Accepted(), Rejected: k.Rejected()}
+	for _, re := range k.Errors() {
+		rep.Errors = append(rep.Errors, re.Error())
+	}
+	if perr != nil {
+		rep.Accepted = 0 // strict failure: the whole batch is refused
+		return rep, perr
+	}
+	if k.Accepted() == 0 {
+		return rep, nil
+	}
+	if err := d.appendColumns(table, k.Columns()); err != nil {
+		rep.Accepted = 0
+		return rep, err
+	}
+	return rep, nil
+}
+
+// AppendRows appends row-major raw values: dictionary codes, day numbers,
+// and fixed-point values exactly as Result.Rows exposes them. Every row
+// must have one value per column; dictionary-encoded columns reject codes
+// outside the dictionary.
+func (d *DB) AppendRows(table string, rows [][]int64) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	d.ingestMu.Lock()
+	defer d.ingestMu.Unlock()
+	t := d.db.Table(table)
+	if t == nil {
+		return fmt.Errorf("swole: AppendRows: no table %s", table)
+	}
+	cols := make([][]int64, len(t.Columns))
+	for i := range cols {
+		cols[i] = make([]int64, len(rows))
+	}
+	for r, row := range rows {
+		if len(row) != len(t.Columns) {
+			return fmt.Errorf("swole: AppendRows: row %d has %d values, table %s has %d columns", r, len(row), table, len(t.Columns))
+		}
+		for c, v := range row {
+			cols[c][r] = v
+		}
+	}
+	for i, c := range t.Columns {
+		if c.Dict == nil {
+			continue
+		}
+		for r, v := range cols[i] {
+			if v < 0 || v >= int64(c.Dict.Len()) {
+				return fmt.Errorf("swole: AppendRows: row %d: %d is not a dictionary code of column %s", r, v, c.Name)
+			}
+		}
+	}
+	return d.appendColumns(table, cols)
+}
+
+// kernelLocked returns the table's compiled CSV kernel, rebuilding it when
+// the table's schema has drifted from the one the kernel was compiled for
+// (a CreateTable under the same name). Callers hold ingestMu.
+func (d *DB) kernelLocked(table string) (*ingest.Kernel, error) {
+	t := d.db.Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("swole: AppendCSV: no table %s", table)
+	}
+	if k := d.kernels[table]; k != nil && kernelMatches(k.Schema(), t) {
+		return k, nil
+	}
+	k, err := ingest.NewKernel(ingest.SchemaFor(t), ingest.Strict)
+	if err != nil {
+		return nil, err
+	}
+	d.kernels[table] = k
+	return k, nil
+}
+
+// kernelMatches reports whether a compiled kernel's schema still describes
+// the table: same column names, kinds, and dictionary identities.
+func kernelMatches(s ingest.Schema, t *storage.Table) bool {
+	if len(s) != len(t.Columns) {
+		return false
+	}
+	want := ingest.SchemaFor(t)
+	for i := range s {
+		if s[i] != want[i] { // Field is comparable; Dict compares by pointer
+			return false
+		}
+	}
+	return true
+}
+
+// appendColumns is the one write path under AppendCSV and AppendRows:
+// build the replacement table, verify every constraint before registering
+// anything, swap registrations (catalog, fleet, shard layout), then run
+// the invalidation protocol. Callers hold ingestMu.
+func (d *DB) appendColumns(name string, cols [][]int64) error {
+	d.shardMu.Lock()
+	defer d.shardMu.Unlock()
+	t := d.db.Table(name)
+	if t == nil {
+		return fmt.Errorf("swole: append: no table %s", name)
+	}
+	if len(cols) != len(t.Columns) {
+		return fmt.Errorf("swole: append: %d columns for table %s with %d", len(cols), name, len(t.Columns))
+	}
+	n := len(cols[0])
+	for i, c := range cols {
+		if len(c) != n {
+			return fmt.Errorf("swole: append: column %d has %d values, column 0 has %d", i, len(c), n)
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	oldRows := t.Rows()
+	newRows := oldRows + n
+	catVer := d.db.TableVersion(name)
+	memberVers := make([]uint64, len(d.fleet))
+	for i, fs := range d.fleet {
+		memberVers[i] = fs.db.TableVersion(name)
+	}
+
+	// Build the replacement table and verify every constraint — foreign-key
+	// extension, parent-key uniqueness — before registering anything, so a
+	// failed append leaves no partial state.
+	newCols := make([]*storage.Column, len(cols))
+	for i, c := range t.Columns {
+		newCols[i] = c.Append(cols[i])
+	}
+	newTab, err := storage.NewTable(name, newCols...)
+	if err != nil {
+		return err
+	}
+	var childIdx []*storage.FKIndex // extended indexes where name is the child
+	for _, idx := range d.db.FKIndexes() {
+		switch name {
+		case idx.Child:
+			parent := d.db.Table(idx.Parent)
+			ext, err := storage.ExtendFKIndex(idx, newTab, parent)
+			if err != nil {
+				return err
+			}
+			childIdx = append(childIdx, ext)
+		case idx.Parent:
+			// Appending to a foreign key's parent: the new keys must keep the
+			// primary key unique. Existing child positions stay valid — the
+			// parent's prefix is untouched.
+			if err := storage.ValidateUniqueKey(newTab.Column(idx.PK)); err != nil {
+				return err
+			}
+		}
+	}
+
+	meta := d.shardMeta[name]
+	grew := false
+	switch {
+	case meta == nil:
+		// Unsharded: the catalog and every fleet member hold the full table.
+		d.db.AddTable(newTab)
+		for _, idx := range childIdx {
+			d.db.PutFKIndex(idx)
+		}
+		for _, fs := range d.fleet {
+			fs.db.AddTable(newTab)
+			for _, idx := range childIdx {
+				fs.db.PutFKIndex(idx)
+			}
+		}
+	default:
+		k := meta.k
+		lastLo := meta.bounds[k-1]
+		grew = oldRows-lastLo >= 2*meta.target
+		if grew {
+			// Shard-growth rule: the last shard is already at twice its
+			// nominal size; the delta becomes shard k. ensureFleetLocked
+			// installs the pre-append layout into any new member, which the
+			// registrations below then overwrite for this table.
+			if err := d.ensureFleetLocked(k + 1); err != nil {
+				return err
+			}
+			newShard, err := newTab.Slice(oldRows, newRows)
+			if err != nil {
+				return err
+			}
+			d.fleet[k].db.AddTable(newShard)
+			for _, idx := range childIdx {
+				d.fleet[k].db.PutFKIndex(idx.Slice(oldRows, newRows))
+			}
+			meta.bounds = append(meta.bounds, newRows)
+			meta.locks = append(meta.locks, &sync.RWMutex{})
+			meta.k++
+		} else {
+			// Swap the last shard under its own write lock: readers of
+			// shards 0..k-2 never block, in-flight readers of shard k-1
+			// finish on the old (immutable) arrays.
+			newLast, err := newTab.Slice(lastLo, newRows)
+			if err != nil {
+				return err
+			}
+			meta.locks[k-1].Lock()
+			d.fleet[k-1].db.AddTable(newLast)
+			for _, idx := range childIdx {
+				d.fleet[k-1].db.PutFKIndex(idx.Slice(lastLo, newRows))
+			}
+			meta.locks[k-1].Unlock()
+			meta.bounds[k] = newRows
+		}
+		// Members past the shard fan-out hold full replicas; the catalog
+		// serves the interpreter and unsharded engine.
+		for i := meta.k; i < len(d.fleet); i++ {
+			d.fleet[i].db.AddTable(newTab)
+			for _, idx := range childIdx {
+				d.fleet[i].db.PutFKIndex(idx)
+			}
+		}
+		d.db.AddTable(newTab)
+		for _, idx := range childIdx {
+			d.db.PutFKIndex(idx)
+		}
+	}
+
+	// Invalidation protocol: the epoch and eviction cover cached plans
+	// (their bound arrays are length-capped views of the old data); the
+	// stats merge folds the delta into cached statistics instead of
+	// dropping them. Only this table is touched.
+	d.shardEpochs[name]++
+	d.evictPlans(name)
+	d.engine.MergeStatsOnAppend(name, catVer, oldRows)
+	for i, fs := range d.fleet {
+		switch {
+		case meta == nil:
+			fs.engine.MergeStatsOnAppend(name, memberVers[i], oldRows)
+		case grew && i == meta.k-1:
+			// This member went from full replica (or nothing) to the new
+			// delta shard — its view shrank; merged stats would describe
+			// the wrong rows.
+			fs.engine.InvalidateStats(name)
+		case !grew && i == meta.k-1:
+			// The swapped last shard: its delta starts at its old length.
+			fs.engine.MergeStatsOnAppend(name, memberVers[i], oldRows-meta.bounds[meta.k-1])
+		case i >= meta.k:
+			fs.engine.MergeStatsOnAppend(name, memberVers[i], oldRows)
+		}
+		// Members holding untouched shards saw no change: their
+		// registration, version, and statistics all stay valid.
+	}
+	return nil
+}

@@ -12,6 +12,9 @@
 //	swolebench -query 'select r_c, count(*) as n from r group by r_c having n > 10'
 //	                             # one arbitrary statement: synthesized plan + timings
 //	swolebench -kernel-variants  # per-query kernel-variant selection counters
+//	swolebench -ingest batch.csv -repeat 5
+//	                             # append a CSV batch through the ingestion
+//	                             # kernel 5 times; decode+append throughput
 //	swolebench -repeat 10 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Scales come from the environment (SWOLE_SF, SWOLE_MICRO_R, SWOLE_REPS,
@@ -48,6 +51,9 @@ func realMain() error {
 	query := flag.String("query", "", "run one arbitrary SQL statement against the micro dataset and report its synthesized plan, cold timing, and plan-cached warm timing")
 	shards := flag.Int("shards", 0, "split the fact table into this many in-process shards for -repeat (negative = cost model decides, 0/1 = unsharded)")
 	variants := flag.Bool("kernel-variants", false, "run each supported query shape and report the kernel-variant selection counters from Explain")
+	ingestFile := flag.String("ingest", "", "append this CSV file to the micro dataset through the table's ingestion kernel and report decode+append throughput (-repeat batches)")
+	ingestTable := flag.String("ingest-table", "r", "table -ingest appends to (CSV fields line up with its columns)")
+	ingestPolicy := flag.String("ingest-policy", "strict", "malformed-row policy for -ingest: strict (refuse the batch) or skip (drop and attribute)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline for -repeat runs; deadline-exceeded runs are counted and reported separately (0 = no deadline)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -85,6 +91,9 @@ func realMain() error {
 	}
 	if *variants {
 		return runKernelVariants(cfg)
+	}
+	if *ingestFile != "" {
+		return runIngest(cfg, *ingestFile, *ingestTable, *ingestPolicy, *repeat, *shards)
 	}
 	if *query != "" {
 		return runQuery(cfg, *query, *repeat, *timeout, *shards)

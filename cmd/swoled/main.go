@@ -4,6 +4,7 @@
 // TPC-H with -tpch), then serves:
 //
 //	POST /query    {"query": "...", "timeout_ms": 100}  → columns, rows, explain
+//	POST /ingest?table=r[&policy=skip]  (CSV body)      → rows accepted/rejected
 //	GET  /explain?q=...                                 → explain only
 //	GET  /metrics                                       → Prometheus text format
 //	GET  /healthz                                       → ok / draining
@@ -13,6 +14,13 @@
 // unless the request carries its own timeout_ms. SIGINT/SIGTERM drains
 // gracefully: in-flight queries finish (up to -drain), then the process
 // exits 0.
+//
+// /ingest appends one CSV batch through the table's compiled ingestion
+// kernel (fields line up positionally with the table's columns); appended
+// rows are visible to the next /query. Batches share the query admission
+// slots, and /metrics adds swole_ingest_queries_total{outcome},
+// swole_ingest_rows_total, and swole_ingest_duration_seconds. Coordinator
+// mode has no local data and answers /ingest with 501.
 //
 // Two scaling modes ride on top (see README "Scaling out"):
 //

@@ -298,28 +298,41 @@ func sampleSelectivity(filter expr.Expr, rows, maxSample int) float64 {
 	return float64(hits) / float64(n)
 }
 
-// sampleGroups estimates the number of distinct keys of a bound column
-// expression; if the sample saturates, the estimate scales linearly.
-func sampleGroups(key expr.Expr, rows, maxSample int) int {
-	if rows == 0 {
-		return 1
-	}
+// sampleGroupKeys folds up to maxSample of the bound key expression's
+// values into seen and returns how many rows it sampled. The append path
+// reuses it to merge a delta's keys into an existing distinct-sample.
+func sampleGroupKeys(key expr.Expr, rows, maxSample int, seen map[int64]struct{}) int {
 	step := 1
 	if rows > maxSample {
 		step = rows / maxSample
 	}
-	seen := map[int64]struct{}{}
 	n := 0
 	for i := 0; i < rows; i += step {
 		n++
 		seen[expr.Eval(key, i)] = struct{}{}
 	}
-	d := len(seen)
-	// If nearly every sampled row had a fresh key, extrapolate.
+	return n
+}
+
+// estimateGroups turns a distinct-sample (d distinct keys in n sampled of
+// rows total) into a group-count estimate; if the sample saturates, the
+// estimate scales linearly.
+func estimateGroups(d, n, rows int) int {
 	if d > n*3/4 {
 		return d * (rows / max(n, 1))
 	}
 	return d
+}
+
+// sampleGroups estimates the number of distinct keys of a bound column
+// expression.
+func sampleGroups(key expr.Expr, rows, maxSample int) int {
+	if rows == 0 {
+		return 1
+	}
+	seen := map[int64]struct{}{}
+	n := sampleGroupKeys(key, rows, maxSample, seen)
+	return estimateGroups(len(seen), n, rows)
 }
 
 // aggSlotBytes approximates ht.AggTable's per-group footprint.

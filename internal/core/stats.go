@@ -2,6 +2,7 @@ package core
 
 import (
 	"github.com/reprolab/swole/internal/expr"
+	"github.com/reprolab/swole/internal/storage"
 )
 
 // Statistics cache. Sampling selectivities and group cardinalities is how
@@ -35,7 +36,27 @@ type statsKey struct {
 type statsEntry struct {
 	sel    float64
 	groups int
+
+	// Incremental-merge state for the append path (MergeStatsOnAppend):
+	// e is an unbound clone of the sampled expression, owned by the cache
+	// so rebinding it against a delta view cannot race with the live plan
+	// that supplied the original; n counts rows sampled so far; keys is
+	// the distinct-sample behind a group-count estimate, retained only
+	// while it stays under mergeableKeyCap.
+	e    expr.Expr
+	n    int
+	keys map[int64]struct{}
 }
+
+// mergeableKeyCap bounds the distinct-sample retained per group-count
+// entry. Low-cardinality keys — the common GROUP BY case — merge exactly;
+// a key that saturates the cap has its sample dropped and the entry falls
+// back to full re-sampling on the next append.
+const mergeableKeyCap = 4096
+
+// statsMaxSample is the sampling budget, shared by the planning-time
+// sampling sites and the append-time delta merge.
+const statsMaxSample = 16384
 
 // statsCache is a bounded map of sampled statistics. Zero value is ready.
 type statsCache struct {
@@ -107,7 +128,7 @@ func (e *Engine) selectivity(table string, rows int, filter expr.Expr, maxSample
 	}
 	sel = sampleSelectivity(filter, rows, maxSample)
 	e.mu.Lock()
-	e.stats.put(k, statsEntry{sel: sel})
+	e.stats.put(k, statsEntry{sel: sel, e: expr.Clone(filter), n: min(rows, maxSample)})
 	e.mu.Unlock()
 	return sel, false
 }
@@ -122,9 +143,88 @@ func (e *Engine) groupCount(table string, rows int, key expr.Expr, maxSample int
 	if ok {
 		return ent.groups, true
 	}
-	groups = sampleGroups(key, rows, maxSample)
+	seen := map[int64]struct{}{}
+	n := 0
+	if rows > 0 {
+		n = sampleGroupKeys(key, rows, maxSample, seen)
+	}
+	groups = 1
+	if rows > 0 {
+		groups = estimateGroups(len(seen), n, rows)
+	}
+	fresh := statsEntry{groups: groups, e: expr.Clone(key), n: n, keys: seen}
+	if len(seen) > mergeableKeyCap {
+		fresh.e, fresh.keys = nil, nil // too wide to merge; re-sample on append
+	}
 	e.mu.Lock()
-	e.stats.put(k, statsEntry{groups: groups})
+	e.stats.put(k, fresh)
 	e.mu.Unlock()
 	return groups, false
+}
+
+// MergeStatsOnAppend folds appended rows into the cached statistics of the
+// named table instead of dropping them: each entry recorded at oldVer is
+// re-keyed to the current version after sampling only the delta rows
+// [oldRows, Rows). Selectivities merge as row-count-weighted averages;
+// group counts union the delta's keys into the retained distinct-sample.
+// Entries without merge state (or whose expressions no longer bind) are
+// dropped and re-sampled lazily. One-shot plans over the table are dropped
+// the same way InvalidateStats drops them — their bound arrays are stale.
+func (e *Engine) MergeStatsOnAppend(table string, oldVer uint64, oldRows int) {
+	t := e.DB.Table(table)
+	newVer := e.DB.TableVersion(table)
+	if t == nil || newVer == oldVer {
+		return
+	}
+	var delta *storage.Table
+	if oldRows <= t.Rows() {
+		delta, _ = t.Slice(oldRows, t.Rows())
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	dropDependentPlans(e.planScalar, table)
+	dropDependentPlans(e.planGroup, table)
+	dropDependentPlans(e.planSemi, table)
+	dropDependentPlans(e.planGJoin, table)
+	type rekeyed struct {
+		k statsKey
+		e statsEntry
+	}
+	var out []rekeyed
+	for k, ent := range e.stats.m {
+		if k.table != table {
+			continue
+		}
+		delete(e.stats.m, k)
+		if k.ver != oldVer || ent.e == nil || delta == nil {
+			continue // stale or unmergeable: re-sample lazily
+		}
+		if err := expr.Bind(ent.e, delta); err != nil {
+			continue // column vanished; shouldn't happen on appends
+		}
+		dn := delta.Rows()
+		switch k.kind {
+		case statSelectivity:
+			if dn > 0 {
+				dsel := sampleSelectivity(ent.e, dn, statsMaxSample)
+				ent.sel = (ent.sel*float64(oldRows) + dsel*float64(dn)) / float64(oldRows+dn)
+				ent.n += min(dn, statsMaxSample)
+			}
+		case statGroups:
+			if ent.keys == nil {
+				continue
+			}
+			if dn > 0 {
+				ent.n += sampleGroupKeys(ent.e, dn, statsMaxSample, ent.keys)
+			}
+			if len(ent.keys) > mergeableKeyCap {
+				continue
+			}
+			ent.groups = estimateGroups(len(ent.keys), ent.n, t.Rows())
+		}
+		out = append(out, rekeyed{statsKey{table: table, ver: newVer, kind: k.kind, expr: k.expr}, ent})
+	}
+	for _, r := range out {
+		e.stats.put(r.k, r.e)
+	}
 }

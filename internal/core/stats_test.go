@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reprolab/swole/internal/expr"
+	"github.com/reprolab/swole/internal/storage"
+)
+
+// appendRows registers a replacement r table with deltaN extra rows whose
+// r_x is always 0 (so any "r_x < k" predicate is fully selective on the
+// delta) and whose r_c cycles through newGroups previously unseen codes.
+func appendRows(t *testing.T, db *storage.Database, deltaN, newGroups int) {
+	t.Helper()
+	r := db.MustTable("r")
+	delta := make(map[string][]int64, len(r.Columns))
+	for i := 0; i < deltaN; i++ {
+		delta["r_x"] = append(delta["r_x"], 0)
+		delta["r_a"] = append(delta["r_a"], 1)
+		delta["r_c"] = append(delta["r_c"], int64(1000+i%newGroups))
+		delta["r_fk"] = append(delta["r_fk"], 0)
+	}
+	cols := make([]*storage.Column, len(r.Columns))
+	for i, c := range r.Columns {
+		cols[i] = c.Append(delta[c.Name])
+	}
+	db.AddTable(storage.MustNewTable("r", cols...))
+}
+
+func TestMergeStatsOnAppend(t *testing.T) {
+	db := testDB(t, 10_000, 100, 8)
+	e := NewEngine(db)
+	r := db.MustTable("r")
+	oldVer := db.TableVersion("r")
+	oldRows := r.Rows()
+
+	filter := lt("r_x", 50)
+	if err := expr.Bind(filter, r); err != nil {
+		t.Fatal(err)
+	}
+	sel0, cached := e.selectivity("r", oldRows, filter, statsMaxSample)
+	if cached {
+		t.Fatal("first sample reported cached")
+	}
+	key := expr.NewCol("r_c")
+	if err := expr.Bind(key, r); err != nil {
+		t.Fatal(err)
+	}
+	g0, _ := e.groupCount("r", oldRows, key, statsMaxSample)
+	if g0 != 8 {
+		t.Fatalf("initial group count = %d, want 8", g0)
+	}
+	// An entry on another table must survive the merge untouched.
+	s := db.MustTable("s")
+	sFilter := lt("s_x", 10)
+	if err := expr.Bind(sFilter, s); err != nil {
+		t.Fatal(err)
+	}
+	e.selectivity("s", s.Rows(), sFilter, statsMaxSample)
+	lenBefore := e.StatsCacheLen()
+
+	const deltaN = 5000
+	appendRows(t, db, deltaN, 4)
+	e.MergeStatsOnAppend("r", oldVer, oldRows)
+
+	if got := e.StatsCacheLen(); got != lenBefore {
+		t.Fatalf("stats entries = %d after merge, want %d (updated in place, not dropped)", got, lenBefore)
+	}
+
+	// Selectivity must be the row-count-weighted merge: the delta is 100%
+	// selective for r_x < 50.
+	newRows := db.MustTable("r").Rows()
+	sel1, hit := e.selectivity("r", newRows, filter, statsMaxSample)
+	if !hit {
+		t.Fatal("merged selectivity entry missed: merge dropped it")
+	}
+	want := (sel0*float64(oldRows) + 1.0*deltaN) / float64(oldRows+deltaN)
+	if math.Abs(sel1-want) > 1e-9 {
+		t.Fatalf("merged selectivity = %v, want %v", sel1, want)
+	}
+
+	// Group count must have absorbed the delta's 4 new keys.
+	g1, hit := e.groupCount("r", newRows, key, statsMaxSample)
+	if !hit {
+		t.Fatal("merged group entry missed: merge dropped it")
+	}
+	if g1 != 12 {
+		t.Fatalf("merged group count = %d, want 12", g1)
+	}
+
+	// The other table's entry is still served from cache.
+	if _, hit := e.selectivity("s", s.Rows(), sFilter, statsMaxSample); !hit {
+		t.Fatal("unrelated table's stats entry was dropped")
+	}
+}
+
+func TestMergeStatsOnAppendStaleVersion(t *testing.T) {
+	db := testDB(t, 2_000, 10, 4)
+	e := NewEngine(db)
+	r := db.MustTable("r")
+	filter := lt("r_x", 50)
+	if err := expr.Bind(filter, r); err != nil {
+		t.Fatal(err)
+	}
+	e.selectivity("r", r.Rows(), filter, statsMaxSample)
+	oldRows := r.Rows()
+
+	// Two registrations between sample and merge: the entry's version no
+	// longer matches oldVer, so it must be dropped, not merged.
+	appendRows(t, db, 100, 1)
+	staleVer := db.TableVersion("r")
+	appendRows(t, db, 100, 1)
+	e.MergeStatsOnAppend("r", staleVer, oldRows+100)
+	if got := e.StatsCacheLen(); got != 0 {
+		t.Fatalf("stats entries = %d, want 0 (stale-version entries dropped)", got)
+	}
+}

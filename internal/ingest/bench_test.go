@@ -1,0 +1,124 @@
+package ingest
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/reprolab/swole/internal/storage"
+)
+
+// benchRows is the batch size per benchmark op. CI derives the rows/sec
+// gate from it: ns/op must stay at or below benchRows*1000 for the kernel
+// to sustain one million rows per second.
+const benchRows = 100000
+
+func benchDoc(quoted bool) (Schema, []byte) {
+	dict := storage.NewDict([]string{"red", "green", "blue", "cyan"})
+	schema := Schema{
+		{Name: "a", Kind: Int64},
+		{Name: "b", Kind: Int64},
+		{Name: "p", Kind: Decimal},
+		{Name: "d", Kind: Date},
+		{Name: "s", Kind: Dict, Dict: dict},
+	}
+	var sb strings.Builder
+	colors := []string{"red", "green", "blue", "cyan"}
+	for i := 0; i < benchRows; i++ {
+		sb.WriteString(strconv.Itoa(i % 1000))
+		sb.WriteByte(',')
+		sb.WriteString(strconv.Itoa(i))
+		sb.WriteString(",19.")
+		sb.WriteString(strconv.Itoa(10 + i%90))
+		sb.WriteString(",2020-")
+		sb.WriteString(strconv.Itoa(1 + i%12))
+		sb.WriteString("-")
+		sb.WriteString(strconv.Itoa(1 + i%28))
+		sb.WriteByte(',')
+		if quoted {
+			sb.WriteString(`"` + colors[i%4] + `"`)
+		} else {
+			sb.WriteString(colors[i%4])
+		}
+		sb.WriteByte('\n')
+	}
+	return schema, []byte(sb.String())
+}
+
+// BenchmarkIngestKernel is the warm kernel path: one compiled kernel
+// re-used across batches via Reset. CI gates it at 0 allocs/op and
+// >= 1M rows/sec.
+func BenchmarkIngestKernel(b *testing.B) {
+	schema, doc := benchDoc(false)
+	k, err := NewKernel(schema, Strict)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := k.Parse(doc); err != nil { // warm: grow buffers to capacity
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Reset()
+		if err := k.Parse(doc); err != nil {
+			b.Fatal(err)
+		}
+		if k.Accepted() != benchRows {
+			b.Fatalf("accepted %d", k.Accepted())
+		}
+	}
+	b.ReportMetric(float64(benchRows*b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkIngestKernelQuoted exercises the quoted-field path (every
+// dictionary value quoted).
+func BenchmarkIngestKernelQuoted(b *testing.B) {
+	schema, doc := benchDoc(true)
+	k, err := NewKernel(schema, Strict)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := k.Parse(doc); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Reset()
+		if err := k.Parse(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchRows*b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkIngestKernelSkip measures the rejection path: every third row
+// malformed under the Skip policy.
+func BenchmarkIngestKernelSkip(b *testing.B) {
+	schema, clean := benchDoc(false)
+	lines := strings.Split(strings.TrimSuffix(string(clean), "\n"), "\n")
+	for i := 2; i < len(lines); i += 3 {
+		lines[i] = "not,valid"
+	}
+	doc := []byte(strings.Join(lines, "\n") + "\n")
+	k, err := NewKernel(schema, Skip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := k.Parse(doc); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Reset()
+		if err := k.Parse(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchRows*b.N)/b.Elapsed().Seconds(), "rows/s")
+}

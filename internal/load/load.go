@@ -48,8 +48,24 @@ type Config struct {
 	Duration time.Duration
 	// Timeout is the per-request HTTP timeout; default 10s.
 	Timeout time.Duration
-	// Mix is the workload; required.
+	// Mix is the workload; required unless Ingest takes every slot.
 	Mix []Query
+	// Ingest configures the write side of a mixed read/write run; nil
+	// means read-only.
+	Ingest *IngestConfig
+}
+
+// IngestConfig is the write side of a mixed workload: every ingest slot
+// POSTs the same CSV batch to /ingest.
+type IngestConfig struct {
+	// Percent of requests that are ingest batches, 1..100.
+	Percent int
+	// Table receives the batches.
+	Table string
+	// Body is the CSV batch posted on each ingest request.
+	Body []byte
+	// Policy is "strict" (default) or "skip".
+	Policy string
 }
 
 // Outcomes counts finished requests by server classification (mirroring
@@ -81,6 +97,11 @@ type Attribution struct {
 	// across swole_shard_queries_total{shard}; zero against a non-
 	// coordinator swoled.
 	ShardQueries uint64 `json:"shard_queries,omitempty"`
+	// IngestRows and IngestSeconds are the window's appended-row count and
+	// server-side ingest wall time (its own histogram, so ExecSeconds
+	// stays a pure read-execution figure); zero on read-only runs.
+	IngestRows    uint64  `json:"ingest_rows,omitempty"`
+	IngestSeconds float64 `json:"ingest_seconds,omitempty"`
 }
 
 // Report is a finished run, shaped for JSON (BENCH_serving.json).
@@ -102,16 +123,40 @@ type Report struct {
 	MaxMs  float64 `json:"max_ms"`
 	MeanMs float64 `json:"mean_ms"`
 
+	// Ingest is present on mixed read/write runs: the write side's own
+	// outcome and latency tallies. The top-level quantiles and outcomes
+	// cover reads only, so a p99 gate bounds read latency unpolluted by
+	// batch appends; ErrorRate spans both sides.
+	Ingest *IngestStats `json:"ingest,omitempty"`
+
 	// Server is nil when the /metrics scrape failed.
 	Server *Attribution `json:"server,omitempty"`
 }
 
-// ErrorRate is the fraction of requests that did not come back OK.
+// IngestStats is the write side of a mixed run's report.
+type IngestStats struct {
+	Requests     uint64   `json:"requests"`
+	RowsAccepted uint64   `json:"rows_accepted"`
+	RowsRejected uint64   `json:"rows_rejected"`
+	Outcomes     Outcomes `json:"outcomes"`
+	P50ms        float64  `json:"p50_ms"`
+	P99ms        float64  `json:"p99_ms"`
+	MaxMs        float64  `json:"max_ms"`
+	MeanMs       float64  `json:"mean_ms"`
+}
+
+// ErrorRate is the fraction of requests — reads and ingests — that did
+// not come back OK.
 func (r *Report) ErrorRate() float64 {
-	if r.Requests == 0 {
+	total, ok := r.Requests, r.Outcomes.OK
+	if r.Ingest != nil {
+		total += r.Ingest.Requests
+		ok += r.Ingest.Outcomes.OK
+	}
+	if total == 0 {
 		return 0
 	}
-	return 1 - float64(r.Outcomes.OK)/float64(r.Requests)
+	return 1 - float64(ok)/float64(total)
 }
 
 // Gate checks the report against CI bounds: a p99 ceiling (0 disables)
@@ -167,10 +212,58 @@ func schedule(mix []Query) []string {
 	return cycle
 }
 
+// op is one slot of the combined read/write cycle.
+type op struct {
+	ingest bool
+	sql    string
+}
+
+// buildCycle interleaves ingest slots into the read cycle at the
+// configured percentage, spreading them evenly (Bresenham-style) so that
+// writes arrive steadily rather than in bursts. The combined cycle spans
+// 100 read-cycle repetitions, which preserves both the read weights and
+// the ingest fraction exactly.
+func buildCycle(mix []Query, ing *IngestConfig) []op {
+	reads := schedule(mix)
+	if ing == nil || ing.Percent <= 0 {
+		ops := make([]op, len(reads))
+		for i, sql := range reads {
+			ops[i] = op{sql: sql}
+		}
+		return ops
+	}
+	p := ing.Percent
+	if p > 100 {
+		p = 100
+	}
+	n := 100
+	if len(reads) > 0 {
+		n = 100 * len(reads)
+	}
+	ops := make([]op, 0, n)
+	acc, ri := 0, 0
+	for i := 0; i < n; i++ {
+		acc += p
+		if acc >= 100 {
+			acc -= 100
+			ops = append(ops, op{ingest: true})
+		} else {
+			ops = append(ops, op{sql: reads[ri%len(reads)]})
+			ri++
+		}
+	}
+	return ops
+}
+
 // connResult is one connection's private tally, merged after the run.
 type connResult struct {
 	hist Hist
 	out  Outcomes
+
+	ingestHist     Hist
+	ingestOut      Outcomes
+	ingestAccepted uint64
+	ingestRejected uint64
 }
 
 // Run drives the configured load against the server and reports. It
@@ -178,10 +271,18 @@ type connResult struct {
 // unreachable server; per-request failures are counted, not fatal.
 func Run(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	if len(cfg.Mix) == 0 {
+	if len(cfg.Mix) == 0 && (cfg.Ingest == nil || cfg.Ingest.Percent < 100) {
 		return nil, fmt.Errorf("load: empty query mix")
 	}
-	cycle := schedule(cfg.Mix)
+	if cfg.Ingest != nil && cfg.Ingest.Percent > 0 {
+		if cfg.Ingest.Table == "" {
+			return nil, fmt.Errorf("load: ingest mix needs a table")
+		}
+		if len(cfg.Ingest.Body) == 0 {
+			return nil, fmt.Errorf("load: ingest mix needs a CSV body")
+		}
+	}
+	cycle := buildCycle(cfg.Mix, cfg.Ingest)
 
 	client := &http.Client{
 		Timeout: cfg.Timeout,
@@ -208,7 +309,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			drive(runCtx, client, cfg.Addr, cycle, c, interval, &results[c])
+			drive(runCtx, client, cfg.Addr, cycle, c, interval, cfg.Ingest, &results[c])
 		}(c)
 	}
 	wg.Wait()
@@ -219,18 +320,26 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		Conns:       cfg.Conns,
 		DurationSec: elapsed.Seconds(),
 	}
-	var hist Hist
+	addOutcomes := func(dst, o *Outcomes) {
+		dst.OK += o.OK
+		dst.Rejected += o.Rejected
+		dst.Timeouts += o.Timeouts
+		dst.Errors += o.Errors
+		dst.Transport += o.Transport
+	}
+	var hist, ingestHist Hist
+	var ingest IngestStats
 	for i := range results {
 		hist.Merge(&results[i].hist)
-		o := &results[i].out
-		rep.Outcomes.OK += o.OK
-		rep.Outcomes.Rejected += o.Rejected
-		rep.Outcomes.Timeouts += o.Timeouts
-		rep.Outcomes.Errors += o.Errors
-		rep.Outcomes.Transport += o.Transport
+		addOutcomes(&rep.Outcomes, &results[i].out)
+		ingestHist.Merge(&results[i].ingestHist)
+		addOutcomes(&ingest.Outcomes, &results[i].ingestOut)
+		ingest.RowsAccepted += results[i].ingestAccepted
+		ingest.RowsRejected += results[i].ingestRejected
 	}
 	rep.Requests = hist.Count() + rep.Outcomes.Transport
-	rep.AchievedQPS = float64(rep.Requests) / elapsed.Seconds()
+	ingest.Requests = ingestHist.Count() + ingest.Outcomes.Transport
+	rep.AchievedQPS = float64(rep.Requests+ingest.Requests) / elapsed.Seconds()
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	rep.P50ms = ms(hist.Quantile(0.50))
 	rep.P90ms = ms(hist.Quantile(0.90))
@@ -238,6 +347,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	rep.P999ms = ms(hist.Quantile(0.999))
 	rep.MaxMs = ms(hist.Max())
 	rep.MeanMs = ms(hist.Mean())
+	if cfg.Ingest != nil && cfg.Ingest.Percent > 0 {
+		ingest.P50ms = ms(ingestHist.Quantile(0.50))
+		ingest.P99ms = ms(ingestHist.Quantile(0.99))
+		ingest.MaxMs = ms(ingestHist.Max())
+		ingest.MeanMs = ms(ingestHist.Mean())
+		rep.Ingest = &ingest
+	}
 
 	if scrapeErr == nil {
 		if after, err := scrape(ctx, client, cfg.Addr); err == nil {
@@ -247,9 +363,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-// drive is one connection's closed loop: pace, pick the next query from
-// the cycle, POST it, classify, record.
-func drive(ctx context.Context, client *http.Client, base string, cycle []string, conn int, interval time.Duration, res *connResult) {
+// drive is one connection's closed loop: pace, pick the next slot from
+// the cycle, POST it (query or ingest batch), classify, record.
+func drive(ctx context.Context, client *http.Client, base string, cycle []op, conn int, interval time.Duration, ing *IngestConfig, res *connResult) {
 	next := time.Now()
 	for i := 0; ; i++ {
 		if interval > 0 {
@@ -267,25 +383,37 @@ func drive(ctx context.Context, client *http.Client, base string, cycle []string
 		if ctx.Err() != nil {
 			return
 		}
-		sql := cycle[(conn+i)%len(cycle)]
-		d, status, err := post(ctx, client, base, sql)
+		slot := cycle[(conn+i)%len(cycle)]
+		hist, out := &res.hist, &res.out
+		var d time.Duration
+		var status int
+		var err error
+		if slot.ingest {
+			hist, out = &res.ingestHist, &res.ingestOut
+			var accepted, rejected uint64
+			d, status, accepted, rejected, err = postIngest(ctx, client, base, ing)
+			res.ingestAccepted += accepted
+			res.ingestRejected += rejected
+		} else {
+			d, status, err = post(ctx, client, base, slot.sql)
+		}
 		if err != nil {
 			if ctx.Err() != nil {
 				return // run deadline, not a server failure
 			}
-			res.out.Transport++
+			out.Transport++
 			continue
 		}
-		res.hist.Record(d)
+		hist.Record(d)
 		switch {
 		case status == http.StatusOK:
-			res.out.OK++
+			out.OK++
 		case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
-			res.out.Rejected++
+			out.Rejected++
 		case status == http.StatusGatewayTimeout:
-			res.out.Timeouts++
+			out.Timeouts++
 		default:
-			res.out.Errors++
+			out.Errors++
 		}
 	}
 }
@@ -306,6 +434,34 @@ func post(ctx context.Context, client *http.Client, base, sql string) (time.Dura
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	return time.Since(start), resp.StatusCode, nil
+}
+
+// postIngest issues one CSV batch to /ingest and reads back the report's
+// row counts.
+func postIngest(ctx context.Context, client *http.Client, base string, ing *IngestConfig) (time.Duration, int, uint64, uint64, error) {
+	url := base + "/ingest?table=" + ing.Table
+	if ing.Policy != "" {
+		url += "&policy=" + ing.Policy
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(ing.Body))
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	d := time.Since(start)
+	var rep struct {
+		Accepted uint64 `json:"accepted"`
+		Rejected uint64 `json:"rejected"`
+	}
+	_ = json.Unmarshal(raw, &rep)
+	return d, resp.StatusCode, rep.Accepted, rep.Rejected, nil
 }
 
 // scrape fetches /metrics and extracts the flat counters the attribution
@@ -375,5 +531,7 @@ func attribute(before, after map[string]float64) *Attribution {
 		GCCycles:          uint64(d("swole_gc_cycles_total")),
 		GCPauseMaxSeconds: after["swole_gc_pause_max_seconds"],
 		ShardQueries:      uint64(d("swole_shard_queries_total")),
+		IngestRows:        uint64(d("swole_ingest_rows_total")),
+		IngestSeconds:     d("swole_ingest_duration_seconds_sum"),
 	}
 }

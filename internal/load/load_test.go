@@ -2,6 +2,7 @@ package load
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -121,5 +122,113 @@ func TestRunUnpaced(t *testing.T) {
 func TestRunEmptyMix(t *testing.T) {
 	if _, err := Run(context.Background(), Config{Addr: "127.0.0.1:1"}); err == nil {
 		t.Fatal("empty mix accepted")
+	}
+}
+
+// TestBuildCycleFractions pins the ingest interleaving: the combined
+// cycle preserves both the read weights and the ingest percentage
+// exactly, and spreads ingest slots rather than bunching them.
+func TestBuildCycleFractions(t *testing.T) {
+	mix := []Query{{SQL: "a", Weight: 3}, {SQL: "b", Weight: 1}}
+	cycle := buildCycle(mix, &IngestConfig{Percent: 10})
+	var ingests, as, bs, runLen, maxRun int
+	for _, o := range cycle {
+		if o.ingest {
+			ingests++
+			runLen++
+			if runLen > maxRun {
+				maxRun = runLen
+			}
+			continue
+		}
+		runLen = 0
+		if o.sql == "a" {
+			as++
+		} else {
+			bs++
+		}
+	}
+	if want := len(cycle) / 10; ingests != want {
+		t.Fatalf("ingest slots = %d of %d, want %d", ingests, len(cycle), want)
+	}
+	if maxRun > 1 {
+		t.Fatalf("ingest slots bunch up (run of %d)", maxRun)
+	}
+	if as != 3*bs {
+		t.Fatalf("read weights skewed: a=%d b=%d, want 3:1", as, bs)
+	}
+	if got := len(buildCycle(mix, nil)); got != 4 {
+		t.Fatalf("read-only cycle length = %d, want 4", got)
+	}
+}
+
+// TestRunMixedIngest drives a 90/10 read/ingest run against a live
+// server and checks the split accounting: read quantiles exclude ingest
+// samples, the ingest section tallies its own outcomes and row counts,
+// and the scraped attribution reports the appended rows.
+func TestRunMixedIngest(t *testing.T) {
+	s := liveServer(t)
+	dur := 2 * time.Second
+	if testing.Short() {
+		dur = 400 * time.Millisecond
+	}
+	var csv strings.Builder
+	for i := 0; i < 64; i++ {
+		// r_a, r_b, r_x, r_y, r_c, r_fk — r_fk within the 200-row dimension.
+		fmt.Fprintf(&csv, "%d,1,%d,1,%d,%d\n", i%9, i%100, i%8, i%200)
+	}
+	rep, err := Run(context.Background(), Config{
+		Addr:     s.Addr(),
+		QPS:      200,
+		Conns:    8,
+		Duration: dur,
+		Mix: []Query{
+			{SQL: "select sum(r_a) from r where r_x < 50", Weight: 3},
+			{SQL: "select r_c, sum(r_a) from r where r_x < 50 group by r_c", Weight: 1},
+		},
+		Ingest: &IngestConfig{
+			Percent: 10,
+			Table:   "r",
+			Body:    []byte(csv.String()),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Outcomes.OK != rep.Requests {
+		t.Fatalf("read side not clean: %+v of %d", rep.Outcomes, rep.Requests)
+	}
+	ing := rep.Ingest
+	if ing == nil || ing.Requests == 0 {
+		t.Fatalf("no ingest stats on a mixed run: %+v", ing)
+	}
+	if ing.Outcomes.OK != ing.Requests {
+		t.Fatalf("ingest side not clean: %+v of %d", ing.Outcomes, ing.Requests)
+	}
+	if want := ing.Requests * 64; ing.RowsAccepted != want {
+		t.Fatalf("rows accepted = %d over %d batches, want %d", ing.RowsAccepted, ing.Requests, want)
+	}
+	if ing.RowsRejected != 0 {
+		t.Fatalf("clean batches rejected %d rows", ing.RowsRejected)
+	}
+	if ing.P50ms <= 0 || ing.MaxMs < ing.P50ms {
+		t.Fatalf("ingest quantiles disordered: p50=%g max=%g", ing.P50ms, ing.MaxMs)
+	}
+	if rep.ErrorRate() != 0 {
+		t.Fatalf("ErrorRate = %g on a clean mixed run", rep.ErrorRate())
+	}
+	if rep.Server == nil {
+		t.Fatal("no server attribution")
+	}
+	if rep.Server.IngestRows != ing.RowsAccepted {
+		t.Fatalf("server counted %d ingested rows, client %d", rep.Server.IngestRows, ing.RowsAccepted)
+	}
+	if rep.Server.IngestSeconds <= 0 {
+		t.Fatalf("no server-side ingest time: %+v", rep.Server)
+	}
+	// Ingest batches must not have leaked into the read-side histogram:
+	// the server's read-query count matches the read requests alone.
+	if rep.Server.Queries < rep.Outcomes.OK || rep.Server.Queries > rep.Outcomes.OK+8 {
+		t.Fatalf("server read-query count %d vs client reads %d", rep.Server.Queries, rep.Outcomes.OK)
 	}
 }

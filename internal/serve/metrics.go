@@ -74,6 +74,16 @@ type metrics struct {
 	htGrows        uint64
 	freshAllocs    uint64
 
+	// Write path: POST /ingest batches by outcome, rows accepted and
+	// rejected across all batches, and a separate duration histogram so
+	// scrapes attribute read tail latency without ingest samples mixed in.
+	ingestQueries  map[string]uint64 // outcome → count
+	ingestRows     uint64
+	ingestRejected uint64
+	ingestBuckets  []uint64
+	ingestSum      float64
+	ingestCnt      uint64
+
 	// shardQueries counts queries dispatched to each shard process by the
 	// scatter-gather coordinator, keyed by shard index; nil on non-
 	// coordinator servers (the metric is then omitted from scrapes).
@@ -85,9 +95,11 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		queries: map[[2]string]uint64{},
-		buckets: make([]uint64, len(latencyBuckets)),
-		waits:   make([]uint64, len(waitBuckets)),
+		queries:       map[[2]string]uint64{},
+		buckets:       make([]uint64, len(latencyBuckets)),
+		waits:         make([]uint64, len(waitBuckets)),
+		ingestQueries: map[string]uint64{},
+		ingestBuckets: make([]uint64, len(latencyBuckets)),
 		gcSamples: []rtmetrics.Sample{
 			{Name: "/gc/pauses:seconds"},
 			{Name: "/gc/cycles/total:gc-cycles"},
@@ -147,6 +159,24 @@ func (m *metrics) observe(shape, outcome string, d time.Duration, ex *swole.Expl
 		m.htGrows += uint64(ex.HTGrows)
 		m.freshAllocs += uint64(ex.FreshAllocs)
 	}
+	m.mu.Unlock()
+}
+
+// observeIngest records one finished (or refused) ingest batch: its
+// outcome, wall time, and how many rows it appended and rejected.
+func (m *metrics) observeIngest(outcome string, d time.Duration, accepted, rejected int) {
+	sec := d.Seconds()
+	m.mu.Lock()
+	m.ingestQueries[outcome]++
+	m.ingestRows += uint64(accepted)
+	m.ingestRejected += uint64(rejected)
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			m.ingestBuckets[i]++
+		}
+	}
+	m.ingestSum += sec
+	m.ingestCnt++
 	m.mu.Unlock()
 }
 
@@ -213,6 +243,31 @@ func (m *metrics) render(w *strings.Builder) {
 		fmt.Fprintf(w, "# TYPE %s counter\n", c.name)
 		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
 	}
+
+	fmt.Fprintf(w, "# HELP swole_ingest_queries_total Ingest batches served, by outcome.\n")
+	fmt.Fprintf(w, "# TYPE swole_ingest_queries_total counter\n")
+	iouts := make([]string, 0, len(m.ingestQueries))
+	for o := range m.ingestQueries {
+		iouts = append(iouts, o)
+	}
+	sort.Strings(iouts)
+	for _, o := range iouts {
+		fmt.Fprintf(w, "swole_ingest_queries_total{outcome=%q} %d\n", o, m.ingestQueries[o])
+	}
+	fmt.Fprintf(w, "# HELP swole_ingest_rows_total Rows accepted and appended by POST /ingest.\n")
+	fmt.Fprintf(w, "# TYPE swole_ingest_rows_total counter\n")
+	fmt.Fprintf(w, "swole_ingest_rows_total %d\n", m.ingestRows)
+	fmt.Fprintf(w, "# HELP swole_ingest_rows_rejected_total Rows refused by POST /ingest (malformed under skip, or whole strict batches).\n")
+	fmt.Fprintf(w, "# TYPE swole_ingest_rows_rejected_total counter\n")
+	fmt.Fprintf(w, "swole_ingest_rows_rejected_total %d\n", m.ingestRejected)
+	fmt.Fprintf(w, "# HELP swole_ingest_duration_seconds Ingest batch wall time, admission wait included.\n")
+	fmt.Fprintf(w, "# TYPE swole_ingest_duration_seconds histogram\n")
+	for i, ub := range latencyBuckets {
+		fmt.Fprintf(w, "swole_ingest_duration_seconds_bucket{le=\"%g\"} %d\n", ub, m.ingestBuckets[i])
+	}
+	fmt.Fprintf(w, "swole_ingest_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.ingestCnt)
+	fmt.Fprintf(w, "swole_ingest_duration_seconds_sum %g\n", m.ingestSum)
+	fmt.Fprintf(w, "swole_ingest_duration_seconds_count %d\n", m.ingestCnt)
 
 	if m.shardQueries != nil {
 		fmt.Fprintf(w, "# HELP swole_shard_queries_total Queries the coordinator dispatched, by shard.\n")

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strings"
@@ -75,6 +76,16 @@ func (c Config) withDefaults() Config {
 // failure.
 type QueryFunc func(ctx context.Context, q string) (*swole.Result, swole.Explain, error)
 
+// IngestFunc is the write backend: swole.(*DB).AppendCSV in production.
+// Servers without one (coordinators, NewWithRunner tests) refuse POST
+// /ingest with 501.
+type IngestFunc func(table string, data []byte, policy swole.IngestPolicy) (swole.IngestReport, error)
+
+// maxIngestBody caps a POST /ingest body. One batch parses and appends
+// under the table's ingest lock, so an unbounded body would hold writers
+// (not readers) for its whole parse.
+const maxIngestBody = 64 << 20
+
 // errRejected is the admission controller's refusal: in-flight and queue
 // slots are all taken.
 var errRejected = errors.New("serve: server saturated, query rejected")
@@ -82,9 +93,10 @@ var errRejected = errors.New("serve: server saturated, query rejected")
 // Server is the HTTP query server. Create with New or NewWithRunner,
 // start with Start, stop with Shutdown.
 type Server struct {
-	cfg Config
-	run QueryFunc
-	m   *metrics
+	cfg    Config
+	run    QueryFunc
+	ingest IngestFunc // nil: no write path (coordinator, test runner)
+	m      *metrics
 
 	sem      chan struct{} // admission semaphore, capacity MaxInFlight
 	waiting  atomic.Int64  // queries blocked on sem
@@ -94,9 +106,12 @@ type Server struct {
 	ln   net.Listener
 }
 
-// New builds a Server over a DB.
+// New builds a Server over a DB, wiring both the read path (QueryContext)
+// and the write path (AppendCSV).
 func New(db *swole.DB, cfg Config) *Server {
-	return NewWithRunner(db.QueryContext, cfg)
+	s := NewWithRunner(db.QueryContext, cfg)
+	s.ingest = db.AppendCSV
+	return s
 }
 
 // NewWithRunner builds a Server over an arbitrary execution backend.
@@ -110,6 +125,7 @@ func NewWithRunner(run QueryFunc, cfg Config) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -295,6 +311,77 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, status, queryResponse{Columns: res.Columns(), Rows: res.Rows(), Explain: ex})
+}
+
+// ingestResponse is the POST /ingest body in both directions of success:
+// the append report, plus the refusing error under strict failure.
+type ingestResponse struct {
+	swole.IngestReport
+	Error string `json:"error,omitempty"`
+}
+
+// handleIngest appends one CSV batch to the table named by the ?table
+// parameter. The batch competes for the same admission slots as queries —
+// an append holds the table's ingest lock and swaps its last shard, so
+// letting unbounded ingests pile up next to a bounded read fleet would
+// defeat the admission controller. Malformed rows follow ?policy:
+// "strict" (default) refuses the whole batch with the offending line,
+// "skip" drops and attributes them.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.ingest == nil {
+		writeJSON(w, http.StatusNotImplemented, errorResponse{Error: "this server has no ingest backend", Outcome: outcomeError})
+		return
+	}
+	table := strings.TrimSpace(r.URL.Query().Get("table"))
+	if table == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing table parameter", Outcome: outcomeError})
+		return
+	}
+	policy := swole.IngestStrict
+	switch p := r.URL.Query().Get("policy"); p {
+	case "", "strict":
+	case "skip":
+		policy = swole.IngestSkip
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "policy must be strict or skip, not " + p, Outcome: outcomeError})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error(), Outcome: outcomeError})
+		return
+	}
+
+	start := time.Now()
+	fail := func(err error, rep swole.IngestReport) {
+		outcome, status := outcomeOf(err)
+		if errors.Is(err, errRejected) && s.draining.Load() {
+			status = http.StatusServiceUnavailable
+		}
+		s.m.observeIngest(outcome, time.Since(start), rep.Accepted, rep.Rejected)
+		writeJSON(w, status, ingestResponse{IngestReport: rep, Error: err.Error()})
+	}
+	if s.draining.Load() {
+		fail(errRejected, swole.IngestReport{})
+		return
+	}
+	ctx, cancel := s.deadline(r.Context(), 0)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		fail(err, swole.IngestReport{})
+		return
+	}
+	s.m.inflight.Add(1)
+	rep, err := s.ingest(table, body, policy)
+	s.m.inflight.Add(-1)
+	release()
+	if err != nil {
+		fail(err, rep)
+		return
+	}
+	s.m.observeIngest(outcomeOK, time.Since(start), rep.Accepted, rep.Rejected)
+	writeJSON(w, http.StatusOK, ingestResponse{IngestReport: rep})
 }
 
 // handleExplain executes the q parameter (under the same admission and

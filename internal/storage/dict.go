@@ -69,6 +69,15 @@ func (d *Dict) Code(s string) (int64, bool) {
 	return c, ok
 }
 
+// CodeBytes is Code for a byte slice. The string conversion in the map
+// index expression does not allocate (the compiler recognises the
+// m[string(b)] form), which is what keeps the ingestion kernels'
+// dictionary lookups off the heap.
+func (d *Dict) CodeBytes(b []byte) (int64, bool) {
+	c, ok := d.codes[string(b)]
+	return c, ok
+}
+
 // MatchPred evaluates an arbitrary string predicate once per *distinct*
 // value and returns a code-indexed 0/1 table. This is how string-matching
 // predicates (e.g. TPC-H Q13's NOT LIKE, Q14's PROMO%, Q19's lists) become

@@ -257,6 +257,40 @@ func TestInvalidationGranularity(t *testing.T) {
 	if got := res3.Rows()[0][0]; got != want {
 		t.Errorf("answer changed after sharding: got %d, want %d", got, want)
 	}
+
+	// Appending is a data change in one table: it must evict exactly that
+	// table's plans, and — unlike CreateTable — *merge* the table's cached
+	// statistics with the delta rather than dropping them. Other tables'
+	// plans and statistics survive untouched.
+	statsBefore = d.engine.StatsCacheLen()
+	if statsBefore == 0 {
+		t.Fatal("no stats cached before append (test is vacuous)")
+	}
+	uStats := "select sum(v) from u where v < 100"
+	if err := d.AppendRows("t", [][]int64{{7, 0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.engine.StatsCacheLen(); got != statsBefore {
+		t.Errorf("append left %d stats entries, want %d (merged in place, not dropped)", got, statsBefore)
+	}
+	if d.PlanCacheLen() != 1 {
+		t.Errorf("append to t left cache len %d, want 1 (u's plan only)", d.PlanCacheLen())
+	}
+	if _, ex, err = d.QuerySwole(uStats); err != nil {
+		t.Fatal(err)
+	} else if !ex.PlanCached {
+		t.Error("u's plan evicted by t's append")
+	}
+	res4, ex, err := d.QuerySwole(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.PlanCached {
+		t.Error("t's stale plan served after append")
+	}
+	if got, want := res4.Rows()[0][0], want+7; got != want {
+		t.Errorf("post-append answer = %d, want %d", got, want)
+	}
 }
 
 // TestSetWorkersClearsCache checks worker reconfiguration invalidates

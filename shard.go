@@ -46,6 +46,12 @@ type tableShards struct {
 	k      int
 	bounds []int // k+1 row-range boundaries into the catalog table
 	locks  []*sync.RWMutex
+	// target is the nominal shard size fixed at ShardTable time. The
+	// append path routes rows into the last shard until it reaches twice
+	// the target, then grows a new shard (the shard-growth rule,
+	// DESIGN.md §14), so appended data keeps roughly the layout the
+	// fan-out was costed for without re-slicing live shards.
+	target int
 }
 
 // ShardCount reports the number of row-range shards of the named table;
@@ -134,7 +140,11 @@ func (d *DB) ShardTable(name string, k int) error {
 		for i := range locks {
 			locks[i] = &sync.RWMutex{}
 		}
-		d.shardMeta[name] = &tableShards{k: k, bounds: bounds, locks: locks}
+		target := (t.Rows() + k - 1) / k
+		if target < 1 {
+			target = 1
+		}
+		d.shardMeta[name] = &tableShards{k: k, bounds: bounds, locks: locks, target: target}
 	}
 	d.shardEpochs[name]++
 	// Layout changed, data did not: evict the table's plans (they bake the

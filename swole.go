@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"github.com/reprolab/swole/internal/core"
+	"github.com/reprolab/swole/internal/ingest"
 	"github.com/reprolab/swole/internal/plan"
 	"github.com/reprolab/swole/internal/sql"
 	"github.com/reprolab/swole/internal/storage"
@@ -65,6 +66,12 @@ type DB struct {
 	fleet       []*fleetShard
 	shardMeta   map[string]*tableShards
 	shardEpochs map[string]uint64
+
+	// Ingestion (append.go): per-table compiled CSV kernels, reused across
+	// batches so the warm parse path allocates nothing. ingestMu also
+	// serializes whole append batches against each other.
+	ingestMu sync.Mutex
+	kernels  map[string]*ingest.Kernel
 }
 
 // NewDB returns an empty database.
@@ -82,6 +89,7 @@ func newDBWith(db *storage.Database) *DB {
 		normPlans:   map[string]*cachedPlan{},
 		shardMeta:   map[string]*tableShards{},
 		shardEpochs: map[string]uint64{},
+		kernels:     map[string]*ingest.Kernel{},
 	}
 }
 
